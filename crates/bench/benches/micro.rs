@@ -1,0 +1,174 @@
+//! Criterion micro-benchmarks for the performance-critical primitives:
+//! entropy computation, visibility testing, T_visible construction,
+//! nearest-sample lookup, and cache-policy operations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use viz_cache::{AccessClass, CacheLevel, Hierarchy, Lookup, PolicyKind};
+use viz_core::{
+    visible_blocks, ImportanceTable, RadiusModel, RadiusRule, SamplingConfig, VisibleTable,
+};
+use viz_geom::angle::deg_to_rad;
+use viz_geom::CameraPose;
+use viz_volume::{BlockStats, BrickLayout, DatasetKind, DatasetSpec, Dims3};
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entropy");
+    for &n in &[4096usize, 32768, 262144] {
+        let data: Vec<f32> = (0..n).map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("block_stats", n), &data, |b, d| {
+            b.iter(|| BlockStats::compute(black_box(d), 0.0, 1.0, 64));
+        });
+    }
+    g.finish();
+}
+
+fn bench_visibility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("visibility");
+    for &blocks in &[512usize, 2048, 4096] {
+        let layout = BrickLayout::with_target_blocks(Dims3::cube(256), blocks);
+        let pose = CameraPose::orbit(80.0, 30.0, 2.5, 15.0);
+        g.throughput(Throughput::Elements(layout.num_blocks() as u64));
+        g.bench_with_input(BenchmarkId::new("cone_frame", blocks), &layout, |b, l| {
+            b.iter(|| visible_blocks(black_box(&pose), black_box(l)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t_visible_build");
+    g.sample_size(10);
+    let layout = BrickLayout::with_target_blocks(Dims3::cube(128), 512);
+    let importance =
+        ImportanceTable::from_entropies((0..layout.num_blocks()).map(|i| i as f64).collect(), 64);
+    for &samples in &[180usize, 720, 1620] {
+        let cfg = SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(15.0))
+            .with_target_samples(samples);
+        g.bench_with_input(BenchmarkId::new("samples", samples), &cfg, |b, cfg| {
+            b.iter(|| {
+                VisibleTable::build(
+                    *cfg,
+                    black_box(&layout),
+                    RadiusRule::Optimal(RadiusModel::new(0.25, deg_to_rad(15.0))),
+                    Some((&importance, 128)),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let layout = BrickLayout::with_target_blocks(Dims3::cube(128), 512);
+    let cfg = SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(15.0)).with_target_samples(3240);
+    let tv = VisibleTable::build(cfg, &layout, RadiusRule::Fixed(0.05), None);
+    let poses: Vec<CameraPose> = (0..64)
+        .map(|i| CameraPose::orbit(i as f64 * 3.0, i as f64 * 7.0, 2.0 + (i % 10) as f64 * 0.1, 15.0))
+        .collect();
+    c.bench_function("t_visible_lookup_64_poses", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &poses {
+                total += tv.predict(black_box(p)).len();
+            }
+            total
+        });
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_ops");
+    let trace: Vec<u32> = (0..10_000u32).map(|i| (i * 2654435761) % 2048).collect();
+    for kind in [
+        PolicyKind::Fifo,
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::Lfu,
+        PolicyKind::Arc,
+        PolicyKind::TwoQ,
+        PolicyKind::Mru,
+    ] {
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::new("access_insert", kind.label()), &trace, |b, t| {
+            b.iter(|| {
+                let mut cache: CacheLevel<u32> = CacheLevel::new(kind, 512);
+                let mut misses = 0u32;
+                for &k in t {
+                    if cache.access(k) == Lookup::Miss {
+                        misses += 1;
+                        cache.insert(k);
+                    }
+                }
+                misses
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let trace: Vec<u32> = (0..10_000u32).map(|i| (i * 40503) % 4096).collect();
+    c.bench_function("hierarchy_fetch_10k", |b| {
+        b.iter(|| {
+            let mut h: Hierarchy<u32> =
+                Hierarchy::paper_default(4096, 0.5, PolicyKind::Lru, 64 * 1024);
+            for &k in &trace {
+                h.fetch(black_box(k), AccessClass::Demand);
+            }
+            h.stats().miss_rate()
+        });
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_gen");
+    g.sample_size(10);
+    for kind in [DatasetKind::Ball3d, DatasetKind::LiftedRr, DatasetKind::Climate] {
+        g.bench_function(BenchmarkId::new("materialize_scale16", kind.name()), |b| {
+            let spec = DatasetSpec::new(kind, 16, 1);
+            b.iter(|| spec.materialize(0, 0.0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use viz_volume::Codec;
+    let mut g = c.benchmark_group("codec");
+    let smooth: Vec<f32> = (0..32768).map(|i| (i as f32 / 32768.0).sin()).collect();
+    let ambient = vec![0.0f32; 32768];
+    for (name, data) in [("smooth", &smooth), ("ambient", &ambient)] {
+        g.throughput(Throughput::Bytes((data.len() * 4) as u64));
+        g.bench_function(BenchmarkId::new("plane_rle_compress", name), |b| {
+            b.iter(|| Codec::PlaneRle.compress(black_box(data)));
+        });
+        let encoded = Codec::PlaneRle.compress(data);
+        g.bench_function(BenchmarkId::new("plane_rle_decompress", name), |b| {
+            b.iter(|| Codec::PlaneRle.decompress(black_box(&encoded), data.len()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_reuse_profile(c: &mut Criterion) {
+    use viz_core::ReuseProfile;
+    let trace: Vec<u32> = (0..20_000u32).map(|i| (i * 2654435761) % 512).collect();
+    c.bench_function("reuse_profile_20k", |b| {
+        b.iter(|| ReuseProfile::compute(black_box(&trace)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_reuse_profile,
+    bench_entropy,
+    bench_visibility,
+    bench_table_build,
+    bench_table_lookup,
+    bench_policies,
+    bench_hierarchy,
+    bench_dataset_generation
+);
+criterion_main!(benches);

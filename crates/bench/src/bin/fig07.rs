@@ -1,0 +1,68 @@
+//! Figure 7 — miss rate (a) and I/O time (b) vs. the number of camera
+//! sampling positions, on all four datasets.
+//!
+//! Paper setup: random camera path with view-direction changes of 10–15°,
+//! 400 positions; sampling budgets swept over {3240, 8640, 25920, 72000,
+//! 108000}. Expected shape: miss rate monotonically decreases with more
+//! samples (7a) while I/O(+lookup) time is U-shaped with its minimum at
+//! 25,920 (7b) because look-up overhead grows with table size.
+
+use viz_bench::{Env, Opts};
+use viz_core::{run_session, AppAwareConfig, Metric, Strategy, Table};
+use viz_volume::DatasetKind;
+
+fn main() {
+    let opts = Opts::from_env();
+    // The paper's sweep, scaled down proportionally when --samples shrinks
+    // the budget (e.g. --fast).
+    let full = [3_240usize, 8_640, 25_920, 72_000, 108_000];
+    let budgets: Vec<usize> = if opts.samples >= 3_240 {
+        full.to_vec()
+    } else {
+        full.iter().map(|s| (s * opts.samples / 25_920).max(16)).collect()
+    };
+
+    let mut miss = Table::new(
+        "fig7a",
+        "Fig. 7(a): miss rate vs sampling positions (random path 10-15 deg)",
+        "samples",
+        "miss rate",
+    );
+    let mut io = Table::new(
+        "fig7b",
+        "Fig. 7(b): I/O time vs sampling positions (random path 10-15 deg)",
+        "samples",
+        "I/O + lookup time (s)",
+    );
+
+    for kind in DatasetKind::ALL {
+        let env = Env::new(kind, opts.scale, 1024, opts.seed);
+        let path = env.random_path(10.0, 15.0, opts.steps, opts.seed ^ 0x7);
+        let cfg = env.session_config(0.5);
+        let strategy = Strategy::AppAware(AppAwareConfig::paper(env.sigma()));
+        for (bi, &budget) in budgets.iter().enumerate() {
+            let tv = env.visible_table(budget, 0.25);
+            let r = run_session(&cfg, &env.layout, &strategy, &path, Some((&tv, &env.importance)));
+            let x = budget.to_string();
+            let series = kind.name().to_string();
+            if bi >= miss.rows.len() {
+                miss.push(x.clone(), vec![]);
+                io.push(x.clone(), vec![]);
+            }
+            miss.rows[bi].values.push((series.clone(), Metric::MissRate.of(&r)));
+            io.rows[bi]
+                .values
+                .push((series, r.io_s + r.lookup_s));
+            eprintln!(
+                "fig07: {} samples={budget} miss={:.4} io+lookup={:.3}s",
+                kind.name(),
+                r.miss_rate,
+                r.io_s + r.lookup_s
+            );
+        }
+    }
+
+    opts.emit(&miss);
+    println!();
+    opts.emit(&io);
+}

@@ -1,0 +1,113 @@
+//! Figure 9 — miss rate vs. block division, 14 panels:
+//! (a)–(g) spherical paths with view-direction changes of
+//! {1, 5, 10, 15, 20, 25, 30, 45}° per position, and (h)–(n) random paths
+//! with per-step changes in {0-5, 5-10, ..., 30-35}°.
+//!
+//! Paper setup: `3d_ball` with block sizes 32×32×64, 32×64×64, 64³,
+//! 64×64×128, 64×128×128, 128³ (block sizes are scaled by `--scale` so the
+//! block *counts* match the paper). Expected shape: OPT below FIFO/LRU for
+//! every division; small blocks win at small view changes; the 1024–4096
+//! block range minimizes miss rate.
+
+use viz_bench::{Env, Opts};
+use viz_core::{
+    compute_visibility, run_session_precomputed, AppAwareConfig, Strategy, Table,
+};
+use viz_cache::PolicyKind;
+use viz_volume::{DatasetKind, Dims3};
+
+/// The paper's six block divisions at full scale.
+const BLOCKS_FULL: [(usize, usize, usize); 6] = [
+    (32, 32, 64),
+    (32, 64, 64),
+    (64, 64, 64),
+    (64, 64, 128),
+    (64, 128, 128),
+    (128, 128, 128),
+];
+
+fn main() {
+    let opts = Opts::from_env();
+    let spherical: [f64; 8] = [1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 45.0];
+    let random: [(f64, f64); 7] = [
+        (0.0, 5.0),
+        (5.0, 10.0),
+        (10.0, 15.0),
+        (15.0, 20.0),
+        (20.0, 25.0),
+        (25.0, 30.0),
+        (30.0, 35.0),
+    ];
+
+    // One environment + T_visible per block division, reused across panels.
+    struct Division {
+        label: String,
+        env: Env,
+        tv: viz_core::VisibleTable,
+    }
+    let divisions: Vec<Division> = BLOCKS_FULL
+        .iter()
+        .map(|&(bx, by, bz)| {
+            let block = Dims3::new(
+                (bx / opts.scale).max(2),
+                (by / opts.scale).max(2),
+                (bz / opts.scale).max(2),
+            );
+            let env = Env::with_block_dims(DatasetKind::Ball3d, opts.scale, block, opts.seed);
+            let tv = env.visible_table(opts.samples, 0.25);
+            eprintln!(
+                "fig09: division {bx}x{by}x{bz} -> {} blocks, table ready",
+                env.layout.num_blocks()
+            );
+            Division { label: format!("{bx}x{by}x{bz}"), env, tv }
+        })
+        .collect();
+
+    let mut tables: Vec<Table> = Vec::new();
+
+    let mut run_panel = |panel_id: String, title: String, poses_of: &dyn Fn(&Env) -> Vec<viz_geom::CameraPose>| {
+        let mut t = Table::new(&panel_id, &title, "block size", "miss rate");
+        for d in &divisions {
+            let poses = poses_of(&d.env);
+            let vis = compute_visibility(&d.env.layout, &poses);
+            let cfg = d.env.session_config(0.5);
+            let sigma = d.env.sigma();
+            let mut vals = Vec::new();
+            for s in [
+                Strategy::Baseline(PolicyKind::Fifo),
+                Strategy::Baseline(PolicyKind::Lru),
+                Strategy::AppAware(AppAwareConfig::paper(sigma)),
+            ] {
+                let tbl = matches!(s, Strategy::AppAware(_)).then_some((&d.tv, &d.env.importance));
+                let r = run_session_precomputed(&cfg, &d.env.layout, &s, &poses, &vis, tbl);
+                vals.push((r.strategy.clone(), r.miss_rate));
+            }
+            t.push(d.label.clone(), vals);
+        }
+        eprintln!("fig09: panel {panel_id} done");
+        tables.push(t);
+    };
+
+    for (i, &deg) in spherical.iter().enumerate() {
+        let panel = (b'a' + i as u8) as char;
+        run_panel(
+            format!("fig9{panel}"),
+            format!("Fig. 9({panel}): spherical path, {deg} deg/step"),
+            &|env: &Env| env.spherical_path(deg, opts.steps),
+        );
+    }
+    for (i, &(lo, hi)) in random.iter().enumerate() {
+        let panel = (b'i' + i as u8) as char;
+        let seed = opts.seed ^ 0x99;
+        run_panel(
+            format!("fig9{panel}"),
+            format!("Fig. 9({panel}): random path, {lo}-{hi} deg/step"),
+            &|env: &Env| env.random_path(lo, hi, opts.steps, seed),
+        );
+    }
+
+    for t in &tables {
+        opts.emit(t);
+        println!();
+    }
+}

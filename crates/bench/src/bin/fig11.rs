@@ -1,0 +1,102 @@
+//! Figure 11 — total I/O + prefetching time over 400 camera positions:
+//! the optimal radius r* (Eq. 6) vs. pre-defined radii
+//! r ∈ {0.1, 0.075, 0.05, 0.025}.
+//!
+//! Paper setup: `lifted_rr` partitioned into 1024 blocks (block size
+//! 50×100×50 at paper scale), fixed view angle, 400-position path with
+//! varying distance d (zoom in/out), normalized volume edge 2. Expected
+//! shape: the optimal r achieves the lowest combined I/O + prefetch time.
+//!
+//! Pass `--show-model` to also print the r(d) curve (the Fig. 10 model).
+
+use viz_bench::{Env, Opts};
+use viz_core::{run_session, AppAwareConfig, RadiusModel, RadiusRule, Strategy, Table};
+use viz_volume::{DatasetKind, Dims3};
+
+fn main() {
+    let show_model = std::env::args().any(|a| a == "--show-model");
+    let opts = Opts::parse(std::env::args().skip(1).filter(|a| a != "--show-model"));
+
+    // 50×100×50 at paper scale → 1024 blocks of 800×800×400.
+    let block = Dims3::new(
+        (50 / opts.scale).max(2),
+        (100 / opts.scale).max(2),
+        (50 / opts.scale).max(2),
+    );
+    let env = Env::with_block_dims(DatasetKind::LiftedRr, opts.scale, block, opts.seed);
+    eprintln!("fig11: {} blocks", env.layout.num_blocks());
+
+    let cache_ratio = 0.25; // DRAM fraction of the dataset at ratio 0.5
+    let model = RadiusModel::new(cache_ratio, Env::view_angle());
+
+    if show_model {
+        let mut m = Table::new(
+            "fig10",
+            "Fig. 10 model: optimal vicinal radius r(d)",
+            "d",
+            "r (normalized units)",
+        );
+        for i in 0..=10 {
+            let d = 2.0 + 2.0 * i as f64 / 10.0;
+            m.push(
+                format!("{d:.1}"),
+                vec![
+                    ("r*".to_string(), model.optimal_radius(d)),
+                    (
+                        "cache fraction".to_string(),
+                        model.predicted_fraction(d, model.optimal_radius(d)),
+                    ),
+                ],
+            );
+        }
+        opts.emit(&m);
+        println!();
+    }
+
+    // A path that exercises zooming (dynamically changing d), which is
+    // where the adaptive radius matters (§V-B2).
+    let path = env.zooming_random_path(5.0, 10.0, opts.steps, opts.seed ^ 0x11);
+    let cfg = env.session_config(0.5);
+    let sigma = env.sigma();
+    let strategy = Strategy::AppAware(AppAwareConfig::paper(sigma));
+
+    let mut t = Table::new(
+        "fig11",
+        "Fig. 11: total I/O + prefetching time, optimal r vs fixed r (lifted_rr, 1024 blocks)",
+        "radius rule",
+        "I/O + prefetch time (s)",
+    );
+
+    let mut cases: Vec<(String, RadiusRule)> =
+        vec![("optimal r".to_string(), RadiusRule::Optimal(model))];
+    for r in [0.1, 0.075, 0.05, 0.025] {
+        cases.push((format!("r={r}"), RadiusRule::Fixed(r)));
+    }
+
+    for (label, rule) in cases {
+        let tv = env.visible_table_with_rule(opts.samples, rule);
+        let r = run_session(&cfg, &env.layout, &strategy, &path, Some((&tv, &env.importance)));
+        // The paper overlaps prefetch with rendering, so the cost of a
+        // radius rule is the demand I/O plus the prefetch time that did NOT
+        // fit under rendering: total - render.
+        let effective = r.total_s - r.render_s;
+        eprintln!(
+            "fig11: {label}: effective={:.3} io={:.3} prefetch={:.3} (mean |S_v| = {:.1})",
+            effective,
+            r.io_s,
+            r.prefetch_s,
+            tv.mean_set_size()
+        );
+        t.push(
+            label,
+            vec![
+                ("io+unhidden prefetch".to_string(), effective),
+                ("io".to_string(), r.io_s),
+                ("raw prefetch".to_string(), r.prefetch_s),
+                ("miss rate".to_string(), r.miss_rate),
+            ],
+        );
+    }
+
+    opts.emit(&t);
+}

@@ -1,0 +1,68 @@
+//! Figure 12 — miss rate of FIFO, LRU and the app-aware policy (OPT)
+//! across (a) a spherical camera path and (b) a random camera path.
+//!
+//! Paper setup: `3d_ball` divided into 2048 blocks, 400 camera positions.
+//! Expected shape: OPT ≈ ¼ of the baselines' miss rate at 1° (a); on
+//! random paths OPT ≈ ⅓ of FIFO and ½ of LRU (b); miss rates grow with the
+//! per-step view change for every policy.
+
+use viz_bench::{Env, Opts};
+use viz_core::{run_session, AppAwareConfig, Strategy, Table};
+use viz_cache::PolicyKind;
+use viz_volume::DatasetKind;
+
+fn main() {
+    let opts = Opts::from_env();
+    let env = Env::new(DatasetKind::Ball3d, opts.scale, 2048, opts.seed);
+    let cfg = env.session_config(0.5);
+    let tv = env.visible_table(opts.samples, 0.25);
+    let sigma = env.sigma();
+
+    let strategies = [
+        Strategy::Baseline(PolicyKind::Fifo),
+        Strategy::Baseline(PolicyKind::Lru),
+        Strategy::AppAware(AppAwareConfig::paper(sigma)),
+    ];
+
+    // (a) spherical path sweep.
+    let mut a = Table::new(
+        "fig12a",
+        "Fig. 12(a): miss rate across a spherical path (3d_ball, 2048 blocks)",
+        "deg/step",
+        "miss rate",
+    );
+    for &deg in &[1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 45.0] {
+        let path = env.spherical_path(deg, opts.steps);
+        let mut vals = Vec::new();
+        for s in &strategies {
+            let tables = matches!(s, Strategy::AppAware(_)).then_some((&tv, &env.importance));
+            let r = run_session(&cfg, &env.layout, s, &path, tables);
+            vals.push((r.strategy.clone(), r.miss_rate));
+        }
+        eprintln!("fig12a {deg}deg done");
+        a.push(format!("{deg}"), vals);
+    }
+
+    // (b) random path sweep.
+    let mut b = Table::new(
+        "fig12b",
+        "Fig. 12(b): miss rate across a random path (3d_ball, 2048 blocks)",
+        "deg range",
+        "miss rate",
+    );
+    for &(lo, hi) in &[(0.0, 5.0), (5.0, 10.0), (10.0, 15.0), (15.0, 20.0), (20.0, 25.0), (25.0, 30.0), (30.0, 35.0)] {
+        let path = env.random_path(lo, hi, opts.steps, opts.seed ^ 0x12);
+        let mut vals = Vec::new();
+        for s in &strategies {
+            let tables = matches!(s, Strategy::AppAware(_)).then_some((&tv, &env.importance));
+            let r = run_session(&cfg, &env.layout, s, &path, tables);
+            vals.push((r.strategy.clone(), r.miss_rate));
+        }
+        eprintln!("fig12b {lo}-{hi}deg done");
+        b.push(format!("{lo}-{hi}"), vals);
+    }
+
+    opts.emit(&a);
+    println!();
+    opts.emit(&b);
+}

@@ -1,0 +1,60 @@
+//! Figure 13 — total time (I/O + max(prefetch, render) for OPT;
+//! I/O + render for FIFO/LRU) over 400 camera positions on a random path,
+//! with cache-size ratio (a) 0.5 and (b) 0.7.
+//!
+//! Paper setup: `3d_ball` with 4096 blocks. Expected shape: at ratio 0.5
+//! OPT wins for view changes within ~10° (up to 12% vs LRU, 25% vs FIFO)
+//! and loses for larger changes; enlarging the ratio to 0.7 extends OPT's
+//! win into the 10–15° range (8.6% vs LRU, 19.7% vs FIFO).
+
+use viz_bench::{Env, Opts};
+use viz_core::{
+    compute_visibility, run_session_precomputed, AppAwareConfig, Strategy, Table,
+};
+use viz_cache::PolicyKind;
+use viz_volume::DatasetKind;
+
+fn main() {
+    let opts = Opts::from_env();
+    let env = Env::new(DatasetKind::Ball3d, opts.scale, 4096, opts.seed);
+    eprintln!("fig13: {} blocks", env.layout.num_blocks());
+
+    let sweeps: [(f64, f64); 6] = [
+        (0.0, 5.0),
+        (5.0, 10.0),
+        (10.0, 15.0),
+        (15.0, 20.0),
+        (20.0, 25.0),
+        (25.0, 30.0),
+    ];
+
+    for (panel, ratio) in [('a', 0.5f64), ('b', 0.7f64)] {
+        let tv = env.visible_table(opts.samples, ratio * ratio);
+        let cfg = env.session_config(ratio);
+        let sigma = env.sigma();
+        let mut t = Table::new(
+            &format!("fig13{panel}"),
+            &format!("Fig. 13({panel}): total time, cache ratio {ratio} (3d_ball, 4096 blocks)"),
+            "deg range",
+            "total time (s)",
+        );
+        for &(lo, hi) in &sweeps {
+            let path = env.random_path(lo, hi, opts.steps, opts.seed ^ 0x13);
+            let vis = compute_visibility(&env.layout, &path);
+            let mut vals = Vec::new();
+            for s in [
+                Strategy::Baseline(PolicyKind::Fifo),
+                Strategy::Baseline(PolicyKind::Lru),
+                Strategy::AppAware(AppAwareConfig::paper(sigma)),
+            ] {
+                let tbl = matches!(s, Strategy::AppAware(_)).then_some((&tv, &env.importance));
+                let r = run_session_precomputed(&cfg, &env.layout, &s, &path, &vis, tbl);
+                vals.push((r.strategy.clone(), r.total_s));
+            }
+            eprintln!("fig13{panel}: {lo}-{hi} deg done");
+            t.push(format!("{lo}-{hi}"), vals);
+        }
+        opts.emit(&t);
+        println!();
+    }
+}

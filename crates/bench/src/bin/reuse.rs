@@ -1,0 +1,62 @@
+//! Reuse-distance analysis of the exploration workloads (extension):
+//! Observation 1 made quantitative. Computes the Mattson profile of each
+//! path family's demand trace and prints the LRU miss curve — the exact
+//! miss rate for EVERY cache size from one pass — which is how the
+//! cache-ratio choices of §V-A can be derived from a trace instead of
+//! guessed.
+
+use viz_bench::{Env, Opts};
+use viz_core::{demand_trace, ReuseProfile, Table};
+use viz_volume::DatasetKind;
+
+fn main() {
+    let opts = Opts::from_env();
+    let env = Env::new(DatasetKind::Ball3d, opts.scale, 2048, opts.seed);
+    let nb = env.layout.num_blocks();
+
+    let workloads: Vec<(String, Vec<viz_geom::CameraPose>)> = vec![
+        ("spherical 1deg".into(), env.spherical_path(1.0, opts.steps)),
+        ("spherical 10deg".into(), env.spherical_path(10.0, opts.steps)),
+        ("random 5-10deg".into(), env.random_path(5.0, 10.0, opts.steps, opts.seed ^ 0x5)),
+        ("random 25-30deg".into(), env.random_path(25.0, 30.0, opts.steps, opts.seed ^ 0x5)),
+    ];
+
+    let mut t = Table::new(
+        "reuse",
+        "Reuse-distance profiles of exploration traces (3d_ball, 2048 blocks)",
+        "cache size (fraction of blocks)",
+        "LRU miss rate",
+    );
+    let fractions = [0.05, 0.1, 0.15, 0.2, 0.25, 0.35, 0.5, 0.75, 1.0];
+
+    let mut summaries = Vec::new();
+    let mut rows: Vec<Vec<(String, f64)>> = vec![Vec::new(); fractions.len()];
+    for (name, poses) in &workloads {
+        let trace = demand_trace(&env.layout, poses);
+        let profile = ReuseProfile::compute(&trace);
+        for (i, &f) in fractions.iter().enumerate() {
+            let cap = ((nb as f64 * f).round() as usize).max(1);
+            rows[i].push((name.clone(), profile.lru_miss_rate(cap)));
+        }
+        summaries.push(format!(
+            "{name}: {} accesses, {} distinct blocks, mean reuse distance {:.1}",
+            profile.total,
+            profile.cold,
+            profile.mean_distance().unwrap_or(0.0)
+        ));
+        eprintln!("reuse: {name} done");
+    }
+    for (i, &f) in fractions.iter().enumerate() {
+        t.push(format!("{f:.2}"), rows[i].clone());
+    }
+    opts.emit(&t);
+    println!();
+    for s in summaries {
+        println!("{s}");
+    }
+    println!(
+        "\nThe knee of each curve is the working-set size; the paper's DRAM tier\n\
+         (25% of blocks at ratio 0.5) sits near the knee of the small-step paths —\n\
+         exactly the regime where prediction pays."
+    );
+}

@@ -1,0 +1,13 @@
+//! # viz-bench — experiment harnesses
+//!
+//! Shared plumbing for the figure/table regeneration binaries (one binary
+//! per table or figure of the paper; see DESIGN.md for the index) and
+//! the criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod opts;
+
+pub use env::{Env, PATH_STEPS, VIEW_ANGLE_DEG};
+pub use opts::Opts;

@@ -1,0 +1,131 @@
+//! Minimal command-line options shared by every experiment binary.
+
+/// Parsed command-line options.
+///
+/// Every binary accepts:
+///
+/// - `--scale N` — per-axis dataset resolution divisor (default 4; 1 is
+///   paper scale).
+/// - `--steps N` — camera positions per path (default 400, as the paper).
+/// - `--samples N` — `T_visible` sampling-position budget where relevant.
+/// - `--seed N` — master RNG seed.
+/// - `--fast` — shrink everything for a quick smoke run (CI).
+/// - `--csv` — emit CSV instead of aligned text.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Per-axis resolution divisor for dataset generation.
+    pub scale: usize,
+    /// Camera positions per path.
+    pub steps: usize,
+    /// Sampling-position budget for `T_visible`.
+    pub samples: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// CSV output instead of the aligned text table.
+    pub csv: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { scale: 4, steps: 400, samples: 3240, seed: 0xC0DE, csv: false }
+    }
+}
+
+impl Opts {
+    /// Parse from an iterator of argument strings (skip `argv[0]` first).
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Self {
+        let mut o = Opts::default();
+        while let Some(a) = args.next() {
+            let mut take = |o: &mut usize| {
+                if let Some(v) = args.next().and_then(|s| s.parse::<usize>().ok()) {
+                    *o = v.max(1);
+                }
+            };
+            match a.as_str() {
+                "--scale" => take(&mut o.scale),
+                "--steps" => take(&mut o.steps),
+                "--samples" => take(&mut o.samples),
+                "--seed" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse::<u64>().ok()) {
+                        o.seed = v;
+                    }
+                }
+                "--fast" => {
+                    o.scale = o.scale.max(8);
+                    o.steps = o.steps.min(60);
+                    o.samples = o.samples.min(720);
+                }
+                "--csv" => o.csv = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --scale N  --steps N  --samples N  --seed N  --fast  --csv"
+                    );
+                }
+                other => eprintln!("ignoring unknown option {other:?}"),
+            }
+        }
+        o
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Print a table in the selected format.
+    pub fn emit(&self, table: &viz_core::Table) {
+        if self.csv {
+            println!("# {} — {}", table.id, table.title);
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.to_text());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.scale, 4);
+        assert_eq!(o.steps, 400);
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn parses_values() {
+        let o = parse(&["--scale", "2", "--steps", "100", "--samples", "8640", "--seed", "7", "--csv"]);
+        assert_eq!(o.scale, 2);
+        assert_eq!(o.steps, 100);
+        assert_eq!(o.samples, 8640);
+        assert_eq!(o.seed, 7);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn fast_mode_shrinks() {
+        let o = parse(&["--fast"]);
+        assert!(o.steps <= 60);
+        assert!(o.samples <= 720);
+        assert!(o.scale >= 8);
+    }
+
+    #[test]
+    fn unknown_options_are_ignored() {
+        let o = parse(&["--bogus", "--steps", "10"]);
+        assert_eq!(o.steps, 10);
+    }
+
+    #[test]
+    fn zero_values_clamp_to_one() {
+        let o = parse(&["--steps", "0"]);
+        assert_eq!(o.steps, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! CLOCK (second-chance) replacement: an O(1)-amortized LRU approximation.
+//! Not evaluated in the paper; included as an additional baseline for the
+//! ablation benches.
+
+use crate::policy::ReplacementPolicy;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Debug, Clone)]
+struct Slot<K> {
+    key: K,
+    referenced: bool,
+    live: bool,
+}
+
+/// Circular scan with reference bits: a referenced entry gets a second
+/// chance (bit cleared, hand advances); an unreferenced one is evicted.
+#[derive(Debug)]
+pub struct ClockPolicy<K> {
+    slots: Vec<Slot<K>>,
+    index: HashMap<K, usize>,
+    hand: usize,
+    live: usize,
+}
+
+impl<K: Copy + Eq + Hash> ClockPolicy<K> {
+    /// Create an empty CLOCK policy.
+    pub fn new() -> Self {
+        ClockPolicy { slots: Vec::new(), index: HashMap::new(), hand: 0, live: 0 }
+    }
+
+    fn advance(&mut self) {
+        if !self.slots.is_empty() {
+            self.hand = (self.hand + 1) % self.slots.len();
+        }
+    }
+}
+
+impl<K: Copy + Eq + Hash> Default for ClockPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Eq + Hash + Send> ReplacementPolicy<K> for ClockPolicy<K> {
+    fn on_insert(&mut self, key: K) {
+        debug_assert!(!self.index.contains_key(&key), "duplicate insert");
+        // Reuse a dead slot if one is under the hand region; otherwise push.
+        if let Some(pos) = self.slots.iter().position(|s| !s.live) {
+            self.slots[pos] = Slot { key, referenced: false, live: true };
+            self.index.insert(key, pos);
+        } else {
+            self.slots.push(Slot { key, referenced: false, live: true });
+            self.index.insert(key, self.slots.len() - 1);
+        }
+        self.live += 1;
+    }
+
+    fn on_hit(&mut self, key: K) {
+        if let Some(&i) = self.index.get(&key) {
+            self.slots[i].referenced = true;
+        }
+    }
+
+    fn choose_victim(&mut self, is_evictable: &mut dyn FnMut(&K) -> bool) -> Option<K> {
+        if self.live == 0 {
+            return None;
+        }
+        // Two full sweeps suffice: the first clears reference bits, the
+        // second must find an unreferenced evictable entry (if any entry is
+        // evictable at all).
+        let n = self.slots.len();
+        let mut evictable_seen = false;
+        for _pass in 0..2 * n {
+            let i = self.hand;
+            self.advance();
+            let slot = &mut self.slots[i];
+            if !slot.live {
+                continue;
+            }
+            if !is_evictable(&slot.key) {
+                continue;
+            }
+            evictable_seen = true;
+            if slot.referenced {
+                slot.referenced = false;
+                continue;
+            }
+            slot.live = false;
+            self.live -= 1;
+            let key = slot.key;
+            self.index.remove(&key);
+            return Some(key);
+        }
+        if !evictable_seen {
+            return None;
+        }
+        // Every evictable entry was referenced twice in a row (possible when
+        // `is_evictable` changed between sweeps); fall back to the first
+        // evictable entry.
+        for i in 0..n {
+            let slot = &mut self.slots[i];
+            if slot.live && is_evictable(&slot.key) {
+                slot.live = false;
+                self.live -= 1;
+                let key = slot.key;
+                self.index.remove(&key);
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    fn on_remove(&mut self, key: &K) {
+        if let Some(i) = self.index.remove(key) {
+            self.slots[i].live = false;
+            self.live -= 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance;
+
+    #[test]
+    fn conformance_lifecycle() {
+        conformance::basic_lifecycle(Box::new(ClockPolicy::new()));
+    }
+
+    #[test]
+    fn conformance_pinning() {
+        conformance::respects_pinning(Box::new(ClockPolicy::new()));
+    }
+
+    #[test]
+    fn conformance_removal() {
+        conformance::external_removal(Box::new(ClockPolicy::new()));
+    }
+
+    #[test]
+    fn referenced_entries_get_second_chance() {
+        let mut p = ClockPolicy::new();
+        p.on_insert(1u32);
+        p.on_insert(2);
+        p.on_insert(3);
+        p.on_hit(1); // protect 1 for one sweep
+        let v = p.choose_victim(&mut |_| true);
+        assert_eq!(v, Some(2), "unreferenced 2 goes before referenced 1");
+    }
+
+    #[test]
+    fn repeated_hits_keep_hot_key_resident() {
+        let mut p = ClockPolicy::new();
+        for k in 0..4u32 {
+            p.on_insert(k);
+        }
+        for _ in 0..3 {
+            p.on_hit(0);
+            let v = p.choose_victim(&mut |_| true).unwrap();
+            assert_ne!(v, 0, "hot key evicted");
+            p.on_insert(v + 100); // refill with a new cold key
+        }
+        assert!(p.contains(&0));
+    }
+
+    #[test]
+    fn slot_reuse_keeps_table_bounded() {
+        let mut p = ClockPolicy::new();
+        for round in 0..10u32 {
+            for k in 0..50 {
+                p.on_insert(round * 50 + k);
+            }
+            while p.choose_victim(&mut |_| true).is_some() {}
+        }
+        assert!(p.slots.len() <= 50);
+    }
+}

@@ -1,0 +1,149 @@
+//! Least-Frequently-Used replacement with FIFO tie-breaking.
+//! An extra baseline beyond the paper's FIFO/LRU comparison.
+
+use crate::policy::ReplacementPolicy;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// Victims are the entries with the smallest access count; among equals the
+/// oldest insertion goes first (monotonic sequence number).
+#[derive(Debug)]
+pub struct LfuPolicy<K> {
+    /// key → (frequency, sequence).
+    meta: HashMap<K, (u64, u64)>,
+    /// Ordered candidate set: (frequency, sequence, key).
+    order: BTreeSet<(u64, u64, K)>,
+    next_seq: u64,
+}
+
+impl<K: Copy + Eq + Hash + Ord> LfuPolicy<K> {
+    /// Create an empty LFU policy.
+    pub fn new() -> Self {
+        LfuPolicy { meta: HashMap::new(), order: BTreeSet::new(), next_seq: 0 }
+    }
+
+    /// Access count of a resident key (test/diagnostic helper).
+    pub fn frequency(&self, key: &K) -> Option<u64> {
+        self.meta.get(key).map(|&(f, _)| f)
+    }
+}
+
+impl<K: Copy + Eq + Hash + Ord> Default for LfuPolicy<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Copy + Eq + Hash + Ord + Send> ReplacementPolicy<K> for LfuPolicy<K> {
+    fn on_insert(&mut self, key: K) {
+        debug_assert!(!self.meta.contains_key(&key), "duplicate insert");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.meta.insert(key, (1, seq));
+        self.order.insert((1, seq, key));
+    }
+
+    fn on_hit(&mut self, key: K) {
+        if let Some(&(f, s)) = self.meta.get(&key) {
+            self.order.remove(&(f, s, key));
+            self.meta.insert(key, (f + 1, s));
+            self.order.insert((f + 1, s, key));
+        }
+    }
+
+    fn choose_victim(&mut self, is_evictable: &mut dyn FnMut(&K) -> bool) -> Option<K> {
+        let found = self
+            .order
+            .iter()
+            .find(|(_, _, k)| is_evictable(k))
+            .copied()?;
+        self.order.remove(&found);
+        self.meta.remove(&found.2);
+        Some(found.2)
+    }
+
+    fn on_remove(&mut self, key: &K) {
+        if let Some((f, s)) = self.meta.remove(key) {
+            self.order.remove(&(f, s, *key));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.meta.contains_key(key)
+    }
+
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance;
+
+    #[test]
+    fn conformance_lifecycle() {
+        conformance::basic_lifecycle(Box::new(LfuPolicy::new()));
+    }
+
+    #[test]
+    fn conformance_pinning() {
+        conformance::respects_pinning(Box::new(LfuPolicy::new()));
+    }
+
+    #[test]
+    fn conformance_removal() {
+        conformance::external_removal(Box::new(LfuPolicy::new()));
+    }
+
+    #[test]
+    fn evicts_coldest_key() {
+        let mut p = LfuPolicy::new();
+        for k in 1..=3u32 {
+            p.on_insert(k);
+        }
+        p.on_hit(1);
+        p.on_hit(1);
+        p.on_hit(2);
+        // Frequencies: 1→3, 2→2, 3→1.
+        assert_eq!(p.choose_victim(&mut |_| true), Some(3));
+        assert_eq!(p.choose_victim(&mut |_| true), Some(2));
+        assert_eq!(p.choose_victim(&mut |_| true), Some(1));
+    }
+
+    #[test]
+    fn equal_frequency_breaks_ties_fifo() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(10u32);
+        p.on_insert(20);
+        assert_eq!(p.choose_victim(&mut |_| true), Some(10));
+    }
+
+    #[test]
+    fn frequency_is_tracked() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(7u32);
+        assert_eq!(p.frequency(&7), Some(1));
+        p.on_hit(7);
+        p.on_hit(7);
+        assert_eq!(p.frequency(&7), Some(3));
+        assert_eq!(p.frequency(&8), None);
+    }
+
+    #[test]
+    fn pinned_cold_key_skips_to_next() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(1u32); // coldest
+        p.on_insert(2);
+        p.on_hit(2);
+        p.on_insert(3);
+        p.on_hit(3);
+        p.on_hit(3);
+        assert_eq!(p.choose_victim(&mut |k| *k != 1), Some(2));
+    }
+}

@@ -1,0 +1,51 @@
+//! # viz-cache — memory-hierarchy substrate
+//!
+//! Replacement policies (FIFO, LRU, CLOCK, LFU, ARC and an offline Belady
+//! oracle), a single-level cache with pinning, and the multi-tier
+//! DRAM/SSD/HDD hierarchy simulator used by every experiment in the paper's
+//! evaluation.
+//!
+//! - [`policy`] — the [`policy::ReplacementPolicy`] trait and [`policy::PolicyKind`].
+//! - [`fifo`], [`lru`], [`clock`], [`lfu`], [`arc`] — policy implementations.
+//! - [`belady`] — offline-optimal (MIN) trace simulation.
+//! - [`cache`] — one bounded cache level with pin support.
+//! - [`cost`] — per-tier latency/bandwidth cost model.
+//! - [`hierarchy`] — the inclusive multi-tier simulator and its statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use viz_cache::{AccessClass, Hierarchy, PolicyKind};
+//!
+//! // The paper's setup: DRAM = 25%, SSD = 50% of a 1024-block dataset.
+//! let mut h: Hierarchy<u32> = Hierarchy::paper_default(1024, 0.5, PolicyKind::Lru, 64 * 1024);
+//! h.fetch(7, AccessClass::Demand);          // cold: comes from the HDD
+//! let again = h.fetch(7, AccessClass::Demand);
+//! assert!(again.fast_hit);                  // now resident in DRAM
+//! assert_eq!(h.stats().demand_fast_misses, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arc;
+pub mod belady;
+pub mod cache;
+pub mod clock;
+pub mod cost;
+pub mod fifo;
+pub mod hierarchy;
+pub mod lfu;
+pub mod lirs;
+pub mod lru;
+pub mod mru;
+pub mod policy;
+pub mod slru;
+pub mod stats;
+pub mod twoq;
+
+pub use belady::{simulate_belady, BeladyResult};
+pub use cache::{CacheLevel, Lookup};
+pub use cost::{SimTime, TierCost};
+pub use hierarchy::{FetchOutcome, Hierarchy, TierSpec};
+pub use policy::{PolicyKind, ReplacementPolicy};
+pub use stats::{AccessClass, HierarchyStats, LevelStats};

@@ -1,0 +1,161 @@
+//! The replacement-policy abstraction.
+//!
+//! A policy tracks the set of resident keys of one cache level and answers
+//! "who should go?" when space is needed. The paper compares its
+//! application-aware scheme against FIFO and LRU (§V); ARC, CLOCK, LFU and
+//! an offline Belady oracle are provided as additional baselines.
+
+use std::hash::Hash;
+
+/// Replacement bookkeeping for one cache level.
+///
+/// The cache core calls `on_insert` / `on_hit` to report residency changes
+/// and `choose_victim` to pick an eviction candidate. `is_evictable` lets
+/// the caller exclude keys (the paper's Algorithm 1 only evicts blocks whose
+/// last-use time is strictly older than the current view step).
+pub trait ReplacementPolicy<K: Copy + Eq + Hash>: Send {
+    /// A new key became resident. The key is guaranteed absent beforehand.
+    fn on_insert(&mut self, key: K);
+
+    /// A resident key was accessed (cache hit).
+    fn on_hit(&mut self, key: K);
+
+    /// Pick a victim among resident keys for which `is_evictable` returns
+    /// `true`, remove it from the policy's bookkeeping, and return it.
+    /// Returns `None` when every resident key is protected.
+    fn choose_victim(&mut self, is_evictable: &mut dyn FnMut(&K) -> bool) -> Option<K>;
+
+    /// A key was removed externally (invalidation); drop bookkeeping.
+    fn on_remove(&mut self, key: &K);
+
+    /// Number of resident keys tracked.
+    fn len(&self) -> usize;
+
+    /// `true` when no keys are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the key is tracked as resident.
+    fn contains(&self, key: &K) -> bool;
+
+    /// Policy name for reports ("fifo", "lru", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Which built-in policy a cache level should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// First-In First-Out (paper baseline).
+    Fifo,
+    /// Least Recently Used (paper baseline).
+    Lru,
+    /// Second-chance CLOCK approximation of LRU.
+    Clock,
+    /// Least Frequently Used with FIFO tie-break.
+    Lfu,
+    /// Adaptive Replacement Cache (Megiddo & Modha), cited in §II.
+    Arc,
+    /// 2Q (Johnson & Shasha): scan-resistant probation + protected LRU.
+    TwoQ,
+    /// Most-Recently-Used: the loop-pathology antidote.
+    Mru,
+    /// LIRS (Jiang & Zhang): inter-reference-recency based, loop/scan
+    /// resistant.
+    Lirs,
+    /// Segmented LRU (probation + protected segments).
+    Slru,
+}
+
+impl PolicyKind {
+    /// Instantiate the policy for keys of type `K`.
+    pub fn build<K: Copy + Eq + Hash + Ord + Send + 'static>(
+        self,
+        capacity: usize,
+    ) -> Box<dyn ReplacementPolicy<K>> {
+        match self {
+            PolicyKind::Fifo => Box::new(crate::fifo::FifoPolicy::new()),
+            PolicyKind::Lru => Box::new(crate::lru::LruPolicy::new()),
+            PolicyKind::Clock => Box::new(crate::clock::ClockPolicy::new()),
+            PolicyKind::Lfu => Box::new(crate::lfu::LfuPolicy::new()),
+            PolicyKind::Arc => Box::new(crate::arc::ArcPolicy::new(capacity)),
+            PolicyKind::TwoQ => Box::new(crate::twoq::TwoQPolicy::new(capacity)),
+            PolicyKind::Mru => Box::new(crate::mru::MruPolicy::new()),
+            PolicyKind::Lirs => Box::new(crate::lirs::LirsPolicy::new(capacity)),
+            PolicyKind::Slru => Box::new(crate::slru::SlruPolicy::new(capacity)),
+        }
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Clock => "CLOCK",
+            PolicyKind::Lfu => "LFU",
+            PolicyKind::Arc => "ARC",
+            PolicyKind::TwoQ => "2Q",
+            PolicyKind::Mru => "MRU",
+            PolicyKind::Lirs => "LIRS",
+            PolicyKind::Slru => "SLRU",
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared behavioural checks every policy implementation must pass.
+    use super::*;
+
+    /// Insert `n` keys, verify tracking, evict them all.
+    pub fn basic_lifecycle(mut p: Box<dyn ReplacementPolicy<u32>>) {
+        assert!(p.is_empty());
+        for k in 0..10u32 {
+            p.on_insert(k);
+        }
+        assert_eq!(p.len(), 10);
+        assert!(p.contains(&3));
+        assert!(!p.contains(&99));
+
+        let mut evicted = Vec::new();
+        while let Some(v) = p.choose_victim(&mut |_| true) {
+            assert!(!p.contains(&v), "victim must be removed from policy");
+            evicted.push(v);
+        }
+        assert_eq!(evicted.len(), 10);
+        assert!(p.is_empty());
+        // No duplicates among victims.
+        let mut sorted = evicted.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    /// choose_victim must respect the evictability predicate.
+    pub fn respects_pinning(mut p: Box<dyn ReplacementPolicy<u32>>) {
+        for k in 0..5u32 {
+            p.on_insert(k);
+        }
+        // Only key 3 may be evicted.
+        let v = p.choose_victim(&mut |k| *k == 3);
+        assert_eq!(v, Some(3));
+        // Nothing evictable -> None, and nothing is removed.
+        let v = p.choose_victim(&mut |_| false);
+        assert_eq!(v, None);
+        assert_eq!(p.len(), 4);
+    }
+
+    /// on_remove drops bookkeeping so the key is never chosen later.
+    pub fn external_removal(mut p: Box<dyn ReplacementPolicy<u32>>) {
+        for k in 0..4u32 {
+            p.on_insert(k);
+        }
+        p.on_remove(&2);
+        assert_eq!(p.len(), 3);
+        let mut victims = Vec::new();
+        while let Some(v) = p.choose_victim(&mut |_| true) {
+            victims.push(v);
+        }
+        assert!(!victims.contains(&2));
+    }
+}

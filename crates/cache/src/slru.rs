@@ -1,0 +1,184 @@
+//! Segmented LRU (Karedla et al., 1994): two LRU segments — probationary
+//! and protected. New entries go probationary; a hit promotes to protected
+//! (bounded, demoting its LRU back to probationary). Victims come from the
+//! probationary LRU end. The classic disk-cache policy between plain LRU
+//! and 2Q in sophistication.
+
+use crate::lru::LruPolicy;
+use crate::policy::ReplacementPolicy;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Probation,
+    Protected,
+}
+
+/// SLRU sized for `capacity` total entries; the protected segment holds at
+/// most `capacity * 4 / 5` (the commonly used 80/20 split).
+#[derive(Debug)]
+pub struct SlruPolicy<K: Copy + Eq + Hash> {
+    probation: LruPolicy<K>,
+    protected: LruPolicy<K>,
+    segment: HashMap<K, Segment>,
+    protected_cap: usize,
+}
+
+impl<K: Copy + Eq + Hash + Send> SlruPolicy<K> {
+    /// Create with the 80/20 protected/probation split.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "SLRU needs a positive capacity");
+        SlruPolicy {
+            probation: LruPolicy::new(),
+            protected: LruPolicy::new(),
+            segment: HashMap::new(),
+            protected_cap: (capacity * 4 / 5).max(1),
+        }
+    }
+
+    /// Probationary entry count (diagnostic).
+    pub fn probation_len(&self) -> usize {
+        self.probation.len()
+    }
+
+    /// Protected entry count (diagnostic).
+    pub fn protected_len(&self) -> usize {
+        self.protected.len()
+    }
+}
+
+impl<K: Copy + Eq + Hash + Send> ReplacementPolicy<K> for SlruPolicy<K> {
+    fn on_insert(&mut self, key: K) {
+        debug_assert!(!self.segment.contains_key(&key), "duplicate insert");
+        self.probation.on_insert(key);
+        self.segment.insert(key, Segment::Probation);
+    }
+
+    fn on_hit(&mut self, key: K) {
+        match self.segment.get(&key) {
+            Some(Segment::Protected) => self.protected.on_hit(key),
+            Some(Segment::Probation) => {
+                // Promote; demote the protected LRU if over budget.
+                self.probation.on_remove(&key);
+                self.protected.on_insert(key);
+                self.segment.insert(key, Segment::Protected);
+                if self.protected.len() > self.protected_cap {
+                    if let Some(demoted) = self.protected.choose_victim(&mut |_| true) {
+                        self.probation.on_insert(demoted);
+                        self.segment.insert(demoted, Segment::Probation);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn choose_victim(&mut self, is_evictable: &mut dyn FnMut(&K) -> bool) -> Option<K> {
+        if let Some(v) = self.probation.choose_victim(is_evictable) {
+            self.segment.remove(&v);
+            return Some(v);
+        }
+        let v = self.protected.choose_victim(is_evictable)?;
+        self.segment.remove(&v);
+        Some(v)
+    }
+
+    fn on_remove(&mut self, key: &K) {
+        match self.segment.remove(key) {
+            Some(Segment::Probation) => self.probation.on_remove(key),
+            Some(Segment::Protected) => self.protected.on_remove(key),
+            None => {}
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.segment.len()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.segment.contains_key(key)
+    }
+
+    fn name(&self) -> &'static str {
+        "slru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::conformance;
+
+    #[test]
+    fn conformance_lifecycle() {
+        conformance::basic_lifecycle(Box::new(SlruPolicy::new(16)));
+    }
+
+    #[test]
+    fn conformance_pinning() {
+        conformance::respects_pinning(Box::new(SlruPolicy::new(16)));
+    }
+
+    #[test]
+    fn conformance_removal() {
+        conformance::external_removal(Box::new(SlruPolicy::new(16)));
+    }
+
+    #[test]
+    fn hit_promotes_to_protected() {
+        let mut p = SlruPolicy::new(10);
+        p.on_insert(1u32);
+        assert_eq!(p.probation_len(), 1);
+        p.on_hit(1);
+        assert_eq!(p.protected_len(), 1);
+        assert_eq!(p.probation_len(), 0);
+    }
+
+    #[test]
+    fn one_shot_scans_never_touch_protected() {
+        let mut p = SlruPolicy::new(10);
+        // Protect a hot pair.
+        for k in [1u32, 2] {
+            p.on_insert(k);
+            p.on_hit(k);
+        }
+        // Scan 100 cold keys, evicting as a bounded cache would.
+        for k in 100..200u32 {
+            p.on_insert(k);
+            if p.len() > 10 {
+                p.choose_victim(&mut |_| true);
+            }
+        }
+        assert!(p.contains(&1) && p.contains(&2), "scan flushed the hot set");
+    }
+
+    #[test]
+    fn protected_overflow_demotes_lru() {
+        let mut p = SlruPolicy::new(5); // protected cap = 4
+        for k in 0..5u32 {
+            p.on_insert(k);
+            p.on_hit(k);
+        }
+        assert_eq!(p.protected_len(), 4);
+        assert_eq!(p.probation_len(), 1);
+        // The demoted entry is the protected LRU = key 0.
+        assert_eq!(p.choose_victim(&mut |_| true), Some(0));
+    }
+
+    #[test]
+    fn victims_prefer_probation() {
+        let mut p = SlruPolicy::new(8);
+        p.on_insert(1u32);
+        p.on_hit(1); // protected
+        p.on_insert(2); // probation
+        assert_eq!(p.choose_victim(&mut |_| true), Some(2));
+        assert!(p.contains(&1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        SlruPolicy::<u32>::new(0);
+    }
+}

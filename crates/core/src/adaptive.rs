@@ -1,0 +1,160 @@
+//! Adaptive σ: closed-loop tuning of the entropy threshold.
+//!
+//! The paper leaves σ as a free parameter. But σ has a natural operational
+//! target: prefetch is free exactly while it hides under rendering
+//! (§IV-D), so the *ideal* σ admits just enough blocks that per-step
+//! prefetch time ≈ render time. This module provides a small integral
+//! controller that chases that target online — raising σ (prefetch less)
+//! when prefetch spills past the render window and lowering it (use the
+//! idle I/O) when the window is under-used.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the σ controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSigma {
+    /// Integral gain, in entropy bits per unit of (log) budget error.
+    pub gain: f64,
+    /// Lower σ clamp (bits).
+    pub min_sigma: f64,
+    /// Upper σ clamp (bits).
+    pub max_sigma: f64,
+    /// Target prefetch/render ratio (1.0 = exactly fill the window; use
+    /// slightly below 1 to leave headroom).
+    pub target_ratio: f64,
+}
+
+impl AdaptiveSigma {
+    /// Reasonable defaults for 64-bin entropies: gain 0.25 bits, σ within
+    /// `[0, 6]`, aim to fill 90% of the render window.
+    pub fn default_for_bins(bins: usize) -> Self {
+        AdaptiveSigma {
+            gain: 0.25,
+            min_sigma: 0.0,
+            max_sigma: (bins as f64).log2(),
+            target_ratio: 0.9,
+        }
+    }
+}
+
+/// The controller state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SigmaController {
+    cfg: AdaptiveSigma,
+    sigma: f64,
+}
+
+impl SigmaController {
+    /// Start from an initial σ.
+    pub fn new(cfg: AdaptiveSigma, initial_sigma: f64) -> Self {
+        assert!(cfg.gain >= 0.0, "gain must be non-negative");
+        assert!(cfg.min_sigma <= cfg.max_sigma, "sigma bounds inverted");
+        assert!(cfg.target_ratio > 0.0, "target ratio must be positive");
+        SigmaController { cfg, sigma: initial_sigma.clamp(cfg.min_sigma, cfg.max_sigma) }
+    }
+
+    /// Current threshold.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Feed one step's measured prefetch and render durations; returns the
+    /// updated σ. Uses the log of the fill ratio so over- and under-shoot
+    /// of equal *factors* produce equal corrections.
+    pub fn observe(&mut self, prefetch_s: f64, render_s: f64) -> f64 {
+        if render_s <= 0.0 {
+            return self.sigma;
+        }
+        let target = self.cfg.target_ratio * render_s;
+        // Steps with zero prefetch (everything already resident) carry no
+        // signal about σ being too high — treat as a mild "lower σ" nudge
+        // through the epsilon floor.
+        let actual = prefetch_s.max(1e-6 * render_s);
+        let error = (actual / target).ln();
+        self.sigma = (self.sigma + self.cfg.gain * error).clamp(self.cfg.min_sigma, self.cfg.max_sigma);
+        self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(initial: f64) -> SigmaController {
+        SigmaController::new(AdaptiveSigma::default_for_bins(64), initial)
+    }
+
+    #[test]
+    fn overshoot_raises_sigma() {
+        let mut c = controller(2.0);
+        let before = c.sigma();
+        c.observe(0.2, 0.05); // prefetch 4x the render window
+        assert!(c.sigma() > before);
+    }
+
+    #[test]
+    fn undershoot_lowers_sigma() {
+        let mut c = controller(2.0);
+        let before = c.sigma();
+        c.observe(0.001, 0.05);
+        assert!(c.sigma() < before);
+    }
+
+    #[test]
+    fn balanced_step_is_near_fixed_point() {
+        let mut c = controller(2.0);
+        let before = c.sigma();
+        c.observe(0.9 * 0.05, 0.05); // exactly the target ratio
+        assert!((c.sigma() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_stays_clamped() {
+        let mut c = controller(5.9);
+        for _ in 0..100 {
+            c.observe(10.0, 0.01); // massive overshoot
+        }
+        assert!(c.sigma() <= 6.0 + 1e-12);
+        let mut c = controller(0.1);
+        for _ in 0..100 {
+            c.observe(0.0, 0.01);
+        }
+        assert!(c.sigma() >= 0.0);
+    }
+
+    #[test]
+    fn zero_render_time_is_a_noop() {
+        let mut c = controller(2.0);
+        let before = c.sigma();
+        c.observe(0.5, 0.0);
+        assert_eq!(c.sigma(), before);
+    }
+
+    #[test]
+    fn converges_on_a_monotone_plant() {
+        // Toy plant: prefetch time decreases as sigma rises. The controller
+        // must settle near the sigma where prefetch = 0.9 * render.
+        let render = 0.05;
+        let plant = |sigma: f64| (6.0 - sigma).max(0.0) * 0.02; // s
+        let mut c = controller(0.5);
+        for _ in 0..200 {
+            let p = plant(c.sigma());
+            c.observe(p, render);
+        }
+        let settled = plant(c.sigma());
+        assert!(
+            (settled - 0.9 * render).abs() < 0.01,
+            "settled prefetch {settled} vs target {}",
+            0.9 * render
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_bounds_panic() {
+        SigmaController::new(
+            AdaptiveSigma { gain: 0.1, min_sigma: 5.0, max_sigma: 1.0, target_ratio: 0.9 },
+            2.0,
+        );
+    }
+}

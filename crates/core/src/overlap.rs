@@ -1,0 +1,259 @@
+//! Threaded overlap prefetcher: the real-data counterpart of the simulated
+//! overlap in [`crate::session`].
+//!
+//! Algorithm 1 hides prefetch latency behind rendering. In the simulator
+//! that is a `max(render, prefetch)` accounting rule; here it is an actual
+//! worker thread that pulls block payloads from a [`BlockSource`] into a
+//! shared resident set while the caller renders. Used by the example
+//! binaries that drive the CPU ray caster over a disk-backed store.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use viz_volume::{BlockKey, BlockSource};
+
+/// Shared pool of resident block payloads.
+///
+/// The renderer reads blocks out of the pool; the prefetcher inserts them.
+/// Eviction is the caller's business (the pool only stores what it is
+/// given) — policy decisions stay in `viz-cache`.
+#[derive(Debug, Default)]
+pub struct BlockPool {
+    blocks: RwLock<HashMap<BlockKey, Arc<Vec<f32>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockPool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a resident block, counting hit/miss statistics.
+    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<f32>>> {
+        let got = self.blocks.read().get(&key).cloned();
+        match got {
+            Some(b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(b)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Residency check without statistics side effects.
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.blocks.read().contains_key(&key)
+    }
+
+    /// Insert a payload.
+    pub fn insert(&self, key: BlockKey, data: Vec<f32>) {
+        self.blocks.write().insert(key, Arc::new(data));
+    }
+
+    /// Drop a block (eviction decided by the cache layer).
+    pub fn remove(&self, key: BlockKey) {
+        self.blocks.write().remove(&key);
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+enum Request {
+    Fetch(BlockKey),
+    /// Fence: reply when every prior request has been serviced.
+    Sync(Sender<()>),
+    Shutdown,
+}
+
+/// Background worker that loads blocks from a [`BlockSource`] into a
+/// [`BlockPool`], overlapping with the caller's rendering work.
+pub struct Prefetcher {
+    tx: Sender<Request>,
+    handle: Option<JoinHandle<u64>>,
+}
+
+impl Prefetcher {
+    /// Spawn the worker. `queue_depth` bounds the request channel so a
+    /// runaway producer back-pressures instead of ballooning memory.
+    pub fn spawn(
+        source: Arc<dyn BlockSource>,
+        pool: Arc<BlockPool>,
+        queue_depth: usize,
+    ) -> Self {
+        assert!(queue_depth > 0);
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(queue_depth);
+        let handle = std::thread::Builder::new()
+            .name("viz-prefetcher".into())
+            .spawn(move || {
+                let mut fetched = 0u64;
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        Request::Fetch(key) => {
+                            if !pool.contains(key) {
+                                if let Ok(data) = source.read_block(key) {
+                                    pool.insert(key, data);
+                                    fetched += 1;
+                                }
+                            }
+                        }
+                        Request::Sync(ack) => {
+                            let _ = ack.send(());
+                        }
+                        Request::Shutdown => break,
+                    }
+                }
+                fetched
+            })
+            .expect("failed to spawn prefetcher thread");
+        Prefetcher { tx, handle: Some(handle) }
+    }
+
+    /// Enqueue a block for background loading. Blocks when the queue is
+    /// full (back-pressure); returns `false` if the worker is gone.
+    pub fn request(&self, key: BlockKey) -> bool {
+        self.tx.send(Request::Fetch(key)).is_ok()
+    }
+
+    /// Wait until every previously enqueued request has been serviced.
+    pub fn sync(&self) {
+        let (ack_tx, ack_rx) = bounded(1);
+        if self.tx.send(Request::Sync(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Stop the worker and return how many blocks it fetched.
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.tx.send(Request::Shutdown);
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = self.tx.send(Request::Shutdown);
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_volume::{BlockId, MemBlockStore};
+
+    fn store_with(n: u32) -> Arc<MemBlockStore> {
+        let s = MemBlockStore::new();
+        for i in 0..n {
+            s.insert(BlockKey::scalar(BlockId(i)), vec![i as f32; 8]);
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn pool_get_insert_remove() {
+        let pool = BlockPool::new();
+        let key = BlockKey::scalar(BlockId(1));
+        assert!(pool.get(key).is_none());
+        pool.insert(key, vec![1.0, 2.0]);
+        assert_eq!(pool.get(key).unwrap().as_slice(), &[1.0, 2.0]);
+        pool.remove(key);
+        assert!(pool.get(key).is_none());
+        assert_eq!(pool.stats(), (1, 2));
+    }
+
+    #[test]
+    fn prefetcher_loads_requested_blocks() {
+        let source = store_with(16);
+        let pool = Arc::new(BlockPool::new());
+        let pf = Prefetcher::spawn(source, pool.clone(), 32);
+        for i in 0..16u32 {
+            assert!(pf.request(BlockKey::scalar(BlockId(i))));
+        }
+        pf.sync();
+        assert_eq!(pool.len(), 16);
+        assert_eq!(
+            pool.get(BlockKey::scalar(BlockId(5))).unwrap().as_slice(),
+            &[5.0f32; 8]
+        );
+        let fetched = pf.shutdown();
+        assert_eq!(fetched, 16);
+    }
+
+    #[test]
+    fn duplicate_requests_fetch_once() {
+        let source = store_with(2);
+        let pool = Arc::new(BlockPool::new());
+        let pf = Prefetcher::spawn(source, pool.clone(), 8);
+        for _ in 0..5 {
+            pf.request(BlockKey::scalar(BlockId(0)));
+        }
+        pf.sync();
+        assert_eq!(pf.shutdown(), 1);
+    }
+
+    #[test]
+    fn missing_blocks_are_skipped_silently() {
+        let source = store_with(1);
+        let pool = Arc::new(BlockPool::new());
+        let pf = Prefetcher::spawn(source, pool.clone(), 8);
+        pf.request(BlockKey::scalar(BlockId(0)));
+        pf.request(BlockKey::scalar(BlockId(99))); // not in the store
+        pf.sync();
+        assert_eq!(pool.len(), 1);
+        pf.shutdown();
+    }
+
+    #[test]
+    fn sync_is_a_barrier() {
+        let source = store_with(64);
+        let pool = Arc::new(BlockPool::new());
+        let pf = Prefetcher::spawn(source, pool.clone(), 64);
+        for i in 0..64u32 {
+            pf.request(BlockKey::scalar(BlockId(i)));
+        }
+        pf.sync();
+        // After sync every requested block must be resident.
+        for i in 0..64u32 {
+            assert!(pool.contains(BlockKey::scalar(BlockId(i))), "block {i} missing after sync");
+        }
+        pf.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_worker_down() {
+        let source = store_with(4);
+        let pool = Arc::new(BlockPool::new());
+        {
+            let pf = Prefetcher::spawn(source, pool.clone(), 8);
+            pf.request(BlockKey::scalar(BlockId(0)));
+            // Dropped without explicit shutdown.
+        }
+        // Reaching here without hanging is the assertion.
+    }
+}

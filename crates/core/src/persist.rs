@@ -1,0 +1,265 @@
+//! Persistence for the pre-processing artifacts.
+//!
+//! Building `T_visible` over 10⁵ sampling positions is the paper's one-time
+//! pre-processing step (§IV-B); a production deployment computes it once
+//! per (layout, sampling config) and memoizes it on disk. Two formats are
+//! provided: a compact framed binary (fast, for the tables themselves) and
+//! JSON (for configs and reports, human-inspectable).
+
+use crate::importance::ImportanceTable;
+use crate::sampling::VisibleTable;
+use bytes::{Buf, BufMut};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const VIS_MAGIC: &[u8; 4] = b"TVIS";
+const IMP_MAGIC: &[u8; 4] = b"TIMP";
+const VERSION: u16 = 1;
+
+fn err(m: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, m.into())
+}
+
+/// Serialize a `T_visible` table: a small JSON header (config + radius
+/// rule, via serde) followed by length-prefixed block-id runs per entry.
+pub fn encode_visible_table(t: &VisibleTable) -> io::Result<Vec<u8>> {
+    let header = serde_json::to_vec(&(&t.config, &t.radius_rule)).map_err(io::Error::other)?;
+    let mut buf = Vec::with_capacity(header.len() + t.approx_bytes() + 64);
+    buf.put_slice(VIS_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(header.len() as u32);
+    buf.put_slice(&header);
+    buf.put_u32_le(t.len() as u32);
+    for i in 0..t.len() {
+        let entry = t.entry(i);
+        buf.put_u32_le(entry.len() as u32);
+        for b in entry {
+            buf.put_u32_le(b.0);
+        }
+    }
+    Ok(buf)
+}
+
+/// Parse a buffer produced by [`encode_visible_table`].
+pub fn decode_visible_table(mut buf: &[u8]) -> io::Result<VisibleTable> {
+    if buf.remaining() < 10 {
+        return Err(err("T_visible frame too short"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != VIS_MAGIC {
+        return Err(err("bad T_visible magic"));
+    }
+    if buf.get_u16_le() != VERSION {
+        return Err(err("unsupported T_visible version"));
+    }
+    let hlen = buf.get_u32_le() as usize;
+    if buf.remaining() < hlen {
+        return Err(err("truncated T_visible header"));
+    }
+    let (config, radius_rule) =
+        serde_json::from_slice(&buf[..hlen]).map_err(|e| err(format!("bad header: {e}")))?;
+    buf.advance(hlen);
+    if buf.remaining() < 4 {
+        return Err(err("missing entry count"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut sets = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return Err(err("truncated entry length"));
+        }
+        let k = buf.get_u32_le() as usize;
+        if buf.remaining() < k * 4 {
+            return Err(err("truncated entry payload"));
+        }
+        let mut set = Vec::with_capacity(k);
+        for _ in 0..k {
+            set.push(viz_volume::BlockId(buf.get_u32_le()));
+        }
+        sets.push(set);
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after T_visible payload"));
+    }
+    VisibleTable::from_parts(config, radius_rule, sets).map_err(err)
+}
+
+/// Serialize a `T_important` table (bin count + per-block entropies).
+pub fn encode_importance_table(t: &ImportanceTable) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(14 + t.len() * 8);
+    buf.put_slice(IMP_MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(t.bins as u32);
+    buf.put_u32_le(t.len() as u32);
+    for i in 0..t.len() {
+        buf.put_f64_le(t.entropy(viz_volume::BlockId(i as u32)));
+    }
+    buf
+}
+
+/// Parse a buffer produced by [`encode_importance_table`].
+pub fn decode_importance_table(mut buf: &[u8]) -> io::Result<ImportanceTable> {
+    if buf.remaining() < 14 {
+        return Err(err("T_important frame too short"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != IMP_MAGIC {
+        return Err(err("bad T_important magic"));
+    }
+    if buf.get_u16_le() != VERSION {
+        return Err(err("unsupported T_important version"));
+    }
+    let bins = buf.get_u32_le() as usize;
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() != n * 8 {
+        return Err(err("T_important payload length mismatch"));
+    }
+    let mut by_block = Vec::with_capacity(n);
+    for _ in 0..n {
+        by_block.push(buf.get_f64_le());
+    }
+    Ok(ImportanceTable::from_entropies(by_block, bins))
+}
+
+/// Write both tables next to each other under `dir`
+/// (`t_visible.bin`, `t_important.bin`).
+pub fn save_tables(dir: &Path, visible: &VisibleTable, importance: &ImportanceTable) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let atomically = |name: &str, bytes: &[u8]| -> io::Result<()> {
+        let tmp = dir.join(format!("{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+        }
+        fs::rename(tmp, dir.join(name))
+    };
+    atomically("t_visible.bin", &encode_visible_table(visible)?)?;
+    atomically("t_important.bin", &encode_importance_table(importance))
+}
+
+/// Load tables previously written by [`save_tables`].
+pub fn load_tables(dir: &Path) -> io::Result<(VisibleTable, ImportanceTable)> {
+    let read = |name: &str| -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        fs::File::open(dir.join(name))?.read_to_end(&mut buf)?;
+        Ok(buf)
+    };
+    Ok((
+        decode_visible_table(&read("t_visible.bin")?)?,
+        decode_importance_table(&read("t_important.bin")?)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radius::RadiusModel;
+    use crate::sampling::{RadiusRule, SamplingConfig};
+    use viz_geom::angle::deg_to_rad;
+    use viz_volume::{BrickLayout, Dims3};
+
+    fn sample_tables() -> (VisibleTable, ImportanceTable) {
+        let layout = BrickLayout::new(Dims3::cube(32), Dims3::cube(8));
+        let cfg = SamplingConfig {
+            n_theta: 4,
+            n_phi: 8,
+            n_dist: 2,
+            d_min: 2.0,
+            d_max: 3.0,
+            vicinal_points: 3,
+            view_angle: deg_to_rad(20.0),
+            seed: 77,
+        };
+        let imp = ImportanceTable::from_entropies(
+            (0..layout.num_blocks()).map(|i| (i % 7) as f64).collect(),
+            32,
+        );
+        let tv = VisibleTable::build(
+            cfg,
+            &layout,
+            RadiusRule::Optimal(RadiusModel::new(0.3, deg_to_rad(20.0))),
+            Some((&imp, 10)),
+        );
+        (tv, imp)
+    }
+
+    #[test]
+    fn visible_table_binary_roundtrip() {
+        let (tv, _) = sample_tables();
+        let buf = encode_visible_table(&tv).unwrap();
+        let back = decode_visible_table(&buf).unwrap();
+        assert_eq!(back.len(), tv.len());
+        assert_eq!(back.config, tv.config);
+        assert_eq!(back.radius_rule, tv.radius_rule);
+        for i in 0..tv.len() {
+            assert_eq!(back.entry(i), tv.entry(i), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn importance_table_binary_roundtrip() {
+        let (_, imp) = sample_tables();
+        let buf = encode_importance_table(&imp);
+        let back = decode_importance_table(&buf).unwrap();
+        assert_eq!(back, imp);
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let (tv, imp) = sample_tables();
+        let mut a = encode_visible_table(&tv).unwrap();
+        a[0] = b'X';
+        assert!(decode_visible_table(&a).is_err());
+        let mut b = encode_importance_table(&imp);
+        b[1] = b'?';
+        assert!(decode_importance_table(&b).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let (tv, _) = sample_tables();
+        let buf = encode_visible_table(&tv).unwrap();
+        // Cut at several depths: header, count, entry bodies.
+        for cut in [2usize, 8, 12, buf.len() / 2, buf.len() - 1] {
+            assert!(decode_visible_table(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (tv, _) = sample_tables();
+        let mut buf = encode_visible_table(&tv).unwrap();
+        buf.extend_from_slice(&[0, 1, 2, 3]);
+        assert!(decode_visible_table(&buf).is_err());
+    }
+
+    #[test]
+    fn save_load_files_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("viz_persist_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let (tv, imp) = sample_tables();
+        save_tables(&dir, &tv, &imp).unwrap();
+        let (tv2, imp2) = load_tables(&dir).unwrap();
+        assert_eq!(tv2.len(), tv.len());
+        assert_eq!(imp2, imp);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_missing_dir_errors() {
+        let dir = std::env::temp_dir().join("viz_persist_definitely_missing");
+        assert!(load_tables(&dir).is_err());
+    }
+
+    #[test]
+    fn predictions_survive_roundtrip() {
+        let (tv, _) = sample_tables();
+        let buf = encode_visible_table(&tv).unwrap();
+        let back = decode_visible_table(&buf).unwrap();
+        let pose = viz_geom::CameraPose::orbit(45.0, 90.0, 2.5, 20.0);
+        assert_eq!(back.predict(&pose), tv.predict(&pose));
+    }
+}

@@ -1,0 +1,196 @@
+//! Session journaling: persist experiment reports and diff them.
+//!
+//! Reproduction work lives and dies by "did this change move the numbers?".
+//! A journal entry freezes a run's full report plus the knobs that produced
+//! it; [`compare`] diffs two entries metric-by-metric with a tolerance so
+//! CI (or a human) can spot regressions without eyeballing logs.
+
+use crate::session::{SessionConfig, SessionReport, Strategy};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A frozen experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Free-form experiment label ("fig12a/5deg", ...).
+    pub label: String,
+    /// Session configuration used.
+    pub config: SessionConfig,
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// The measured report.
+    pub report: SessionReport,
+}
+
+impl JournalEntry {
+    /// Bundle a run into a journal entry.
+    pub fn new(label: &str, config: &SessionConfig, strategy: &Strategy, report: SessionReport) -> Self {
+        JournalEntry {
+            label: label.to_string(),
+            config: config.clone(),
+            strategy: strategy.clone(),
+            report,
+        }
+    }
+
+    /// Write as pretty JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_vec_pretty(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Read back a saved entry.
+    pub fn load(path: &Path) -> io::Result<JournalEntry> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes).map_err(io::Error::other)
+    }
+}
+
+/// One metric's delta between two runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub metric: String,
+    /// Value in the baseline entry.
+    pub baseline: f64,
+    /// Value in the candidate entry.
+    pub candidate: f64,
+    /// `(candidate - baseline) / max(|baseline|, eps)`.
+    pub relative: f64,
+}
+
+/// Result of comparing two journal entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Per-metric deltas (all headline metrics, regressed or not).
+    pub deltas: Vec<MetricDelta>,
+    /// Metrics whose relative change exceeds the tolerance *for the worse*
+    /// (higher miss rate / higher times).
+    pub regressions: Vec<String>,
+}
+
+impl Comparison {
+    /// `true` when nothing regressed beyond tolerance.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `candidate` against `baseline` with a relative tolerance
+/// (e.g. 0.05 = 5%). Lower is better for every headline metric.
+pub fn compare(baseline: &JournalEntry, candidate: &JournalEntry, tolerance: f64) -> Comparison {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let metrics: [(&str, fn(&SessionReport) -> f64); 5] = [
+        ("miss_rate", |r| r.miss_rate),
+        ("io_s", |r| r.io_s),
+        ("prefetch_s", |r| r.prefetch_s),
+        ("lookup_s", |r| r.lookup_s),
+        ("total_s", |r| r.total_s),
+    ];
+    let mut deltas = Vec::with_capacity(metrics.len());
+    let mut regressions = Vec::new();
+    for (name, get) in metrics {
+        let b = get(&baseline.report);
+        let c = get(&candidate.report);
+        let relative = (c - b) / b.abs().max(1e-12);
+        if relative > tolerance {
+            regressions.push(name.to_string());
+        }
+        deltas.push(MetricDelta {
+            metric: name.to_string(),
+            baseline: b,
+            candidate: c,
+            relative,
+        });
+    }
+    Comparison { deltas, regressions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{run_session, SessionConfig, Strategy};
+    use viz_cache::PolicyKind;
+    use viz_geom::angle::deg_to_rad;
+    use viz_geom::{CameraPath, ExplorationDomain, SphericalPath, Vec3};
+    use viz_volume::{BrickLayout, Dims3};
+
+    fn run_once(deg: f64) -> JournalEntry {
+        // 216 blocks / 54-block DRAM: large enough that small steps hit.
+        let layout = BrickLayout::new(Dims3::cube(48), Dims3::cube(8));
+        let dom = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+        let poses = SphericalPath::new(dom, 2.5, deg, deg_to_rad(15.0)).generate(60);
+        let cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes());
+        let strategy = Strategy::Baseline(PolicyKind::Lru);
+        let report = run_session(&cfg, &layout, &strategy, &poses, None);
+        JournalEntry::new(&format!("test/{deg}deg"), &cfg, &strategy, report)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("viz_journal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let entry = run_once(5.0);
+        let path = dir.join("entry.json");
+        entry.save(&path).unwrap();
+        let back = JournalEntry::load(&path).unwrap();
+        assert_eq!(back, entry);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identical_runs_compare_clean() {
+        let a = run_once(5.0);
+        let b = run_once(5.0);
+        let cmp = compare(&a, &b, 0.01);
+        assert!(cmp.is_clean(), "regressions: {:?}", cmp.regressions);
+        for d in &cmp.deltas {
+            assert_eq!(d.relative, 0.0, "{} drifted", d.metric);
+        }
+    }
+
+    /// A journal entry with hand-set metrics (tests the comparator itself,
+    /// independent of simulator behaviour).
+    fn synthetic(miss: f64, io: f64, total: f64) -> JournalEntry {
+        let mut e = run_once(5.0);
+        e.report.miss_rate = miss;
+        e.report.io_s = io;
+        e.report.total_s = total;
+        e
+    }
+
+    #[test]
+    fn worse_run_is_flagged() {
+        let good = synthetic(0.05, 1.0, 10.0);
+        let bad = synthetic(0.20, 4.0, 15.0);
+        let cmp = compare(&good, &bad, 0.05);
+        assert!(!cmp.is_clean());
+        assert!(cmp.regressions.contains(&"miss_rate".to_string()));
+        assert!(cmp.regressions.contains(&"io_s".to_string()));
+        assert!(cmp.regressions.contains(&"total_s".to_string()));
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let bad = synthetic(0.20, 4.0, 15.0);
+        let good = synthetic(0.05, 1.0, 10.0);
+        let cmp = compare(&bad, &good, 0.05);
+        assert!(cmp.is_clean(), "improvements flagged: {:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn tolerance_suppresses_noise() {
+        let a = run_once(5.0);
+        let mut b = run_once(5.0);
+        // Nudge io_s by 1%.
+        b.report.io_s *= 1.01;
+        assert!(compare(&a, &b, 0.05).is_clean());
+        assert!(!compare(&a, &b, 0.001).is_clean());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(JournalEntry::load(Path::new("/nonexistent/journal.json")).is_err());
+    }
+}

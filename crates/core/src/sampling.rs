@@ -1,0 +1,458 @@
+//! Camera-position sampling and the `T_visible` look-up table (§IV-B).
+//!
+//! Camera positions are sampled over the exploration domain Ω on a
+//! (polar ring × azimuth × distance shell) lattice. For each sample `v`,
+//! several points `v'` are drawn inside the vicinal sphere φ of radius
+//! `r(d)` (the radius model of §V-B2); the union of the blocks visible from
+//! every `v'` (Eq. 1 cone test) becomes the entry `S_v`. At visualization
+//! time the nearest sample to the current camera is found in O(1) via the
+//! lattice structure and its `S_v` drives prefetching.
+
+use crate::importance::ImportanceTable;
+use crate::radius::RadiusModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{PI, TAU};
+use viz_geom::sphere::sample_in_ball;
+use viz_geom::{Aabb, CameraPose, ConeFrustum, SphericalCoord, Vec3};
+use viz_volume::{BlockId, BrickLayout};
+
+/// Lattice configuration for camera-position sampling.
+///
+/// Total sample count = `n_theta × n_phi × n_dist`; the paper sweeps this
+/// between 3,240 and 108,000 (Fig. 7) and settles on 25,920.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Polar rings (view-direction latitude).
+    pub n_theta: usize,
+    /// Azimuthal sectors (view-direction longitude).
+    pub n_phi: usize,
+    /// Distance shells between `d_min` and `d_max`.
+    pub n_dist: usize,
+    /// Nearest camera distance sampled.
+    pub d_min: f64,
+    /// Farthest camera distance sampled.
+    pub d_max: f64,
+    /// Points `v'` drawn inside each vicinal sphere φ.
+    pub vicinal_points: usize,
+    /// Full frustum view angle θ (radians).
+    pub view_angle: f64,
+    /// RNG seed for vicinal sampling.
+    pub seed: u64,
+}
+
+impl SamplingConfig {
+    /// The paper's preferred operating point: 25,920 samples
+    /// (36 rings × 72 sectors × 10 shells), 8 vicinal points.
+    pub fn paper_default(d_min: f64, d_max: f64, view_angle: f64) -> Self {
+        SamplingConfig {
+            n_theta: 36,
+            n_phi: 72,
+            n_dist: 10,
+            d_min,
+            d_max,
+            vicinal_points: 8,
+            view_angle,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Scale the lattice to approximately `target` samples, preserving the
+    /// paper's 1:2 ring:sector aspect and shell count.
+    pub fn with_target_samples(mut self, target: usize) -> Self {
+        assert!(target > 0);
+        let shells = self.n_dist.max(1);
+        let per_shell = (target as f64 / shells as f64).max(1.0);
+        // n_theta : n_phi = 1 : 2 ⇒ n_theta = sqrt(per_shell / 2).
+        let nt = (per_shell / 2.0).sqrt().round().max(1.0) as usize;
+        self.n_theta = nt;
+        self.n_phi = 2 * nt;
+        self
+    }
+
+    /// Total number of sampled camera positions.
+    pub fn total_samples(&self) -> usize {
+        self.n_theta * self.n_phi * self.n_dist
+    }
+
+    fn validate(&self) {
+        assert!(self.n_theta > 0 && self.n_phi > 0 && self.n_dist > 0, "empty lattice");
+        assert!(self.d_min > 0.0 && self.d_max >= self.d_min, "bad distance range");
+        assert!(self.vicinal_points > 0, "need at least one vicinal point");
+        assert!(self.view_angle > 0.0 && self.view_angle < PI, "bad view angle");
+    }
+
+    /// Camera position of lattice node `(it, ip, id_)` (volume centered at
+    /// the origin).
+    fn position(&self, it: usize, ip: usize, id_: usize) -> Vec3 {
+        let theta = PI * (it as f64 + 0.5) / self.n_theta as f64;
+        let phi = TAU * ip as f64 / self.n_phi as f64;
+        let d = self.shell_distance(id_);
+        SphericalCoord { radius: d, theta, phi }.to_cartesian()
+    }
+
+    /// Distance of shell `id_`.
+    fn shell_distance(&self, id_: usize) -> f64 {
+        if self.n_dist == 1 {
+            return (self.d_min + self.d_max) * 0.5;
+        }
+        self.d_min + (self.d_max - self.d_min) * id_ as f64 / (self.n_dist - 1) as f64
+    }
+
+    /// Index of the lattice node nearest to a camera pose, O(1).
+    fn nearest_index(&self, pose: &CameraPose) -> usize {
+        let sc = pose.spherical();
+        let it = ((sc.theta / PI * self.n_theta as f64 - 0.5).round() as isize)
+            .clamp(0, self.n_theta as isize - 1) as usize;
+        let ip = ((sc.phi / TAU * self.n_phi as f64).round() as usize) % self.n_phi;
+        let d = pose.distance();
+        let id_ = if self.n_dist == 1 {
+            0
+        } else {
+            let t = (d - self.d_min) / (self.d_max - self.d_min);
+            ((t * (self.n_dist - 1) as f64).round() as isize)
+                .clamp(0, self.n_dist as isize - 1) as usize
+        };
+        (it * self.n_phi + ip) * self.n_dist + id_
+    }
+}
+
+/// How the vicinal radius is chosen when building the table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RadiusRule {
+    /// The paper's Eq. 6 model, adapting to each shell's distance.
+    Optimal(RadiusModel),
+    /// A fixed radius (the Fig. 11 baselines: 0.1, 0.075, 0.05, 0.025).
+    Fixed(f64),
+}
+
+impl RadiusRule {
+    fn radius(&self, d: f64) -> f64 {
+        match self {
+            RadiusRule::Optimal(m) => m.optimal_radius(d),
+            RadiusRule::Fixed(r) => *r,
+        }
+    }
+}
+
+/// The `T_visible` look-up table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VisibleTable {
+    /// Lattice this table was built on.
+    pub config: SamplingConfig,
+    /// Radius rule used.
+    pub radius_rule: RadiusRule,
+    /// `sets[i]` = sorted block ids visible from sample `i` (`S_v`).
+    sets: Vec<Vec<BlockId>>,
+}
+
+impl VisibleTable {
+    /// Build the table: the paper's one-time pre-processing step. Parallel
+    /// over sampling positions. When `max_blocks_per_entry` is set, each
+    /// `S_v` is truncated to its most important blocks using `importance`
+    /// (the §IV-C over-prediction fallback).
+    pub fn build(
+        config: SamplingConfig,
+        layout: &BrickLayout,
+        radius_rule: RadiusRule,
+        importance: Option<(&ImportanceTable, usize)>,
+    ) -> Self {
+        config.validate();
+        let bounds = layout.all_block_bounds();
+        let n = config.total_samples();
+        let sets: Vec<Vec<BlockId>> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let id_ = i % config.n_dist;
+                let ip = (i / config.n_dist) % config.n_phi;
+                let it = i / (config.n_dist * config.n_phi);
+                let v = config.position(it, ip, id_);
+                let d = config.shell_distance(id_);
+                let r = radius_rule.radius(d);
+                // Derive a per-sample seed so the build is order-independent.
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut visible = vec![false; bounds.len()];
+                mark_visible_from(v, config.view_angle, &bounds, &mut visible);
+                for _ in 1..config.vicinal_points {
+                    let v_prime = sample_in_ball(&mut rng, v, r);
+                    mark_visible_from(v_prime, config.view_angle, &bounds, &mut visible);
+                }
+                let mut set: Vec<BlockId> = visible
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(b, &vis)| vis.then_some(BlockId(b as u32)))
+                    .collect();
+                if let Some((imp, max)) = importance {
+                    if set.len() > max {
+                        set = imp.filter_top(&set, max);
+                        set.sort_unstable();
+                    }
+                }
+                set
+            })
+            .collect();
+        VisibleTable { config, radius_rule, sets }
+    }
+
+    /// Reassemble a table from its parts (deserialization path). Fails when
+    /// the entry count does not match the config's lattice size.
+    pub fn from_parts(
+        config: SamplingConfig,
+        radius_rule: RadiusRule,
+        sets: Vec<Vec<BlockId>>,
+    ) -> Result<Self, String> {
+        if sets.len() != config.total_samples() {
+            return Err(format!(
+                "entry count {} does not match lattice size {}",
+                sets.len(),
+                config.total_samples()
+            ));
+        }
+        Ok(VisibleTable { config, radius_rule, sets })
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Predicted visible set for the sample nearest to `pose` — the
+    /// Algorithm 1 prefetch candidates for the *next* camera position.
+    pub fn predict(&self, pose: &CameraPose) -> &[BlockId] {
+        &self.sets[self.config.nearest_index(pose)]
+    }
+
+    /// Entry by raw sample index (diagnostics).
+    pub fn entry(&self, i: usize) -> &[BlockId] {
+        &self.sets[i]
+    }
+
+    /// Mean `S_v` size across the table (over-prediction diagnostic).
+    pub fn mean_set_size(&self) -> f64 {
+        if self.sets.is_empty() {
+            return 0.0;
+        }
+        self.sets.iter().map(|s| s.len()).sum::<usize>() as f64 / self.sets.len() as f64
+    }
+
+    /// Approximate in-memory footprint in bytes (the Fig. 7 look-up
+    /// overhead grows with this).
+    pub fn approx_bytes(&self) -> usize {
+        self.sets.iter().map(|s| s.len() * 4 + 24).sum::<usize>()
+    }
+}
+
+/// Mark every block visible from `v` per the paper's Eq. 1 cone test.
+fn mark_visible_from(v: Vec3, view_angle: f64, bounds: &[Aabb], visible: &mut [bool]) {
+    let pose = CameraPose::new(v, Vec3::ZERO, view_angle);
+    let cone = ConeFrustum::from_pose(&pose);
+    for (i, b) in bounds.iter().enumerate() {
+        if !visible[i] && cone.intersects_block_corners(b) {
+            visible[i] = true;
+        }
+    }
+}
+
+/// Ground-truth visible set for a pose (the same Eq. 1 test the table is
+/// built from, applied to the exact camera position).
+pub fn visible_blocks(pose: &CameraPose, layout: &BrickLayout) -> Vec<BlockId> {
+    let cone = ConeFrustum::from_pose(pose);
+    layout
+        .block_ids()
+        .filter(|&id| cone.intersects_block_corners(&layout.block_bounds(id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_geom::angle::deg_to_rad;
+    use viz_volume::Dims3;
+
+    fn small_config() -> SamplingConfig {
+        SamplingConfig {
+            n_theta: 6,
+            n_phi: 12,
+            n_dist: 3,
+            d_min: 2.0,
+            d_max: 4.0,
+            vicinal_points: 4,
+            view_angle: deg_to_rad(30.0),
+            seed: 42,
+        }
+    }
+
+    fn layout() -> BrickLayout {
+        BrickLayout::new(Dims3::cube(64), Dims3::cube(16)) // 64 blocks
+    }
+
+    #[test]
+    fn total_samples_is_product() {
+        assert_eq!(small_config().total_samples(), 6 * 12 * 3);
+    }
+
+    #[test]
+    fn with_target_samples_is_close() {
+        for target in [3_240usize, 8_640, 25_920, 72_000, 108_000] {
+            let c = SamplingConfig::paper_default(2.0, 4.0, 0.5).with_target_samples(target);
+            let got = c.total_samples();
+            assert!(
+                (got as f64 / target as f64 - 1.0).abs() < 0.35,
+                "target {target} → {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_default_is_25920() {
+        let c = SamplingConfig::paper_default(2.0, 4.0, 0.5);
+        assert_eq!(c.total_samples(), 25_920);
+    }
+
+    #[test]
+    fn build_produces_nonempty_sets() {
+        let t = VisibleTable::build(
+            small_config(),
+            &layout(),
+            RadiusRule::Fixed(0.1),
+            None,
+        );
+        assert_eq!(t.len(), small_config().total_samples());
+        assert!(t.mean_set_size() > 0.0, "no sample sees any block");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = VisibleTable::build(small_config(), &layout(), RadiusRule::Fixed(0.1), None);
+        let b = VisibleTable::build(small_config(), &layout(), RadiusRule::Fixed(0.1), None);
+        for i in 0..a.len() {
+            assert_eq!(a.entry(i), b.entry(i), "entry {i} differs");
+        }
+    }
+
+    #[test]
+    fn bigger_radius_predicts_more_blocks() {
+        let l = layout();
+        let small = VisibleTable::build(small_config(), &l, RadiusRule::Fixed(0.02), None);
+        let big = VisibleTable::build(small_config(), &l, RadiusRule::Fixed(0.5), None);
+        assert!(
+            big.mean_set_size() > small.mean_set_size(),
+            "big {} <= small {}",
+            big.mean_set_size(),
+            small.mean_set_size()
+        );
+    }
+
+    #[test]
+    fn nearest_index_recovers_lattice_nodes() {
+        let c = small_config();
+        for it in 0..c.n_theta {
+            for ip in 0..c.n_phi {
+                for id_ in 0..c.n_dist {
+                    let v = c.position(it, ip, id_);
+                    let pose = CameraPose::new(v, Vec3::ZERO, c.view_angle);
+                    let want = (it * c.n_phi + ip) * c.n_dist + id_;
+                    assert_eq!(c.nearest_index(&pose), want, "node ({it},{ip},{id_})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_index_clamps_outside_distance_range() {
+        let c = small_config();
+        let near = CameraPose::new(Vec3::new(0.1, 0.0, 0.0), Vec3::ZERO, c.view_angle);
+        let far = CameraPose::new(Vec3::new(100.0, 0.0, 0.0), Vec3::ZERO, c.view_angle);
+        // Must not panic and must produce valid indices.
+        assert!(c.nearest_index(&near) < c.total_samples());
+        assert!(c.nearest_index(&far) < c.total_samples());
+    }
+
+    #[test]
+    fn prediction_covers_true_visible_set_nearby() {
+        // For a pose close to a lattice node with a reasonable radius, the
+        // predicted set should cover most of the true visible set.
+        let l = layout();
+        let c = small_config();
+        let t = VisibleTable::build(c, &l, RadiusRule::Fixed(0.3), None);
+        let pose = CameraPose::new(c.position(2, 5, 1) * 1.01, Vec3::ZERO, c.view_angle);
+        let truth = visible_blocks(&pose, &l);
+        let predicted = t.predict(&pose);
+        let covered = truth.iter().filter(|b| predicted.contains(b)).count();
+        assert!(
+            covered as f64 >= 0.7 * truth.len() as f64,
+            "prediction covered {covered}/{} blocks",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn importance_truncation_caps_entry_size() {
+        let l = layout();
+        let imp = ImportanceTable::from_entropies(
+            (0..l.num_blocks()).map(|i| i as f64).collect(),
+            64,
+        );
+        let t = VisibleTable::build(
+            small_config(),
+            &l,
+            RadiusRule::Fixed(0.5),
+            Some((&imp, 5)),
+        );
+        for i in 0..t.len() {
+            assert!(t.entry(i).len() <= 5, "entry {i} has {} blocks", t.entry(i).len());
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_highest_entropy_blocks() {
+        let l = layout();
+        // Entropy = block id: highest ids are most important.
+        let imp = ImportanceTable::from_entropies(
+            (0..l.num_blocks()).map(|i| i as f64).collect(),
+            64,
+        );
+        let full = VisibleTable::build(small_config(), &l, RadiusRule::Fixed(0.5), None);
+        let cut = VisibleTable::build(small_config(), &l, RadiusRule::Fixed(0.5), Some((&imp, 3)));
+        for i in 0..full.len() {
+            let f = full.entry(i);
+            if f.len() > 3 {
+                let best: Vec<BlockId> = imp.filter_top(f, 3);
+                let mut best_sorted = best.clone();
+                best_sorted.sort_unstable();
+                assert_eq!(cut.entry(i), best_sorted.as_slice(), "entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn visible_blocks_ground_truth_sane() {
+        let l = layout();
+        // Camera far away on +X looking at the center sees roughly the
+        // whole volume with a wide angle…
+        let pose = CameraPose::new(Vec3::new(4.0, 0.0, 0.0), Vec3::ZERO, deg_to_rad(60.0));
+        let vis = visible_blocks(&pose, &l);
+        assert!(vis.len() > l.num_blocks() / 2);
+        // …and a very narrow angle sees only a sliver.
+        let pose = CameraPose::new(Vec3::new(4.0, 0.0, 0.0), Vec3::ZERO, deg_to_rad(4.0));
+        let vis = visible_blocks(&pose, &l);
+        assert!(vis.len() < l.num_blocks() / 2);
+        assert!(!vis.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = VisibleTable::build(small_config(), &layout(), RadiusRule::Fixed(0.1), None);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: VisibleTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.entry(7), t.entry(7));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the application-aware policy core.
+
+use proptest::prelude::*;
+use viz_core::{ImportanceTable, RadiusModel, RadiusRule, SamplingConfig, VisibleTable};
+use viz_geom::angle::deg_to_rad;
+use viz_geom::CameraPose;
+use viz_volume::{BrickLayout, Dims3};
+
+proptest! {
+    /// Eq. 6 solves the cache-fill condition whenever it is interior.
+    #[test]
+    fn radius_model_fill_condition(
+        ratio in 0.05f64..0.9,
+        angle_deg in 5.0f64..60.0,
+        d in 1.5f64..5.0,
+    ) {
+        let m = RadiusModel::new(ratio, deg_to_rad(angle_deg));
+        let r = m.optimal_radius(d);
+        prop_assert!(r >= m.min_radius);
+        if r > m.min_radius {
+            let frac = m.predicted_fraction(d, r);
+            prop_assert!((frac - ratio).abs() < 1e-6,
+                "fill {frac} vs ratio {ratio} (r = {r}, d = {d})");
+        }
+    }
+
+    /// The optimal radius is monotone: farther cameras need smaller vicinal
+    /// spheres; larger caches allow bigger ones.
+    #[test]
+    fn radius_monotonicity(
+        ratio in 0.1f64..0.6,
+        angle_deg in 10.0f64..40.0,
+        d in 1.5f64..4.0,
+        dd in 0.01f64..1.0,
+        dr in 0.01f64..0.3,
+    ) {
+        let m = RadiusModel::new(ratio, deg_to_rad(angle_deg));
+        prop_assert!(m.optimal_radius(d + dd) <= m.optimal_radius(d) + 1e-12);
+        let m2 = RadiusModel::new((ratio + dr).min(1.0), deg_to_rad(angle_deg));
+        prop_assert!(m2.optimal_radius(d) >= m.optimal_radius(d) - 1e-12);
+    }
+
+    /// Importance table ordering is a permutation sorted by entropy.
+    #[test]
+    fn importance_ranking_is_sorted_permutation(
+        entropies in prop::collection::vec(0.0f64..8.0, 1..200),
+    ) {
+        let t = ImportanceTable::from_entropies(entropies.clone(), 64);
+        let ranked = t.ranked();
+        prop_assert_eq!(ranked.len(), entropies.len());
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].entropy >= w[1].entropy);
+        }
+        // Permutation check: every block appears exactly once.
+        let mut seen = vec![false; entropies.len()];
+        for e in ranked {
+            prop_assert!(!seen[e.block.index()]);
+            seen[e.block.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// `above_threshold` and `sigma_for_fraction` are consistent.
+    #[test]
+    fn sigma_threshold_consistency(
+        entropies in prop::collection::vec(0.0f64..8.0, 2..100),
+        frac_pct in 0u32..100,
+    ) {
+        let t = ImportanceTable::from_entropies(entropies, 64);
+        let frac = frac_pct as f64 / 100.0;
+        let sigma = t.sigma_for_fraction(frac);
+        let above = t.above_threshold(sigma).count();
+        // Never more than requested (strict inequality may select fewer
+        // under ties).
+        let want = ((t.len() as f64) * frac).floor() as usize;
+        prop_assert!(above <= want.max(1) + 1, "above {above} want {want}");
+    }
+
+    /// filter_top returns a subset of the input, of bounded size, in
+    /// non-increasing entropy order.
+    #[test]
+    fn filter_top_properties(
+        entropies in prop::collection::vec(0.0f64..8.0, 4..64),
+        max in 1usize..16,
+    ) {
+        let n = entropies.len();
+        let t = ImportanceTable::from_entropies(entropies, 64);
+        let set: Vec<viz_volume::BlockId> =
+            (0..n as u32).step_by(2).map(viz_volume::BlockId).collect();
+        let kept = t.filter_top(&set, max);
+        prop_assert!(kept.len() <= max.min(set.len()));
+        for k in &kept {
+            prop_assert!(set.contains(k));
+        }
+        for w in kept.windows(2) {
+            prop_assert!(t.entropy(w[0]) >= t.entropy(w[1]));
+        }
+    }
+
+    /// Nearest-sample prediction always returns a valid table entry, for
+    /// any camera pose (even outside the sampled shell).
+    #[test]
+    fn prediction_total_over_pose_space(
+        theta in 0.0f64..180.0,
+        phi in 0.0f64..360.0,
+        d in 0.1f64..10.0,
+    ) {
+        let layout = BrickLayout::new(Dims3::cube(16), Dims3::cube(8));
+        let cfg = SamplingConfig {
+            n_theta: 4, n_phi: 8, n_dist: 2,
+            d_min: 2.0, d_max: 3.0,
+            vicinal_points: 2,
+            view_angle: deg_to_rad(20.0),
+            seed: 5,
+        };
+        let tv = VisibleTable::build(cfg, &layout, RadiusRule::Fixed(0.1), None);
+        let pose = CameraPose::orbit(theta, phi, d, 20.0);
+        let predicted = tv.predict(&pose);
+        for b in predicted {
+            prop_assert!(b.index() < layout.num_blocks());
+        }
+    }
+}

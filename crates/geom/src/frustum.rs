@@ -1,0 +1,261 @@
+//! View-frustum visibility tests.
+//!
+//! The paper approximates the view frustum by a *cone* around the view
+//! direction: a block `b` is visible from camera `v` when the angle φ
+//! between `v→b_i` (any corner `b_i`) and `v→o` satisfies `φ < θ/2`
+//! (Eq. 1). [`ConeFrustum`] implements exactly that. [`PlaneFrustum`] is the
+//! exact six-plane test, provided for the renderer and for validating the
+//! cone approximation in tests.
+
+use crate::aabb::Aabb;
+use crate::camera::CameraPose;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// The paper's conical frustum approximation (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConeFrustum {
+    /// Camera position (apex of the cone), the paper's `v` or `v'`.
+    pub apex: Vec3,
+    /// Unit axis of the cone: the view direction `v→o`.
+    pub axis: Vec3,
+    /// Half of the view angle, `θ/2`, in radians.
+    pub half_angle: f64,
+}
+
+impl ConeFrustum {
+    /// Cone for a camera pose looking at the volume centroid.
+    pub fn from_pose(pose: &CameraPose) -> Self {
+        ConeFrustum {
+            apex: pose.position,
+            axis: pose.view_direction(),
+            half_angle: pose.view_angle * 0.5,
+        }
+    }
+
+    /// Eq. 1 on a single point: `φ = arccos( (v→p)·(v→o) / (||v→p|| ||v→o||) )`,
+    /// visible iff `φ <= θ/2`. A point at the apex is trivially visible.
+    #[inline]
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        let to_p = p - self.apex;
+        let n = to_p.norm();
+        if n <= 1e-300 {
+            return true;
+        }
+        // cos φ >= cos(θ/2)  ⇔  φ <= θ/2 (cos is decreasing on [0, π]).
+        to_p.dot(self.axis) / n >= self.half_angle.cos()
+    }
+
+    /// The paper's block visibility test: a block is visible when *any* of
+    /// its eight corner points falls inside the cone.
+    pub fn intersects_block_corners(&self, block: &Aabb) -> bool {
+        block.corners().iter().any(|&c| self.contains_point(c))
+            // A block completely surrounding the apex has all corners
+            // outside any narrow cone yet is certainly visible.
+            || block.contains(self.apex)
+    }
+
+    /// Conservative sphere-vs-cone test on the block's bounding sphere.
+    /// Never misses a visible block (may over-include), making it suitable
+    /// for prefetch candidate generation.
+    pub fn intersects_block_sphere(&self, block: &Aabb) -> bool {
+        let center = block.center();
+        let radius = block.bounding_radius();
+        let to_c = center - self.apex;
+        let dist = to_c.norm();
+        if dist <= radius {
+            return true; // apex inside the bounding sphere
+        }
+        let angle_to_center = to_c.angle_between(self.axis);
+        // Angular radius of the sphere as seen from the apex.
+        let angular_radius = (radius / dist).clamp(-1.0, 1.0).asin();
+        angle_to_center <= self.half_angle + angular_radius
+    }
+}
+
+/// Exact six-plane perspective frustum (symmetric, square cross-section).
+///
+/// Planes store inward-pointing normals; a box is rejected when it lies
+/// entirely on the outside of any plane (the standard p-vertex test).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneFrustum {
+    /// `(normal, offset)` pairs: a point `p` is inside when
+    /// `normal.dot(p) + offset >= 0` for all planes.
+    planes: [(Vec3, f64); 6],
+}
+
+impl PlaneFrustum {
+    /// Build from a camera pose with the given near/far clip distances.
+    /// Aspect ratio is 1 (square image), matching the cone approximation.
+    pub fn from_pose(pose: &CameraPose, near: f64, far: f64) -> Self {
+        assert!(near > 0.0 && far > near, "need 0 < near < far");
+        let basis = pose.basis();
+        let (f, r, u) = (basis.forward, basis.right, basis.up);
+        let apex = pose.position;
+        let half = pose.view_angle * 0.5;
+        let (s, c) = half.sin_cos();
+
+        // Side plane normals tilt the forward axis by the half angle.
+        let n_left = f * s + r * c;
+        let n_right = f * s - r * c;
+        let n_bottom = f * s + u * c;
+        let n_top = f * s - u * c;
+        let n_near = f;
+        let n_far = -f;
+
+        let mk = |n: Vec3, p: Vec3| (n, -n.dot(p));
+        PlaneFrustum {
+            planes: [
+                mk(n_left, apex),
+                mk(n_right, apex),
+                mk(n_bottom, apex),
+                mk(n_top, apex),
+                mk(n_near, apex + f * near),
+                mk(n_far, apex + f * far),
+            ],
+        }
+    }
+
+    /// Exact point containment.
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        self.planes.iter().all(|(n, off)| n.dot(p) + off >= -1e-12)
+    }
+
+    /// Conservative AABB test: `false` only when the box is certainly
+    /// outside (standard positive-vertex plane test).
+    pub fn intersects_aabb(&self, aabb: &Aabb) -> bool {
+        for (n, off) in &self.planes {
+            // The corner of the box furthest along the plane normal.
+            let p = Vec3::new(
+                if n.x >= 0.0 { aabb.max.x } else { aabb.min.x },
+                if n.y >= 0.0 { aabb.max.y } else { aabb.min.y },
+                if n.z >= 0.0 { aabb.max.z } else { aabb.min.z },
+            );
+            if n.dot(p) + off < 0.0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::deg_to_rad;
+
+    fn looking_down_z(theta_deg: f64) -> ConeFrustum {
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, deg_to_rad(theta_deg));
+        ConeFrustum::from_pose(&pose)
+    }
+
+    #[test]
+    fn cone_axis_point_is_visible() {
+        let cone = looking_down_z(30.0);
+        assert!(cone.contains_point(Vec3::ZERO));
+        assert!(cone.contains_point(Vec3::new(0.0, 0.0, 2.0)));
+    }
+
+    #[test]
+    fn cone_rejects_point_behind_camera() {
+        let cone = looking_down_z(30.0);
+        assert!(!cone.contains_point(Vec3::new(0.0, 0.0, 10.0)));
+    }
+
+    #[test]
+    fn cone_boundary_angle() {
+        let cone = looking_down_z(60.0); // half angle 30°
+        // Point at exactly 29.9° off axis from apex: inside.
+        let ang = deg_to_rad(29.9);
+        let p = Vec3::new(0.0, 0.0, 5.0) + Vec3::new(ang.sin(), 0.0, -ang.cos()) * 3.0;
+        assert!(cone.contains_point(p));
+        // 30.1°: outside.
+        let ang = deg_to_rad(30.1);
+        let q = Vec3::new(0.0, 0.0, 5.0) + Vec3::new(ang.sin(), 0.0, -ang.cos()) * 3.0;
+        assert!(!cone.contains_point(q));
+    }
+
+    #[test]
+    fn apex_point_is_visible() {
+        let cone = looking_down_z(30.0);
+        assert!(cone.contains_point(cone.apex));
+    }
+
+    #[test]
+    fn block_on_axis_is_visible_by_corners() {
+        let cone = looking_down_z(40.0);
+        let b = Aabb::new(Vec3::splat(-0.2), Vec3::splat(0.2));
+        assert!(cone.intersects_block_corners(&b));
+    }
+
+    #[test]
+    fn block_far_off_axis_is_invisible() {
+        let cone = looking_down_z(40.0);
+        let b = Aabb::new(Vec3::new(50.0, 0.0, -0.2), Vec3::new(50.4, 0.4, 0.2));
+        assert!(!cone.intersects_block_corners(&b));
+        assert!(!cone.intersects_block_sphere(&b));
+    }
+
+    #[test]
+    fn block_containing_apex_is_visible() {
+        let cone = looking_down_z(10.0);
+        let b = Aabb::new(Vec3::new(-1.0, -1.0, 4.0), Vec3::new(1.0, 1.0, 6.0));
+        assert!(cone.intersects_block_corners(&b));
+    }
+
+    #[test]
+    fn sphere_test_is_superset_of_corner_test() {
+        // The conservative test must never reject a block the corner test
+        // accepts.
+        let cone = looking_down_z(35.0);
+        for ix in -4..4 {
+            for iy in -4..4 {
+                for iz in -4..4 {
+                    let min = Vec3::new(ix as f64, iy as f64, iz as f64) * 0.5;
+                    let b = Aabb::new(min, min + Vec3::splat(0.5));
+                    if cone.intersects_block_corners(&b) {
+                        assert!(
+                            cone.intersects_block_sphere(&b),
+                            "sphere test rejected a corner-visible block {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plane_frustum_agrees_with_cone_on_axis() {
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, deg_to_rad(40.0));
+        let pf = PlaneFrustum::from_pose(&pose, 0.1, 100.0);
+        assert!(pf.contains_point(Vec3::ZERO));
+        assert!(!pf.contains_point(Vec3::new(0.0, 0.0, 10.0))); // behind
+        assert!(!pf.contains_point(Vec3::new(0.0, 0.0, 4.95))); // before near
+    }
+
+    #[test]
+    fn plane_frustum_rejects_off_axis_box() {
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, deg_to_rad(40.0));
+        let pf = PlaneFrustum::from_pose(&pose, 0.1, 100.0);
+        let b = Aabb::new(Vec3::new(30.0, 30.0, -1.0), Vec3::new(31.0, 31.0, 0.0));
+        assert!(!pf.intersects_aabb(&b));
+        let on_axis = Aabb::new(Vec3::splat(-0.5), Vec3::splat(0.5));
+        assert!(pf.intersects_aabb(&on_axis));
+    }
+
+    #[test]
+    fn plane_frustum_is_conservative_for_straddling_boxes() {
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, deg_to_rad(40.0));
+        let pf = PlaneFrustum::from_pose(&pose, 0.1, 100.0);
+        // A box straddling a side plane intersects.
+        let b = Aabb::new(Vec3::new(-5.0, -0.5, -0.5), Vec3::new(0.0, 0.5, 0.5));
+        assert!(pf.intersects_aabb(&b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn plane_frustum_invalid_clip_panics() {
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 0.5);
+        PlaneFrustum::from_pose(&pose, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,54 @@
+//! # viz-geom — geometry substrate
+//!
+//! Vector math, axis-aligned boxes, cameras, view frusta, spherical-domain
+//! sampling, rays, and camera paths for the application-aware visualization
+//! cache. Everything here is deterministic given explicit seeds; nothing
+//! touches wall-clock time or global RNG state.
+//!
+//! The module map follows the paper's geometry (Sections III-IV):
+//!
+//! - [`vec3`], [`aabb`], [`angle`], [`ray`] — basic math.
+//! - [`camera`] — the `<l, d>` camera parameterization of Section IV-B.
+//! - [`frustum`] — the conical visibility test of Eq. 1 plus an exact
+//!   six-plane frustum for validation and rendering.
+//! - [`sphere`] — the exploration domain Omega and its sampling lattices.
+//! - [`path`] — spherical and random camera paths from Section V-A.
+//!
+//! # Example
+//!
+//! ```
+//! use viz_geom::{CameraPath, CameraPose, ConeFrustum, ExplorationDomain, SphericalPath, Vec3};
+//! use viz_geom::angle::deg_to_rad;
+//!
+//! // Orbit a unit-normalized volume at distance 2.5, 5 degrees per step.
+//! let domain = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+//! let poses = SphericalPath::new(domain, 2.5, 5.0, deg_to_rad(15.0)).generate(72);
+//! assert_eq!(poses.len(), 72);
+//!
+//! // The paper's Eq. 1 cone test for one pose:
+//! let cone = ConeFrustum::from_pose(&poses[0]);
+//! assert!(cone.contains_point(Vec3::ZERO)); // the centroid is always seen
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod angle;
+pub mod camera;
+pub mod frustum;
+pub mod keyframe;
+pub mod path;
+pub mod quat;
+pub mod ray;
+pub mod sphere;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use camera::{CameraBasis, CameraPose};
+pub use frustum::{ConeFrustum, PlaneFrustum};
+pub use keyframe::{Keyframe, KeyframePath};
+pub use path::{CameraPath, CompositePath, RandomWalkPath, SphericalPath, ZoomPath};
+pub use quat::Quat;
+pub use ray::{Ray, RayGenerator};
+pub use sphere::{ExplorationDomain, SphericalCoord};
+pub use vec3::Vec3;

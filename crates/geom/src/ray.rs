@@ -1,0 +1,196 @@
+//! Rays and ray/box intersection, used by the software volume renderer.
+
+use crate::aabb::Aabb;
+use crate::camera::CameraPose;
+use crate::vec3::Vec3;
+
+/// A half-line `origin + t * direction`, `t >= 0`, with unit direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray start point.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub direction: Vec3,
+}
+
+impl Ray {
+    /// Create a ray; `direction` is normalized.
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Ray { origin, direction: direction.normalize() }
+    }
+
+    /// Point at parameter `t` along the ray.
+    #[inline]
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Slab-method intersection with an AABB. Returns the parametric entry
+    /// and exit distances `(t_near, t_far)` with `t_near <= t_far`, clipped
+    /// to `t >= 0`; `None` when the ray misses the box entirely.
+    pub fn intersect_aabb(&self, aabb: &Aabb) -> Option<(f64, f64)> {
+        let mut t0 = 0.0f64;
+        let mut t1 = f64::INFINITY;
+        for axis in 0..3 {
+            let (o, d, lo, hi) = match axis {
+                0 => (self.origin.x, self.direction.x, aabb.min.x, aabb.max.x),
+                1 => (self.origin.y, self.direction.y, aabb.min.y, aabb.max.y),
+                _ => (self.origin.z, self.direction.z, aabb.min.z, aabb.max.z),
+            };
+            if d.abs() < 1e-300 {
+                // Parallel to the slab: must already be inside it.
+                if o < lo || o > hi {
+                    return None;
+                }
+                continue;
+            }
+            let inv = 1.0 / d;
+            let (ta, tb) = ((lo - o) * inv, (hi - o) * inv);
+            let (ta, tb) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+/// Generates primary rays for a square image from a camera pose
+/// (pinhole model; vertical FOV = the pose's view angle, aspect 1).
+#[derive(Debug, Clone, Copy)]
+pub struct RayGenerator {
+    origin: Vec3,
+    right: Vec3,
+    up: Vec3,
+    forward: Vec3,
+    half_tan: f64,
+    width: usize,
+    height: usize,
+}
+
+impl RayGenerator {
+    /// Create a generator for a `width × height` image from a pose.
+    pub fn new(pose: &CameraPose, width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        let basis = pose.basis();
+        RayGenerator {
+            origin: pose.position,
+            right: basis.right,
+            up: basis.up,
+            forward: basis.forward,
+            half_tan: (pose.view_angle * 0.5).tan(),
+            width,
+            height,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Ray through the center of pixel `(px, py)`, `(0, 0)` = top-left.
+    pub fn ray(&self, px: usize, py: usize) -> Ray {
+        let aspect = self.width as f64 / self.height as f64;
+        // NDC in [-1, 1], y flipped so py = 0 is the top row.
+        let x = (2.0 * (px as f64 + 0.5) / self.width as f64 - 1.0) * self.half_tan * aspect;
+        let y = (1.0 - 2.0 * (py as f64 + 0.5) / self.height as f64) * self.half_tan;
+        let dir = self.forward + self.right * x + self.up * y;
+        Ray::new(self.origin, dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::deg_to_rad;
+
+    #[test]
+    fn ray_direction_is_normalized() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(3.0, 4.0, 0.0));
+        assert!((r.direction.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(r.at(5.0), Vec3::new(3.0, 4.0, 0.0));
+    }
+
+    #[test]
+    fn ray_hits_box_straight_on() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let (t0, t1) = r.intersect_aabb(&b).unwrap();
+        assert!((t0 - 4.0).abs() < 1e-12);
+        assert!((t1 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ray_misses_box() {
+        let r = Ray::new(Vec3::new(10.0, 10.0, -5.0), Vec3::Z);
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        assert!(r.intersect_aabb(&b).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_clips_entry_to_zero() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let (t0, t1) = r.intersect_aabb(&b).unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_behind_ray_is_missed() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::Z);
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        assert!(r.intersect_aabb(&b).is_none());
+    }
+
+    #[test]
+    fn axis_parallel_ray_inside_slab() {
+        let r = Ray::new(Vec3::new(0.5, 0.5, -3.0), Vec3::Z);
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        assert!(r.intersect_aabb(&b).is_some());
+        let r2 = Ray::new(Vec3::new(1.5, 0.5, -3.0), Vec3::Z);
+        assert!(r2.intersect_aabb(&b).is_none());
+    }
+
+    #[test]
+    fn center_pixel_ray_points_forward() {
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, deg_to_rad(45.0));
+        let gen = RayGenerator::new(&pose, 101, 101);
+        let r = gen.ray(50, 50);
+        assert!(r.direction.distance(pose.view_direction()) < 1e-2);
+    }
+
+    #[test]
+    fn corner_rays_diverge_by_fov() {
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, deg_to_rad(60.0));
+        let gen = RayGenerator::new(&pose, 100, 100);
+        let top = gen.ray(50, 0);
+        let bottom = gen.ray(50, 99);
+        let spread = top.direction.angle_between(bottom.direction);
+        // Pixel centers sit half a pixel inside the frustum edge.
+        assert!(spread < deg_to_rad(60.0));
+        assert!(spread > deg_to_rad(55.0));
+    }
+
+    #[test]
+    fn all_image_rays_hit_centered_volume() {
+        // FOV chosen so the unit cube fills the view: every primary ray
+        // must intersect.
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, deg_to_rad(30.0));
+        let gen = RayGenerator::new(&pose, 32, 32);
+        let b = Aabb::new(Vec3::splat(-1.5), Vec3::splat(1.5));
+        for py in 0..32 {
+            for px in 0..32 {
+                assert!(gen.ray(px, py).intersect_aabb(&b).is_some(), "miss at {px},{py}");
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Transfer functions: the *data-dependent* interaction of §III-A.
+//!
+//! A transfer function maps scalar values to color and opacity; tuning it
+//! is the canonical data-dependent operation that changes which blocks
+//! matter without moving the camera.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear RGBA color, components in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rgba {
+    /// Red component.
+    pub r: f32,
+    /// Green component.
+    pub g: f32,
+    /// Blue component.
+    pub b: f32,
+    /// Opacity (1 = opaque).
+    pub a: f32,
+}
+
+impl Rgba {
+    /// Construct; components are clamped to `[0, 1]`.
+    pub fn new(r: f32, g: f32, b: f32, a: f32) -> Self {
+        Rgba { r: r.clamp(0.0, 1.0), g: g.clamp(0.0, 1.0), b: b.clamp(0.0, 1.0), a: a.clamp(0.0, 1.0) }
+    }
+
+    /// Fully transparent black.
+    pub const TRANSPARENT: Rgba = Rgba { r: 0.0, g: 0.0, b: 0.0, a: 0.0 };
+
+    /// Component-wise linear interpolation.
+    pub fn lerp(self, other: Rgba, t: f32) -> Rgba {
+        let l = |a: f32, b: f32| a + (b - a) * t;
+        Rgba { r: l(self.r, other.r), g: l(self.g, other.g), b: l(self.b, other.b), a: l(self.a, other.a) }
+    }
+}
+
+/// A control point: scalar position (normalized to `[0, 1]`) plus color.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlPoint {
+    /// Normalized scalar position in `[0, 1]`.
+    pub x: f32,
+    /// Color/opacity at that position.
+    pub color: Rgba,
+}
+
+/// Piecewise-linear transfer function over the normalized scalar range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    points: Vec<ControlPoint>,
+    /// Scalar range mapped onto `[0, 1]` before lookup.
+    pub range: (f32, f32),
+}
+
+impl TransferFunction {
+    /// Build from control points (sorted by `x` internally). Needs ≥ 1.
+    pub fn new(mut points: Vec<ControlPoint>, range: (f32, f32)) -> Self {
+        assert!(!points.is_empty(), "transfer function needs control points");
+        assert!(range.0 <= range.1, "invalid scalar range");
+        points.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+        TransferFunction { points, range }
+    }
+
+    /// Grayscale ramp with linearly increasing opacity.
+    pub fn grayscale(range: (f32, f32)) -> Self {
+        TransferFunction::new(
+            vec![
+                ControlPoint { x: 0.0, color: Rgba::new(0.0, 0.0, 0.0, 0.0) },
+                ControlPoint { x: 1.0, color: Rgba::new(1.0, 1.0, 1.0, 0.8) },
+            ],
+            range,
+        )
+    }
+
+    /// Black-body "heat" ramp (transparent → red → yellow → white), the
+    /// look of the paper's combustion renderings.
+    pub fn heat(range: (f32, f32)) -> Self {
+        TransferFunction::new(
+            vec![
+                ControlPoint { x: 0.0, color: Rgba::new(0.0, 0.0, 0.0, 0.0) },
+                ControlPoint { x: 0.25, color: Rgba::new(0.5, 0.0, 0.0, 0.05) },
+                ControlPoint { x: 0.5, color: Rgba::new(1.0, 0.2, 0.0, 0.25) },
+                ControlPoint { x: 0.75, color: Rgba::new(1.0, 0.8, 0.0, 0.55) },
+                ControlPoint { x: 1.0, color: Rgba::new(1.0, 1.0, 1.0, 0.9) },
+            ],
+            range,
+        )
+    }
+
+    /// A narrow opacity peak around `center` (normalized), emulating an
+    /// isosurface-style rendering; everything else transparent.
+    pub fn iso_peak(center: f32, width: f32, color: Rgba, range: (f32, f32)) -> Self {
+        let c = center.clamp(0.0, 1.0);
+        let w = width.max(1e-4);
+        TransferFunction::new(
+            vec![
+                ControlPoint { x: 0.0, color: Rgba::TRANSPARENT },
+                ControlPoint { x: (c - w).max(0.0), color: Rgba::TRANSPARENT },
+                ControlPoint { x: c, color },
+                ControlPoint { x: (c + w).min(1.0), color: Rgba::TRANSPARENT },
+                ControlPoint { x: 1.0, color: Rgba::TRANSPARENT },
+            ],
+            range,
+        )
+    }
+
+    /// Perceptually ordered blue→green→yellow ramp (viridis-like control
+    /// points) with linear opacity — the standard scientific colormap.
+    pub fn viridis(range: (f32, f32)) -> Self {
+        let pts = [
+            (0.0, 0.267, 0.005, 0.329),
+            (0.25, 0.229, 0.322, 0.546),
+            (0.5, 0.128, 0.567, 0.551),
+            (0.75, 0.369, 0.789, 0.383),
+            (1.0, 0.993, 0.906, 0.144),
+        ];
+        TransferFunction::new(
+            pts.iter()
+                .map(|&(x, r, g, b)| ControlPoint {
+                    x,
+                    color: Rgba::new(r, g, b, 0.85 * x),
+                })
+                .collect(),
+            range,
+        )
+    }
+
+    /// Blue→white→red diverging map centered at the range midpoint, for
+    /// signed anomaly fields; opacity grows away from the (transparent)
+    /// center.
+    pub fn diverging(range: (f32, f32)) -> Self {
+        TransferFunction::new(
+            vec![
+                ControlPoint { x: 0.0, color: Rgba::new(0.02, 0.19, 0.38, 0.8) },
+                ControlPoint { x: 0.25, color: Rgba::new(0.26, 0.58, 0.76, 0.4) },
+                ControlPoint { x: 0.5, color: Rgba::new(1.0, 1.0, 1.0, 0.0) },
+                ControlPoint { x: 0.75, color: Rgba::new(0.94, 0.54, 0.38, 0.4) },
+                ControlPoint { x: 1.0, color: Rgba::new(0.40, 0.0, 0.12, 0.8) },
+            ],
+            range,
+        )
+    }
+
+    /// Look up the color for a raw scalar value.
+    pub fn sample(&self, value: f32) -> Rgba {
+        let (lo, hi) = self.range;
+        let x = if hi > lo { ((value - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.0 };
+        let pts = &self.points;
+        if x <= pts[0].x {
+            return pts[0].color;
+        }
+        if x >= pts[pts.len() - 1].x {
+            return pts[pts.len() - 1].color;
+        }
+        let i = pts.partition_point(|p| p.x <= x);
+        let (a, b) = (&pts[i - 1], &pts[i]);
+        let span = (b.x - a.x).max(1e-12);
+        a.color.lerp(b.color, (x - a.x) / span)
+    }
+
+    /// Maximum opacity the function assigns to any value in `[lo, hi]`.
+    ///
+    /// Piecewise linearity means the maximum is attained at an interval
+    /// endpoint or at a control point inside the interval — O(points), no
+    /// sampling. Drives opacity-based block culling: a block whose
+    /// value range maps to zero opacity cannot contribute to the image.
+    pub fn max_opacity_in(&self, lo: f32, hi: f32) -> f32 {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let mut best = self.sample(lo).a.max(self.sample(hi).a);
+        let (rlo, rhi) = self.range;
+        let span = (rhi - rlo).max(f32::MIN_POSITIVE);
+        for p in &self.points {
+            let value = rlo + p.x * span;
+            if value >= lo && value <= hi {
+                best = best.max(p.color.a);
+            }
+        }
+        best
+    }
+
+    /// Mean opacity this transfer function assigns to a set of samples —
+    /// used by query-driven importance to re-weight blocks when the user
+    /// retunes visibility (a data-dependent operation).
+    pub fn mean_opacity(&self, values: &[f32]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().map(|&v| self.sample(v).a as f64).sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgba_clamps() {
+        let c = Rgba::new(2.0, -1.0, 0.5, 3.0);
+        assert_eq!((c.r, c.g, c.b, c.a), (1.0, 0.0, 0.5, 1.0));
+    }
+
+    #[test]
+    fn grayscale_endpoints() {
+        let tf = TransferFunction::grayscale((0.0, 10.0));
+        assert_eq!(tf.sample(0.0).a, 0.0);
+        let top = tf.sample(10.0);
+        assert_eq!(top.r, 1.0);
+        assert!((top.a - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn midpoint_interpolates() {
+        let tf = TransferFunction::grayscale((0.0, 1.0));
+        let mid = tf.sample(0.5);
+        assert!((mid.r - 0.5).abs() < 1e-6);
+        assert!((mid.a - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_endpoints() {
+        let tf = TransferFunction::grayscale((0.0, 1.0));
+        assert_eq!(tf.sample(-5.0), tf.sample(0.0));
+        assert_eq!(tf.sample(99.0), tf.sample(1.0));
+    }
+
+    #[test]
+    fn iso_peak_is_localized() {
+        let tf = TransferFunction::iso_peak(0.5, 0.05, Rgba::new(1.0, 0.0, 0.0, 1.0), (0.0, 1.0));
+        assert_eq!(tf.sample(0.5).a, 1.0);
+        assert_eq!(tf.sample(0.3).a, 0.0);
+        assert_eq!(tf.sample(0.7).a, 0.0);
+    }
+
+    #[test]
+    fn degenerate_range_is_safe() {
+        let tf = TransferFunction::grayscale((2.0, 2.0));
+        let c = tf.sample(2.0);
+        assert!(c.r.is_finite());
+    }
+
+    #[test]
+    fn heat_opacity_is_monotone() {
+        let tf = TransferFunction::heat((0.0, 1.0));
+        let mut prev = -1.0f32;
+        for i in 0..=20 {
+            let a = tf.sample(i as f32 / 20.0).a;
+            assert!(a >= prev - 1e-6, "opacity dipped at {i}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn mean_opacity_reflects_visibility() {
+        let tf = TransferFunction::iso_peak(0.8, 0.1, Rgba::new(1.0, 1.0, 1.0, 1.0), (0.0, 1.0));
+        let visible = vec![0.8f32; 100];
+        let hidden = vec![0.1f32; 100];
+        assert!(tf.mean_opacity(&visible) > 0.9);
+        assert_eq!(tf.mean_opacity(&hidden), 0.0);
+        assert_eq!(tf.mean_opacity(&[]), 0.0);
+    }
+
+    #[test]
+    fn unsorted_control_points_are_sorted() {
+        let tf = TransferFunction::new(
+            vec![
+                ControlPoint { x: 1.0, color: Rgba::new(1.0, 0.0, 0.0, 1.0) },
+                ControlPoint { x: 0.0, color: Rgba::TRANSPARENT },
+            ],
+            (0.0, 1.0),
+        );
+        assert_eq!(tf.sample(0.0).a, 0.0);
+        assert_eq!(tf.sample(1.0).a, 1.0);
+    }
+
+    #[test]
+    fn viridis_is_monotone_in_luminance_and_opacity() {
+        let tf = TransferFunction::viridis((0.0, 1.0));
+        let mut prev_a = -1.0f32;
+        let mut prev_lum = -1.0f32;
+        for i in 0..=10 {
+            let c = tf.sample(i as f32 / 10.0);
+            let lum = 0.2126 * c.r + 0.7152 * c.g + 0.0722 * c.b;
+            assert!(c.a >= prev_a - 1e-6, "opacity dipped at {i}");
+            assert!(lum >= prev_lum - 1e-3, "luminance dipped at {i}");
+            prev_a = c.a;
+            prev_lum = lum;
+        }
+    }
+
+    #[test]
+    fn diverging_center_is_transparent_ends_opaque() {
+        let tf = TransferFunction::diverging((-1.0, 1.0));
+        assert_eq!(tf.sample(0.0).a, 0.0);
+        assert!((tf.sample(-1.0).a - 0.8).abs() < 1e-6);
+        assert!((tf.sample(1.0).a - 0.8).abs() < 1e-6);
+        // Symmetric opacity.
+        assert!((tf.sample(-0.5).a - tf.sample(0.5).a).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_points_panic() {
+        TransferFunction::new(vec![], (0.0, 1.0));
+    }
+}

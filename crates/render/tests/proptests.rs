@@ -1,0 +1,76 @@
+//! Property-based tests for the renderer and analytics.
+
+use proptest::prelude::*;
+use viz_render::{CorrelationAccumulator, Rgba, TransferFunction};
+
+proptest! {
+    /// Transfer-function output is always a valid clamped color.
+    #[test]
+    fn tf_output_is_clamped(v in prop::num::f32::NORMAL) {
+        let tf = TransferFunction::heat((-10.0, 10.0));
+        let c = tf.sample(v);
+        for comp in [c.r, c.g, c.b, c.a] {
+            prop_assert!((0.0..=1.0).contains(&comp));
+        }
+    }
+
+    /// Piecewise-linear interpolation is bounded by its control points.
+    #[test]
+    fn tf_opacity_within_control_range(v in 0.0f32..1.0) {
+        let tf = TransferFunction::grayscale((0.0, 1.0));
+        let a = tf.sample(v).a;
+        prop_assert!(a >= 0.0 && a <= 0.8 + 1e-6);
+    }
+
+    /// Correlations are in [-1, 1], symmetric, with unit diagonal.
+    #[test]
+    fn correlation_matrix_is_valid(
+        samples in prop::collection::vec((0.0f32..10.0, 0.0f32..10.0, 0.0f32..10.0), 2..200),
+    ) {
+        let mut acc = CorrelationAccumulator::new(3);
+        for (a, b, c) in &samples {
+            acc.add(&[*a, *b, *c]);
+        }
+        let m = acc.matrix();
+        for i in 0..3 {
+            prop_assert!((m[i * 3 + i] - 1.0).abs() < 1e-9);
+            for j in 0..3 {
+                prop_assert!(m[i * 3 + j] >= -1.0 - 1e-9 && m[i * 3 + j] <= 1.0 + 1e-9);
+                prop_assert!((m[i * 3 + j] - m[j * 3 + i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Correlation is invariant under positive affine transforms of a
+    /// variable.
+    #[test]
+    fn correlation_affine_invariance(
+        samples in prop::collection::vec((0.0f32..10.0, 0.0f32..10.0), 8..100),
+        scale in 0.1f32..10.0,
+        shift in -10.0f32..10.0,
+    ) {
+        let mut plain = CorrelationAccumulator::new(2);
+        let mut scaled = CorrelationAccumulator::new(2);
+        for (a, b) in &samples {
+            plain.add(&[*a, *b]);
+            scaled.add(&[*a * scale + shift, *b]);
+        }
+        let (mp, ms) = (plain.matrix(), scaled.matrix());
+        // Degenerate (constant) inputs can flip to the 0 convention; only
+        // compare when the variable actually varies.
+        if mp[1].abs() > 1e-3 {
+            prop_assert!((mp[1] - ms[1]).abs() < 1e-2, "{} vs {}", mp[1], ms[1]);
+        }
+    }
+
+    /// Rgba lerp endpoints are exact.
+    #[test]
+    fn rgba_lerp_endpoints(
+        r in 0.0f32..1.0, g in 0.0f32..1.0, b in 0.0f32..1.0, a in 0.0f32..1.0,
+    ) {
+        let x = Rgba::new(r, g, b, a);
+        let y = Rgba::new(1.0 - r, 1.0 - g, 1.0 - b, 1.0 - a);
+        prop_assert_eq!(x.lerp(y, 0.0), x);
+        prop_assert_eq!(x.lerp(y, 1.0), y);
+    }
+}

@@ -1,0 +1,189 @@
+//! Scalar-field combinators: derived variables without materialization.
+//!
+//! §III-A's query-based visualization works on "possibly complex functions
+//! of the primary variables". These combinators compose [`ScalarFunction`]s
+//! lazily — a derived variable (difference of two fields, thresholded
+//! magnitude, time-shifted comparison) plugs into block extraction, entropy
+//! importance, and rendering exactly like a primary variable, with no
+//! intermediate grid.
+
+use crate::field::ScalarFunction;
+
+/// Pointwise sum of two fields.
+pub struct Sum<A, B>(pub A, pub B);
+
+impl<A: ScalarFunction, B: ScalarFunction> ScalarFunction for Sum<A, B> {
+    fn eval(&self, x: f64, y: f64, z: f64, t: f64) -> f32 {
+        self.0.eval(x, y, z, t) + self.1.eval(x, y, z, t)
+    }
+}
+
+/// Pointwise difference `A - B` (e.g. anomaly against a reference field).
+pub struct Diff<A, B>(pub A, pub B);
+
+impl<A: ScalarFunction, B: ScalarFunction> ScalarFunction for Diff<A, B> {
+    fn eval(&self, x: f64, y: f64, z: f64, t: f64) -> f32 {
+        self.0.eval(x, y, z, t) - self.1.eval(x, y, z, t)
+    }
+}
+
+/// Affine transform `scale * A + offset`.
+pub struct Affine<A> {
+    /// Wrapped field.
+    pub inner: A,
+    /// Multiplicative factor.
+    pub scale: f32,
+    /// Additive offset.
+    pub offset: f32,
+}
+
+impl<A: ScalarFunction> ScalarFunction for Affine<A> {
+    fn eval(&self, x: f64, y: f64, z: f64, t: f64) -> f32 {
+        self.inner.eval(x, y, z, t) * self.scale + self.offset
+    }
+}
+
+/// Binary threshold: 1 where `A > threshold`, else 0 — the indicator field
+/// behind "voxels where PM10 exceeds the contamination level" queries.
+pub struct Threshold<A> {
+    /// Wrapped field.
+    pub inner: A,
+    /// Cut value.
+    pub threshold: f32,
+}
+
+impl<A: ScalarFunction> ScalarFunction for Threshold<A> {
+    fn eval(&self, x: f64, y: f64, z: f64, t: f64) -> f32 {
+        if self.inner.eval(x, y, z, t) > self.threshold {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Evaluate the wrapped field at a fixed time (freezes a time-varying
+/// field so it can be compared across timesteps).
+pub struct AtTime<A> {
+    /// Wrapped field.
+    pub inner: A,
+    /// Frozen normalized time.
+    pub time: f64,
+}
+
+impl<A: ScalarFunction> ScalarFunction for AtTime<A> {
+    fn eval(&self, x: f64, y: f64, z: f64, _t: f64) -> f32 {
+        self.inner.eval(x, y, z, self.time)
+    }
+}
+
+/// Temporal derivative by finite difference: `(A(t+dt) - A(t)) / dt` —
+/// highlights where a time-varying field is changing (storm fronts).
+pub struct TimeDerivative<A> {
+    /// Wrapped field.
+    pub inner: A,
+    /// Normalized-time step of the finite difference.
+    pub dt: f64,
+}
+
+impl<A: ScalarFunction> ScalarFunction for TimeDerivative<A> {
+    fn eval(&self, x: f64, y: f64, z: f64, t: f64) -> f32 {
+        let a = self.inner.eval(x, y, z, t);
+        let b = self.inner.eval(x, y, z, (t + self.dt).min(1.0));
+        (b - a) / self.dt as f32
+    }
+}
+
+/// Euclidean magnitude of two component fields (wind speed from u/v).
+pub struct Magnitude2<A, B>(pub A, pub B);
+
+impl<A: ScalarFunction, B: ScalarFunction> ScalarFunction for Magnitude2<A, B> {
+    fn eval(&self, x: f64, y: f64, z: f64, t: f64) -> f32 {
+        let a = self.0.eval(x, y, z, t);
+        let b = self.1.eval(x, y, z, t);
+        (a * a + b * b).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims3;
+    use crate::field::VolumeField;
+
+    fn fx() -> impl ScalarFunction {
+        |x: f64, _y: f64, _z: f64, _t: f64| x as f32
+    }
+
+    fn fy() -> impl ScalarFunction {
+        |_x: f64, y: f64, _z: f64, _t: f64| y as f32
+    }
+
+    fn ft() -> impl ScalarFunction {
+        |_x: f64, _y: f64, _z: f64, t: f64| t as f32
+    }
+
+    #[test]
+    fn sum_and_diff() {
+        let s = Sum(fx(), fy());
+        assert_eq!(s.eval(0.25, 0.5, 0.0, 0.0), 0.75);
+        let d = Diff(fx(), fy());
+        assert_eq!(d.eval(0.25, 0.5, 0.0, 0.0), -0.25);
+    }
+
+    #[test]
+    fn affine_transform() {
+        let a = Affine { inner: fx(), scale: 2.0, offset: 1.0 };
+        assert_eq!(a.eval(0.5, 0.0, 0.0, 0.0), 2.0);
+    }
+
+    #[test]
+    fn threshold_indicator() {
+        let t = Threshold { inner: fx(), threshold: 0.5 };
+        assert_eq!(t.eval(0.6, 0.0, 0.0, 0.0), 1.0);
+        assert_eq!(t.eval(0.4, 0.0, 0.0, 0.0), 0.0);
+        assert_eq!(t.eval(0.5, 0.0, 0.0, 0.0), 0.0); // strict
+    }
+
+    #[test]
+    fn at_time_freezes() {
+        let f = AtTime { inner: ft(), time: 0.25 };
+        assert_eq!(f.eval(0.0, 0.0, 0.0, 0.9), 0.25);
+    }
+
+    #[test]
+    fn time_derivative_of_linear_time_is_one() {
+        let d = TimeDerivative { inner: ft(), dt: 0.1 };
+        let v = d.eval(0.0, 0.0, 0.0, 0.2);
+        assert!((v - 1.0).abs() < 1e-5, "dt/dt = {v}");
+    }
+
+    #[test]
+    fn magnitude_of_3_4_is_5() {
+        let m = Magnitude2(
+            Affine { inner: fx(), scale: 0.0, offset: 3.0 },
+            Affine { inner: fy(), scale: 0.0, offset: 4.0 },
+        );
+        assert_eq!(m.eval(0.0, 0.0, 0.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn combinators_materialize_like_primaries() {
+        // A derived field drops into VolumeField::from_function unchanged.
+        let derived = Threshold { inner: Sum(fx(), fy()), threshold: 1.0 };
+        let vf = VolumeField::from_function(Dims3::cube(8), &derived, 0.0);
+        let (lo, hi) = vf.min_max();
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+        // The indicator region is the corner x + y > 1.
+        assert_eq!(vf.get(7, 7, 0), 1.0);
+        assert_eq!(vf.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn nesting_composes() {
+        // |d/dt of (x + t)| at fixed x: derivative 1 everywhere.
+        let nested = TimeDerivative { inner: Sum(fx(), ft()), dt: 0.05 };
+        assert!((nested.eval(0.3, 0.0, 0.0, 0.1) - 1.0).abs() < 1e-4);
+    }
+}

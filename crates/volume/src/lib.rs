@@ -1,0 +1,58 @@
+//! # viz-volume — volumetric data substrate
+//!
+//! Bricked volumes, synthetic dataset generators standing in for the
+//! paper's proprietary simulation data (Table I), per-block statistics
+//! (the Shannon-entropy importance measure of Eq. 2), and an on-disk block
+//! store used as the slow end of the memory hierarchy.
+//!
+//! - [`dims`], [`layout`] — voxel grids and the uniform block partition.
+//! - [`field`] — materialized scalar fields and procedural generation.
+//! - [`noise`] — seeded value noise / fBm used by the generators.
+//! - [`datasets`] — the four Table I datasets as procedural stand-ins.
+//! - [`stats`] — histograms and block entropy.
+//! - [`store`] — framed on-disk and in-memory block stores.
+//!
+//! # Example
+//!
+//! ```
+//! use viz_volume::{BrickLayout, DatasetKind, DatasetSpec, Dims3};
+//! use viz_volume::stats::BlockStats;
+//!
+//! // A miniature 3d_ball (paper scale / 32 = 32^3), split into 8 blocks.
+//! let spec = DatasetSpec::new(DatasetKind::Ball3d, 32, 7);
+//! let field = spec.materialize(0, 0.0);
+//! let layout = BrickLayout::new(field.dims, Dims3::cube(16));
+//! assert_eq!(layout.num_blocks(), 8);
+//!
+//! // Per-block Shannon entropy (Eq. 2) over the global value range:
+//! let (lo, hi) = field.min_max();
+//! let id = layout.block_at(0, 0, 0);
+//! let stats = BlockStats::compute(&field.extract_block(&layout, id), lo, hi, 64);
+//! assert!(stats.entropy >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod combinators;
+pub mod datasets;
+pub mod dims;
+pub mod field;
+pub mod gradient;
+pub mod layout;
+pub mod lod;
+pub mod noise;
+pub mod stats;
+pub mod store;
+pub mod timevarying;
+
+pub use codec::Codec;
+pub use datasets::{DatasetKind, DatasetSpec};
+pub use dims::Dims3;
+pub use field::{ScalarFunction, VolumeField};
+pub use gradient::{block_mean_gradient, gradient_at, gradient_magnitude};
+pub use layout::{BlockId, BrickLayout};
+pub use lod::{LodLevel, LodPyramid};
+pub use stats::{BlockStats, Histogram};
+pub use store::{BlockKey, BlockSource, DiskBlockStore, MemBlockStore};
+pub use timevarying::{FieldCache, FieldKey};

@@ -1,0 +1,420 @@
+//! On-disk block store.
+//!
+//! The paper streams blocks from HDD → SSD → DRAM. This module provides the
+//! "resident on storage" end of that pipeline: each block is a framed binary
+//! file (magic + dims + f32 payload), written once during pre-processing and
+//! random-accessed during visualization. An in-memory implementation backs
+//! tests and pure simulations.
+
+use crate::dims::Dims3;
+use crate::field::VolumeField;
+use crate::layout::{BlockId, BrickLayout};
+use bytes::{Buf, BufMut};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Addresses one cached unit: a block of one variable at one timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct BlockKey {
+    /// Variable index.
+    pub var: u16,
+    /// Timestep index.
+    pub time: u16,
+    /// Block within the layout.
+    pub block: BlockId,
+}
+
+impl BlockKey {
+    /// Address block `block` of variable `var` at timestep `time`.
+    pub fn new(var: u16, time: u16, block: BlockId) -> Self {
+        BlockKey { var, time, block }
+    }
+
+    /// Single-variable static datasets address blocks directly.
+    pub fn scalar(block: BlockId) -> Self {
+        BlockKey { var: 0, time: 0, block }
+    }
+}
+
+/// Source of block payloads. Implementations must be safe to call from
+/// multiple threads (the prefetcher reads concurrently with the renderer).
+pub trait BlockSource: Send + Sync {
+    /// Read the full voxel payload of a block.
+    fn read_block(&self, key: BlockKey) -> io::Result<Vec<f32>>;
+
+    /// Payload size in bytes without reading it.
+    fn block_bytes(&self, key: BlockKey) -> io::Result<usize>;
+}
+
+const MAGIC: &[u8; 4] = b"VBLK";
+const VERSION: u16 = 1;
+const VERSION_CODEC: u16 = 2;
+
+/// Serialize one block payload with its self-describing frame (v1: raw).
+pub fn encode_block(dims: Dims3, data: &[f32]) -> Vec<u8> {
+    assert_eq!(dims.count(), data.len(), "dims/payload mismatch");
+    let mut buf = Vec::with_capacity(4 + 2 + 12 + data.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(dims.nx as u32);
+    buf.put_u32_le(dims.ny as u32);
+    buf.put_u32_le(dims.nz as u32);
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+    buf
+}
+
+/// Serialize with an explicit codec (v2 frame: codec tag + length-prefixed
+/// compressed payload). [`decode_block`] reads both frame versions.
+pub fn encode_block_with(codec: crate::codec::Codec, dims: Dims3, data: &[f32]) -> Vec<u8> {
+    assert_eq!(dims.count(), data.len(), "dims/payload mismatch");
+    let payload = codec.compress(data);
+    let mut buf = Vec::with_capacity(4 + 2 + 1 + 12 + 4 + payload.len());
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION_CODEC);
+    buf.put_u8(codec.tag());
+    buf.put_u32_le(dims.nx as u32);
+    buf.put_u32_le(dims.ny as u32);
+    buf.put_u32_le(dims.nz as u32);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    buf
+}
+
+/// Parse a frame produced by [`encode_block`] or [`encode_block_with`].
+pub fn decode_block(mut buf: &[u8]) -> io::Result<(Dims3, Vec<f32>)> {
+    let err = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+    if buf.len() < 18 {
+        return Err(err("block frame too short".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic".into()));
+    }
+    let version = buf.get_u16_le();
+    match version {
+        VERSION => {
+            let dims = Dims3::new(
+                buf.get_u32_le() as usize,
+                buf.get_u32_le() as usize,
+                buf.get_u32_le() as usize,
+            );
+            let n = dims.count();
+            if buf.remaining() != n * 4 {
+                return Err(err("payload length mismatch".into()));
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(buf.get_f32_le());
+            }
+            Ok((dims, data))
+        }
+        VERSION_CODEC => {
+            if buf.remaining() < 1 + 12 + 4 {
+                return Err(err("codec frame too short".into()));
+            }
+            let codec = crate::codec::Codec::from_tag(buf.get_u8())
+                .ok_or_else(|| err("unknown codec tag".into()))?;
+            let dims = Dims3::new(
+                buf.get_u32_le() as usize,
+                buf.get_u32_le() as usize,
+                buf.get_u32_le() as usize,
+            );
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() != len {
+                return Err(err("compressed payload length mismatch".into()));
+            }
+            let data = codec
+                .decompress(&buf[..len], dims.count())
+                .map_err(err)?;
+            Ok((dims, data))
+        }
+        _ => Err(err("unsupported block version".into())),
+    }
+}
+
+/// File-per-block store rooted at a directory.
+///
+/// Layout: `<root>/v<var>_t<time>_b<block>.vblk`.
+#[derive(Debug)]
+pub struct DiskBlockStore {
+    root: PathBuf,
+    codec: crate::codec::Codec,
+}
+
+impl DiskBlockStore {
+    /// Open (creating the directory if needed), writing raw frames.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::with_codec(root, crate::codec::Codec::Raw)
+    }
+
+    /// Open with a write codec (reads auto-detect per frame).
+    pub fn with_codec(root: impl Into<PathBuf>, codec: crate::codec::Codec) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DiskBlockStore { root, codec })
+    }
+
+    fn path_of(&self, key: BlockKey) -> PathBuf {
+        self.root
+            .join(format!("v{}_t{}_b{}.vblk", key.var, key.time, key.block.0))
+    }
+
+    /// Write one block using the store's codec.
+    pub fn write_block(&self, key: BlockKey, dims: Dims3, data: &[f32]) -> io::Result<()> {
+        let bytes = match self.codec {
+            crate::codec::Codec::Raw => encode_block(dims, data),
+            c => encode_block_with(c, dims, data),
+        };
+        let tmp = self.path_of(key).with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+        }
+        fs::rename(&tmp, self.path_of(key))
+    }
+
+    /// Write every block of a materialized field (pre-processing step).
+    pub fn write_field(
+        &self,
+        layout: &BrickLayout,
+        field: &VolumeField,
+        var: u16,
+        time: u16,
+    ) -> io::Result<()> {
+        for id in layout.block_ids() {
+            let data = field.extract_block(layout, id);
+            self.write_block(BlockKey::new(var, time, id), layout.block_dims(id), &data)?;
+        }
+        Ok(())
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl BlockSource for DiskBlockStore {
+    fn read_block(&self, key: BlockKey) -> io::Result<Vec<f32>> {
+        let mut buf = Vec::new();
+        fs::File::open(self.path_of(key))?.read_to_end(&mut buf)?;
+        decode_block(&buf).map(|(_, data)| data)
+    }
+
+    fn block_bytes(&self, key: BlockKey) -> io::Result<usize> {
+        // On-disk payload size (what a fetch actually moves); headers are
+        // 18 bytes (v1) or 27 bytes (v2).
+        let meta = fs::metadata(self.path_of(key))?;
+        let header = match self.codec {
+            crate::codec::Codec::Raw => 18,
+            _ => 27,
+        };
+        Ok((meta.len() as usize).saturating_sub(header))
+    }
+}
+
+/// In-memory store for tests and pure simulation runs.
+#[derive(Debug, Default)]
+pub struct MemBlockStore {
+    blocks: RwLock<HashMap<BlockKey, Vec<f32>>>,
+}
+
+impl MemBlockStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) one block payload.
+    pub fn insert(&self, key: BlockKey, data: Vec<f32>) {
+        self.blocks.write().insert(key, data);
+    }
+
+    /// Load every block of a field.
+    pub fn insert_field(&self, layout: &BrickLayout, field: &VolumeField, var: u16, time: u16) {
+        let mut map = self.blocks.write();
+        for id in layout.block_ids() {
+            map.insert(BlockKey::new(var, time, id), field.extract_block(layout, id));
+        }
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.read().is_empty()
+    }
+}
+
+impl BlockSource for MemBlockStore {
+    fn read_block(&self, key: BlockKey) -> io::Result<Vec<f32>> {
+        self.blocks
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{key:?} not in store")))
+    }
+
+    fn block_bytes(&self, key: BlockKey) -> io::Result<usize> {
+        self.blocks
+            .read()
+            .get(&key)
+            .map(|d| d.len() * 4)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{key:?} not in store")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("viz_store_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let dims = Dims3::new(3, 2, 2);
+        let data: Vec<f32> = (0..12).map(|i| i as f32 * 0.5).collect();
+        let buf = encode_block(dims, &data);
+        let (d2, v2) = decode_block(&buf).unwrap();
+        assert_eq!(d2, dims);
+        assert_eq!(v2, data);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut buf = encode_block(Dims3::new(1, 1, 1), &[1.0]);
+        buf[0] = b'X';
+        assert!(decode_block(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        let buf = encode_block(Dims3::new(2, 2, 2), &[0.0; 8]);
+        assert!(decode_block(&buf[..buf.len() - 4]).is_err());
+        assert!(decode_block(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut buf = encode_block(Dims3::new(1, 1, 1), &[1.0]);
+        buf[4] = 99;
+        assert!(decode_block(&buf).is_err());
+    }
+
+    #[test]
+    fn disk_store_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let store = DiskBlockStore::open(&dir).unwrap();
+        let key = BlockKey::new(1, 2, BlockId(7));
+        let data = vec![1.5f32, -2.5, 0.0];
+        store.write_block(key, Dims3::new(3, 1, 1), &data).unwrap();
+        assert_eq!(store.read_block(key).unwrap(), data);
+        assert_eq!(store.block_bytes(key).unwrap(), 12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_store_missing_block_errors() {
+        let dir = tmpdir("missing");
+        let store = DiskBlockStore::open(&dir).unwrap();
+        assert!(store.read_block(BlockKey::scalar(BlockId(0))).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_field_then_read_all_blocks() {
+        let dir = tmpdir("field");
+        let store = DiskBlockStore::open(&dir).unwrap();
+        let dims = Dims3::new(8, 8, 4);
+        let field = VolumeField::from_function(dims, &|x: f64, y: f64, z: f64, _| {
+            (x + y + z) as f32
+        }, 0.0);
+        let layout = BrickLayout::new(dims, Dims3::cube(4));
+        store.write_field(&layout, &field, 0, 0).unwrap();
+        for id in layout.block_ids() {
+            let got = store.read_block(BlockKey::scalar(id)).unwrap();
+            assert_eq!(got, field.extract_block(&layout, id));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_store_roundtrip_and_len() {
+        let store = MemBlockStore::new();
+        assert!(store.is_empty());
+        store.insert(BlockKey::scalar(BlockId(3)), vec![9.0]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.read_block(BlockKey::scalar(BlockId(3))).unwrap(), vec![9.0]);
+        assert!(store.read_block(BlockKey::scalar(BlockId(4))).is_err());
+    }
+
+    #[test]
+    fn mem_store_insert_field() {
+        let dims = Dims3::cube(8);
+        let field = VolumeField::from_function(dims, &|x: f64, _y: f64, _z: f64, _t: f64| x as f32, 0.0);
+        let layout = BrickLayout::new(dims, Dims3::cube(4));
+        let store = MemBlockStore::new();
+        store.insert_field(&layout, &field, 0, 0);
+        assert_eq!(store.len(), layout.num_blocks());
+        let id = layout.block_at(1, 1, 1);
+        assert_eq!(
+            store.read_block(BlockKey::scalar(id)).unwrap(),
+            field.extract_block(&layout, id)
+        );
+    }
+
+    #[test]
+    fn compressed_store_roundtrips_and_shrinks() {
+        use crate::codec::Codec;
+        let dir = tmpdir("codec");
+        let raw = DiskBlockStore::open(dir.join("raw")).unwrap();
+        let rle = DiskBlockStore::with_codec(dir.join("rle"), Codec::PlaneRle).unwrap();
+        let dims = Dims3::cube(16);
+        let ambient = vec![0.0f32; dims.count()];
+        let key = BlockKey::scalar(BlockId(0));
+        raw.write_block(key, dims, &ambient).unwrap();
+        rle.write_block(key, dims, &ambient).unwrap();
+        assert_eq!(rle.read_block(key).unwrap(), ambient);
+        assert!(
+            rle.block_bytes(key).unwrap() * 20 < raw.block_bytes(key).unwrap(),
+            "ambient block should shrink >20x"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_frame_roundtrip_via_encode_decode() {
+        use crate::codec::Codec;
+        let dims = Dims3::new(5, 3, 2);
+        let data: Vec<f32> = (0..30).map(|i| (i % 4) as f32).collect();
+        let buf = encode_block_with(Codec::PlaneRle, dims, &data);
+        let (d2, v2) = decode_block(&buf).unwrap();
+        assert_eq!(d2, dims);
+        assert_eq!(v2, data);
+        // Corrupt the codec tag.
+        let mut bad = buf.clone();
+        bad[6] = 99;
+        assert!(decode_block(&bad).is_err());
+    }
+
+    #[test]
+    fn block_key_ordering_is_stable() {
+        let a = BlockKey::new(0, 0, BlockId(1));
+        let b = BlockKey::new(0, 1, BlockId(0));
+        let c = BlockKey::new(1, 0, BlockId(0));
+        assert!(a < b && b < c);
+    }
+}

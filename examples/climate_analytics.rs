@@ -1,0 +1,87 @@
+//! Data-dependent analytics on the multivariate climate dataset (the
+//! paper's Figs. 2–3 scenario): follow the camera along a path over the
+//! typhoon/smoke interaction and, for each view, compute the per-region
+//! histograms and the variable correlation matrix over exactly the blocks
+//! the view touches.
+//!
+//! Run with: `cargo run --release --example climate_analytics`
+
+use viz_appaware::core::{visible_blocks, ImportanceTable};
+use viz_appaware::geom::angle::deg_to_rad;
+use viz_appaware::geom::{CameraPath, ExplorationDomain, RandomWalkPath, Vec3};
+use viz_appaware::render::{query_count, region_histogram, CorrelationAccumulator};
+use viz_appaware::volume::{BrickLayout, DatasetKind, DatasetSpec, VolumeField};
+
+fn main() {
+    // A handful of climate variables (the full dataset has 244; we analyze
+    // one per physical family): moisture, wind, aerosol, thermodynamic.
+    let spec = DatasetSpec::new(DatasetKind::Climate, 2, 11);
+    let var_ids = [0usize, 1, 2, 3];
+    let t = 0.4; // mid-track typhoon position
+    let fields: Vec<VolumeField> = var_ids.iter().map(|&v| spec.materialize(v, t)).collect();
+    let layout = BrickLayout::with_target_blocks(spec.resolution(), 256);
+    println!(
+        "climate at {} ({} blocks), {} variables materialized at t={t}",
+        spec.resolution(),
+        layout.num_blocks(),
+        fields.len()
+    );
+
+    // Importance from the aerosol variable: scientists focus on the smoke
+    // (Observation 2), so PM10-like entropy drives placement.
+    let importance = ImportanceTable::from_field(&layout, &fields[2], 64);
+    println!(
+        "aerosol importance: top block H = {:.2}, median H = {:.2}",
+        importance.ranked()[0].entropy,
+        importance.ranked()[importance.len() / 2].entropy
+    );
+
+    // Explore along a random path and compute per-view analytics.
+    let view_angle = deg_to_rad(15.0);
+    let domain = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+    let path = RandomWalkPath::new(domain, 2.5, 8.0, 14.0, view_angle, 3).generate(4);
+
+    for (vi, pose) in path.iter().enumerate() {
+        let vis = visible_blocks(pose, &layout);
+        // Extract the visible region of each variable.
+        let regions: Vec<Vec<Vec<f32>>> = fields
+            .iter()
+            .map(|f| vis.iter().map(|&b| f.extract_block(&layout, b)).collect())
+            .collect();
+
+        // Histogram of the moisture variable over the view (Fig. 3 panels).
+        let slices: Vec<&[f32]> = regions[0].iter().map(|v| v.as_slice()).collect();
+        let (lo, hi) = fields[0].min_max();
+        let hist = region_histogram(&slices, (lo, hi), 16);
+        let peak = hist.counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+
+        // Smoke coverage query: voxels above an aerosol threshold.
+        let smoke_slices: Vec<&[f32]> = regions[2].iter().map(|v| v.as_slice()).collect();
+        let smoke = query_count(&smoke_slices, |v| v > 0.2);
+
+        // Correlation matrix across the four variables, voxel-aligned.
+        let mut acc = CorrelationAccumulator::new(fields.len());
+        for bi in 0..vis.len() {
+            let n = regions[0][bi].len();
+            for i in 0..n {
+                let sample: Vec<f32> = regions.iter().map(|r| r[bi][i]).collect();
+                acc.add(&sample);
+            }
+        }
+        let m = acc.matrix();
+
+        println!(
+            "\nview {vi}: {} visible blocks, {} voxels analyzed",
+            vis.len(),
+            acc.count()
+        );
+        println!("  moisture histogram peak at bin {peak}/15; smoke voxels (>0.2): {smoke}");
+        println!("  correlation matrix (moisture, wind, aerosol, thermo):");
+        for i in 0..4 {
+            let row: Vec<String> = (0..4).map(|j| format!("{:+.2}", m[i * 4 + j])).collect();
+            println!("    [{}]", row.join(", "));
+        }
+    }
+    println!("\nThese statistics require every visible block at full resolution —");
+    println!("the paper's case for application-aware placement (§III-B).");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build the two application-aware tables for a small synthetic
+//! volume and compare the paper's policy ("OPT") against LRU and FIFO on an
+//! interactive camera path.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use viz_appaware::core::{
+    run_session, AppAwareConfig, ImportanceTable, RadiusModel, RadiusRule, SamplingConfig,
+    SessionConfig, Strategy, VisibleTable,
+};
+use viz_appaware::geom::angle::deg_to_rad;
+use viz_appaware::geom::{CameraPath, ExplorationDomain, SphericalPath, Vec3};
+use viz_appaware::volume::{BrickLayout, DatasetKind, DatasetSpec};
+use viz_appaware::cache::PolicyKind;
+
+fn main() {
+    // 1. A volume: the paper's synthetic `3d_ball` at 1/8 scale (128³),
+    //    partitioned into ~1000 uniform blocks.
+    let spec = DatasetSpec::new(DatasetKind::Ball3d, 8, 42);
+    let field = spec.materialize(0, 0.0);
+    let layout = BrickLayout::with_target_blocks(field.dims, 1024);
+    println!(
+        "dataset: {} at {} ({} blocks of {})",
+        spec.kind.name(),
+        field.dims,
+        layout.num_blocks(),
+        layout.block
+    );
+
+    // 2. T_important: Shannon entropy per block (Eq. 2).
+    let importance = ImportanceTable::from_field(&layout, &field, 64);
+    let sigma = importance.sigma_for_fraction(0.5);
+    println!(
+        "T_important: top block H = {:.2} bits, sigma(50%) = {:.2} bits",
+        importance.ranked()[0].entropy,
+        sigma
+    );
+
+    // 3. T_visible: sample camera positions in the exploration domain and
+    //    precompute visible blocks per sample (Eq. 1 + the Eq. 6 radius).
+    let view_angle = deg_to_rad(15.0);
+    let sampling = SamplingConfig::paper_default(2.0, 3.2, view_angle).with_target_samples(3240);
+    let radius = RadiusModel::new(0.25, view_angle);
+    let t_visible = VisibleTable::build(
+        sampling,
+        &layout,
+        RadiusRule::Optimal(radius),
+        Some((&importance, layout.num_blocks() / 4)),
+    );
+    println!(
+        "T_visible: {} samples, mean |S_v| = {:.1} blocks, ~{} KiB",
+        t_visible.len(),
+        t_visible.mean_set_size(),
+        t_visible.approx_bytes() / 1024
+    );
+
+    // 4. An interactive exploration: 400 positions orbiting at 5°/step.
+    let domain = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+    let path = SphericalPath::new(domain, 2.5, 5.0, view_angle)
+        .with_precession(1.0)
+        .generate(400);
+
+    // 5. Replay under each strategy on the simulated DRAM/SSD/HDD stack.
+    let cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes());
+    println!("\n{:<6} {:>10} {:>10} {:>12} {:>12}", "policy", "miss rate", "I/O (s)", "prefetch (s)", "total (s)");
+    for strategy in [
+        Strategy::Baseline(PolicyKind::Fifo),
+        Strategy::Baseline(PolicyKind::Lru),
+        Strategy::AppAware(AppAwareConfig::paper(sigma)),
+    ] {
+        let tables = matches!(strategy, Strategy::AppAware(_)).then_some((&t_visible, &importance));
+        let r = run_session(&cfg, &layout, &strategy, &path, tables);
+        println!(
+            "{:<6} {:>10.4} {:>10.3} {:>12.3} {:>12.3}",
+            r.strategy, r.miss_rate, r.io_s, r.prefetch_s, r.total_s
+        );
+    }
+    println!("\nOPT hides prefetch behind rendering (total = io + max(render, prefetch)).");
+}

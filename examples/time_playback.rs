@@ -1,0 +1,85 @@
+//! Time-varying playback of the climate dataset: scrub through timesteps
+//! while orbiting, with a bounded `FieldCache` materializing grids on
+//! demand and the multi-variable session engine measuring what the cache
+//! hierarchy does when time advances (every timestep change is a fresh
+//! compulsory working set — the hardest case for any reactive policy).
+//!
+//! Run with: `cargo run --release --example time_playback`
+
+use std::sync::Arc;
+use viz_appaware::cache::PolicyKind;
+use viz_appaware::core::{
+    run_multivar_session, ExplorationScript, ImportanceTable, MultiVarStrategy, RadiusModel,
+    RadiusRule, SamplingConfig, SessionConfig, VisibleTable,
+};
+use viz_appaware::geom::angle::deg_to_rad;
+use viz_appaware::geom::{CameraPath, ExplorationDomain, SphericalPath, Vec3};
+use viz_appaware::volume::{BrickLayout, DatasetKind, DatasetSpec, FieldCache};
+
+fn main() {
+    let spec = DatasetSpec::new(DatasetKind::Climate, 2, 17);
+    let steps_in_time = spec.kind.num_timesteps();
+    let layout = BrickLayout::with_target_blocks(spec.resolution(), 512);
+
+    // Materialize lazily through the bounded cache: aerosol (importance
+    // driver) + wind, at whichever timesteps playback touches.
+    let cache = Arc::new(FieldCache::new(spec.clone(), 4));
+    println!(
+        "climate at {} ({} blocks, {} timesteps), field cache capacity 4 grids",
+        spec.resolution(),
+        layout.num_blocks(),
+        steps_in_time
+    );
+
+    // Importance per scripted variable, from the mid-track timestep.
+    let aerosol = cache.get(2, steps_in_time / 2);
+    let wind = cache.get(1, steps_in_time / 2);
+    let importance = vec![
+        ImportanceTable::from_field(&layout, &wind, 64),
+        ImportanceTable::from_field(&layout, &aerosol, 64),
+    ];
+    let sigma = importance[1].sigma_for_fraction(0.5);
+
+    let view_angle = deg_to_rad(15.0);
+    let sampling = SamplingConfig::paper_default(2.0, 3.2, view_angle).with_target_samples(1620);
+    let t_visible = VisibleTable::build(
+        sampling,
+        &layout,
+        RadiusRule::Optimal(RadiusModel::new(0.25, view_angle)),
+        Some((&importance[1], layout.num_blocks() / 4)),
+    );
+
+    // Orbit while time advances every 25 camera steps.
+    let domain = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+    let poses = SphericalPath::new(domain, 2.5, 4.0, view_angle)
+        .with_precession(1.0)
+        .generate(200);
+    let script = ExplorationScript::single_phase(&poses, vec![0, 1])
+        .with_time_advance(25, steps_in_time as u16);
+    // The climate grid is flat (73x64x24), so a frame sees a large block
+    // fraction; use the paper's larger cache ratio (0.7, as in Fig. 13b)
+    // to keep the two-variable working set inside fast memory.
+    let cfg = SessionConfig::paper(0.7, layout.nominal_block_bytes());
+
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>12} {:>10}",
+        "policy", "miss rate", "I/O (s)", "prefetch (s)", "total (s)"
+    );
+    for (label, strategy) in [
+        ("LRU", MultiVarStrategy::Baseline(PolicyKind::Lru)),
+        ("OPT", MultiVarStrategy::AppAware { sigma }),
+    ] {
+        let tv = matches!(strategy, MultiVarStrategy::AppAware { .. }).then_some(&t_visible);
+        let r = run_multivar_session(&cfg, &layout, &strategy, &script, tv, &importance);
+        println!(
+            "{:<8} {:>10.4} {:>10.3} {:>12.3} {:>10.3}",
+            label, r.miss_rate, r.io_s, r.prefetch_s, r.total_s
+        );
+    }
+
+    let (hits, misses) = cache.stats();
+    println!("\nfield cache: {hits} hits / {misses} materializations");
+    println!("Each timestep advance invalidates the (var, time, block) working set —");
+    println!("the compulsory-miss walls in the per-step trace; prediction still wins");
+    println!("between the walls, which is where interactive time feels smooth.");
+}

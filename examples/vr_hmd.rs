@@ -1,0 +1,143 @@
+//! Virtual-reality / head-mounted-display stress test — the paper's §VI
+//! future-work scenario: "virtual reality with head-mounted displays ...
+//! require a faster interactive response, and impose more challenging I/O
+//! stresses".
+//!
+//! An HMD renders *two* eyes per frame at 90 Hz (11.1 ms frame budget) and
+//! the head moves continuously. This example replays a jittery head path,
+//! renders stereo frames against the simulated hierarchy, and reports how
+//! many frames meet the budget under LRU vs the app-aware policy.
+//!
+//! Run with: `cargo run --release --example vr_hmd`
+
+use viz_appaware::cache::PolicyKind;
+use viz_appaware::core::{
+    run_session, AppAwareConfig, ImportanceTable, RadiusModel, RadiusRule, SamplingConfig,
+    SessionConfig, SessionReport, Strategy, VisibleTable,
+};
+use viz_appaware::geom::angle::deg_to_rad;
+use viz_appaware::geom::{CameraPath, CameraPose, ExplorationDomain, RandomWalkPath, Vec3};
+use viz_appaware::volume::{BrickLayout, DatasetKind, DatasetSpec};
+
+/// 90 Hz budget per stereo frame.
+const FRAME_BUDGET_S: f64 = 1.0 / 90.0;
+/// Interpupillary offset in normalized world units.
+const IPD: f64 = 0.02;
+
+fn stereo_path(mono: &[CameraPose]) -> Vec<CameraPose> {
+    // Interleave left/right eye poses: each eye is offset along the view
+    // tangent. Stereo doubles the pose rate at nearly identical views —
+    // exactly the access pattern Observation 1 exploits.
+    let mut out = Vec::with_capacity(mono.len() * 2);
+    for p in mono {
+        let tangent = p.view_direction().any_orthonormal();
+        out.push(CameraPose::new(p.position - tangent * (IPD / 2.0), p.center, p.view_angle));
+        out.push(CameraPose::new(p.position + tangent * (IPD / 2.0), p.center, p.view_angle));
+    }
+    out
+}
+
+fn frames_in_budget(r: &SessionReport) -> (usize, usize) {
+    // A stereo frame = two consecutive eye steps.
+    let mut ok = 0;
+    let mut total = 0;
+    for pair in r.per_step.chunks(2) {
+        let t: f64 = pair.iter().map(|s| s.total_s).sum();
+        total += 1;
+        if t <= FRAME_BUDGET_S {
+            ok += 1;
+        }
+    }
+    (ok, total)
+}
+
+fn main() {
+    let spec = DatasetSpec::new(DatasetKind::Ball3d, 8, 99);
+    let field = spec.materialize(0, 0.0);
+    let layout = BrickLayout::with_target_blocks(field.dims, 2048);
+    let importance = ImportanceTable::from_field(&layout, &field, 64);
+    let sigma = importance.sigma_for_fraction(0.5);
+
+    let view_angle = deg_to_rad(15.0);
+    let sampling = SamplingConfig::paper_default(2.0, 3.2, view_angle).with_target_samples(3240);
+    let t_visible = VisibleTable::build(
+        sampling,
+        &layout,
+        RadiusRule::Optimal(RadiusModel::new(0.25, view_angle)),
+        Some((&importance, layout.num_blocks() / 4)),
+    );
+
+    // Head motion: rapid small rotations (1-3 deg between eye-pair frames)
+    // with an abrupt "head snap" every 40 frames — the misprediction burst
+    // that stresses the I/O path.
+    let domain = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+    let smooth = RandomWalkPath::new(domain, 2.4, 1.0, 3.0, view_angle, 4242)
+        .with_distance_jitter(0.02)
+        .generate(300);
+    let snaps = RandomWalkPath::new(domain, 2.4, 40.0, 70.0, view_angle, 777).generate(300);
+    let head: Vec<CameraPose> = smooth
+        .iter()
+        .enumerate()
+        .map(|(i, p)| if i % 40 == 39 { snaps[i] } else { *p })
+        .collect();
+    let eyes = stereo_path(&head);
+    println!(
+        "HMD session: {} head positions -> {} eye renders, 90 Hz budget = {:.1} ms/frame",
+        head.len(),
+        eyes.len(),
+        FRAME_BUDGET_S * 1e3
+    );
+
+    // A VR rig streams from GPU memory / DRAM / NVMe, not the paper's
+    // HDD testbed, and its renderer is much leaner per block.
+    use viz_appaware::cache::TierCost;
+    let mut cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes()).with_tier_costs([
+        TierCost::new(1e-7, 50e9),  // GPU memory
+        TierCost::dram(),           // host DRAM
+        TierCost::new(20e-6, 3e9),  // NVMe SSD backing
+    ]);
+    cfg.render.base_s = 1e-3;
+    cfg.render.per_block_s = 8e-6;
+
+    println!(
+        "\n{:<6} {:>10} {:>12} {:>14} {:>10} {:>10}",
+        "policy", "miss rate", "in budget", "stutter-free", "p99 (ms)", "worst (ms)"
+    );
+    for strategy in [
+        Strategy::Baseline(PolicyKind::Lru),
+        Strategy::AppAware(AppAwareConfig::paper(sigma)),
+    ] {
+        let tables = matches!(strategy, Strategy::AppAware(_)).then_some((&t_visible, &importance));
+        let r = run_session(&cfg, &layout, &strategy, &eyes, tables);
+        let (ok, total) = frames_in_budget(&r);
+        let mut frame_times: Vec<f64> = r
+            .per_step
+            .chunks(2)
+            .map(|p| p.iter().map(|s| s.total_s).sum::<f64>())
+            .collect();
+        let stutter_free = r
+            .per_step
+            .chunks(2)
+            .filter(|p| p.iter().all(|s| s.misses == 0))
+            .count();
+        frame_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99 = frame_times[(frame_times.len() * 99 / 100).min(frame_times.len() - 1)];
+        let worst = *frame_times.last().unwrap();
+        println!(
+            "{:<6} {:>10.4} {:>8}/{:<4} {:>10}/{:<4} {:>9.2} {:>10.2}",
+            r.strategy,
+            r.miss_rate,
+            ok,
+            total,
+            stutter_free,
+            total,
+            p99 * 1e3,
+            worst * 1e3
+        );
+    }
+    println!("\nStereo eye pairs are the extreme case of Observation 1: the two eyes'");
+    println!("frusta overlap almost entirely, so predicted-visible prefetch keeps the");
+    println!("working set resident. The win shows in the tail: the app-aware policy's");
+    println!("worst frame stays several ms below LRU's — exactly what an HMD needs,");
+    println!("since a single long frame is a visible judder.");
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerate every table and figure of the paper. Outputs land in results/.
+set -u
+cd "$(dirname "$0")"
+BINS="table1 fig07 fig09 fig11 fig12 fig13 ablation futurework reuse"
+for b in $BINS; do
+  echo "=== running $b ==="
+  cargo run --release -q -p viz-bench --bin "$b" -- "$@" \
+    > "results/$b.txt" 2> "results/$b.log" || echo "$b FAILED"
+done
+echo "all experiments done"

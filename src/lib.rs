@@ -1,0 +1,17 @@
+//! Umbrella crate for the viz-appaware workspace.
+//!
+//! Re-exports the public APIs of every workspace crate so downstream users
+//! can depend on a single package. See the individual crates for details:
+//!
+//! - [`geom`] — vector math, cameras, frusta, camera paths.
+//! - [`volume`] — bricked volumes, synthetic datasets, entropy.
+//! - [`cache`] — replacement policies and the tiered-hierarchy simulator.
+//! - [`core`] — the paper's contribution: `T_visible`, `T_important`,
+//!   the radius model, and the Algorithm 1 session engine.
+//! - [`render`] — CPU ray caster and data-dependent analytics.
+
+pub use viz_cache as cache;
+pub use viz_core as core;
+pub use viz_geom as geom;
+pub use viz_render as render;
+pub use viz_volume as volume;

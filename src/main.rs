@@ -1,0 +1,379 @@
+//! `viz-appaware` command-line tool.
+//!
+//! Drives the full pipeline end to end:
+//!
+//! ```text
+//! viz-appaware info                         # dataset inventory (Table I)
+//! viz-appaware prep  --dataset 3d_ball --out /tmp/prep
+//!                                           # pre-processing: generate blocks,
+//!                                           # build + persist both tables
+//! viz-appaware run   --prep /tmp/prep --policy opt --steps 400
+//!                                           # replay a camera path on the
+//!                                           # simulated hierarchy
+//! viz-appaware render --prep /tmp/prep --frames 8 --out /tmp/frames
+//!                                           # ray-cast frames from the disk store
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use viz_appaware::cache::PolicyKind;
+use viz_appaware::core::{
+    load_tables, run_session, save_tables, AppAwareConfig, BlockPool, ImportanceTable, Prefetcher,
+    RadiusModel, RadiusRule, SamplingConfig, SessionConfig, Strategy, VisibleTable,
+};
+use viz_appaware::geom::angle::deg_to_rad;
+use viz_appaware::geom::{CameraPath, ExplorationDomain, RandomWalkPath, SphericalPath, Vec3};
+use viz_appaware::render::{
+    frame_working_set, render, BrickedSource, RenderConfig, TransferFunction,
+};
+use viz_appaware::volume::{
+    BlockKey, BlockSource, BrickLayout, DatasetKind, DatasetSpec, DiskBlockStore,
+};
+
+const VIEW_ANGLE_DEG: f64 = 15.0;
+const D_MIN: f64 = 2.0;
+const D_MAX: f64 = 3.2;
+
+fn usage() -> &'static str {
+    "usage: viz-appaware <command> [options]\n\
+     \n\
+     commands:\n\
+       info                               print the Table I dataset inventory\n\
+       prep   --out DIR [--dataset NAME] [--scale N] [--blocks N] [--samples N] [--seed N]\n\
+              generate the dataset, write its block store, build and persist\n\
+              T_visible and T_important\n\
+       run    --prep DIR [--policy fifo|lru|clock|lfu|arc|2q|mru|lirs|slru|opt]\n\
+              [--path spherical|random] [--deg X] [--steps N] [--ratio R]\n\
+              replay an exploration on the simulated DRAM/SSD/HDD hierarchy\n\
+       render --prep DIR [--frames N] [--size PX] --out DIR\n\
+              ray-cast frames through the out-of-core pipeline (PPM output)\n\
+       analyze --prep DIR [--deg X] [--steps N]\n\
+              reuse-distance profile + importance summary of an exploration\n"
+}
+
+/// Tiny flag parser: `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let k = &args[i];
+        if !k.starts_with("--") {
+            return Err(format!("unexpected argument {k:?}"));
+        }
+        let v = args.get(i + 1).ok_or_else(|| format!("missing value for {k}"))?;
+        map.insert(k.trim_start_matches("--").to_string(), v.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn dataset_by_name(name: &str) -> Result<DatasetKind, String> {
+    DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown dataset {name:?} (try: 3d_ball, lifted_mix_frac, lifted_rr, climate)"))
+}
+
+fn policy_by_name(name: &str) -> Result<Option<PolicyKind>, String> {
+    Ok(Some(match name {
+        "fifo" => PolicyKind::Fifo,
+        "lru" => PolicyKind::Lru,
+        "clock" => PolicyKind::Clock,
+        "lfu" => PolicyKind::Lfu,
+        "arc" => PolicyKind::Arc,
+        "2q" => PolicyKind::TwoQ,
+        "mru" => PolicyKind::Mru,
+        "lirs" => PolicyKind::Lirs,
+        "slru" => PolicyKind::Slru,
+        "opt" => return Ok(None), // the app-aware strategy
+        other => return Err(format!("unknown policy {other:?}")),
+    }))
+}
+
+/// Files written by `prep` beyond the tables themselves.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PrepManifest {
+    dataset: String,
+    scale: usize,
+    seed: u64,
+    volume: [usize; 3],
+    block: [usize; 3],
+    num_blocks: usize,
+    value_range: (f32, f32),
+    sigma: f64,
+}
+
+fn cmd_info() -> Result<(), String> {
+    println!("{:<17} {:<16} {:>6} {:>10}", "name", "resolution", "#vars", "size");
+    for kind in DatasetKind::ALL {
+        let spec = DatasetSpec::new(kind, 1, 0);
+        println!(
+            "{:<17} {:<16} {:>6} {:>9.1}G",
+            kind.name(),
+            kind.full_resolution().to_string(),
+            kind.num_variables(),
+            spec.table1_bytes() as f64 / 1e9
+        );
+    }
+    Ok(())
+}
+
+fn cmd_prep(flags: HashMap<String, String>) -> Result<(), String> {
+    let out: String = flags.get("out").cloned().ok_or("--out is required")?;
+    let kind = dataset_by_name(&get(&flags, "dataset", "3d_ball".to_string())?)?;
+    let scale: usize = get(&flags, "scale", 8)?;
+    let blocks: usize = get(&flags, "blocks", 1024)?;
+    let samples: usize = get(&flags, "samples", 3240)?;
+    let seed: u64 = get(&flags, "seed", 42)?;
+
+    let out = PathBuf::from(out);
+    let spec = DatasetSpec::new(kind, scale, seed);
+    eprintln!("generating {} at {} ...", kind.name(), spec.resolution());
+    let field = spec.materialize(0, 0.0);
+    let layout = BrickLayout::with_target_blocks(field.dims, blocks);
+
+    eprintln!("writing {} blocks to {} ...", layout.num_blocks(), out.join("blocks").display());
+    let store = DiskBlockStore::open(out.join("blocks")).map_err(|e| e.to_string())?;
+    store.write_field(&layout, &field, 0, 0).map_err(|e| e.to_string())?;
+
+    eprintln!("building T_important ...");
+    let importance = ImportanceTable::from_field(&layout, &field, 64);
+    let sigma = importance.sigma_for_fraction(0.5);
+
+    eprintln!("building T_visible ({samples} samples) ...");
+    let view_angle = deg_to_rad(VIEW_ANGLE_DEG);
+    let cfg = SamplingConfig::paper_default(D_MIN, D_MAX, view_angle).with_target_samples(samples);
+    let t_visible = VisibleTable::build(
+        cfg,
+        &layout,
+        RadiusRule::Optimal(RadiusModel::new(0.25, view_angle)),
+        Some((&importance, layout.num_blocks() / 4)),
+    );
+
+    save_tables(&out, &t_visible, &importance).map_err(|e| e.to_string())?;
+    let manifest = PrepManifest {
+        dataset: kind.name().to_string(),
+        scale,
+        seed,
+        volume: [layout.volume.nx, layout.volume.ny, layout.volume.nz],
+        block: [layout.block.nx, layout.block.ny, layout.block.nz],
+        num_blocks: layout.num_blocks(),
+        value_range: field.min_max(),
+        sigma,
+    };
+    std::fs::write(
+        out.join("manifest.json"),
+        serde_json::to_vec_pretty(&manifest).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "prep complete: {} blocks, {} T_visible entries, sigma = {:.3} -> {}",
+        layout.num_blocks(),
+        t_visible.len(),
+        sigma,
+        out.display()
+    );
+    Ok(())
+}
+
+fn load_prep(dir: &str) -> Result<(PrepManifest, BrickLayout, VisibleTable, ImportanceTable), String> {
+    let dir = PathBuf::from(dir);
+    let manifest: PrepManifest = serde_json::from_slice(
+        &std::fs::read(dir.join("manifest.json")).map_err(|e| format!("missing manifest: {e}"))?,
+    )
+    .map_err(|e| e.to_string())?;
+    let layout = BrickLayout::new(
+        viz_appaware::volume::Dims3::new(manifest.volume[0], manifest.volume[1], manifest.volume[2]),
+        viz_appaware::volume::Dims3::new(manifest.block[0], manifest.block[1], manifest.block[2]),
+    );
+    let (tv, ti) = load_tables(&dir).map_err(|e| e.to_string())?;
+    Ok((manifest, layout, tv, ti))
+}
+
+fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
+    let prep: String = flags.get("prep").cloned().ok_or("--prep is required")?;
+    let steps: usize = get(&flags, "steps", 400)?;
+    let deg: f64 = get(&flags, "deg", 5.0)?;
+    let ratio: f64 = get(&flags, "ratio", 0.5)?;
+    let seed: u64 = get(&flags, "seed", 7)?;
+    let policy = policy_by_name(&get(&flags, "policy", "opt".to_string())?)?;
+    let path_kind: String = get(&flags, "path", "spherical".to_string())?;
+
+    let (manifest, layout, tv, ti) = load_prep(&prep)?;
+    let view_angle = deg_to_rad(VIEW_ANGLE_DEG);
+    let domain = ExplorationDomain::new(Vec3::ZERO, D_MIN, D_MAX);
+    let poses = match path_kind.as_str() {
+        "spherical" => SphericalPath::new(domain, 2.5, deg, view_angle)
+            .with_precession(deg * 0.2)
+            .generate(steps),
+        "random" => RandomWalkPath::new(domain, 2.5, deg.max(0.5) - 0.5, deg + 0.5, view_angle, seed)
+            .generate(steps),
+        other => return Err(format!("unknown path kind {other:?}")),
+    };
+
+    let strategy = match policy {
+        Some(k) => Strategy::Baseline(k),
+        None => Strategy::AppAware(AppAwareConfig::paper(manifest.sigma)),
+    };
+    let cfg = SessionConfig::paper(ratio, layout.nominal_block_bytes());
+    let tables = matches!(strategy, Strategy::AppAware(_)).then_some((&tv, &ti));
+    let r = run_session(&cfg, &layout, &strategy, &poses, tables);
+    println!(
+        "{} on {} ({} blocks), {} steps of {}:",
+        r.strategy,
+        manifest.dataset,
+        layout.num_blocks(),
+        steps,
+        path_kind
+    );
+    println!("  miss rate     {:>10.4}", r.miss_rate);
+    println!("  I/O time      {:>10.3} s", r.io_s);
+    println!("  prefetch time {:>10.3} s", r.prefetch_s);
+    println!("  render time   {:>10.3} s", r.render_s);
+    println!("  total time    {:>10.3} s", r.total_s);
+    Ok(())
+}
+
+fn cmd_render(flags: HashMap<String, String>) -> Result<(), String> {
+    let prep: String = flags.get("prep").cloned().ok_or("--prep is required")?;
+    let out: String = flags.get("out").cloned().ok_or("--out is required")?;
+    let frames: usize = get(&flags, "frames", 8)?;
+    let size: usize = get(&flags, "size", 256)?;
+
+    let (manifest, layout, tv, ti) = load_prep(&prep)?;
+    let store: Arc<dyn BlockSource> =
+        Arc::new(DiskBlockStore::open(PathBuf::from(&prep).join("blocks")).map_err(|e| e.to_string())?);
+    let out = PathBuf::from(out);
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    let pool = Arc::new(BlockPool::new());
+    let pf = Prefetcher::spawn(store.clone(), pool.clone(), 256);
+    for b in ti.above_threshold(manifest.sigma).take(layout.num_blocks() / 4) {
+        pf.request(BlockKey::scalar(b));
+    }
+    pf.sync();
+
+    let view_angle = deg_to_rad(VIEW_ANGLE_DEG);
+    let domain = ExplorationDomain::new(Vec3::ZERO, D_MIN, D_MAX);
+    let poses = SphericalPath::new(domain, 2.4, 360.0 / frames as f64, view_angle).generate(frames);
+    let tf = TransferFunction::heat(manifest.value_range);
+    let rc = RenderConfig::preview(size, size);
+
+    for (i, pose) in poses.iter().enumerate() {
+        for b in frame_working_set(pose, &layout) {
+            let key = BlockKey::scalar(b);
+            if !pool.contains(key) {
+                pool.insert(key, store.read_block(key).map_err(|e| e.to_string())?);
+            }
+        }
+        for &b in tv.predict(pose) {
+            if ti.entropy(b) > manifest.sigma {
+                pf.request(BlockKey::scalar(b));
+            }
+        }
+        let lookup = |id: viz_appaware::volume::BlockId| pool.get(BlockKey::scalar(id));
+        let src = BrickedSource::new(&layout, &lookup);
+        let img = render(&src, pose, &tf, &rc);
+        let path = out.join(format!("frame_{i:03}.ppm"));
+        img.save_ppm(&path).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    let fetched = pf.shutdown();
+    println!("done ({fetched} blocks prefetched in the background)");
+    Ok(())
+}
+
+fn cmd_analyze(flags: HashMap<String, String>) -> Result<(), String> {
+    use viz_appaware::core::{demand_trace, ReuseProfile};
+    let prep: String = flags.get("prep").cloned().ok_or("--prep is required")?;
+    let deg: f64 = get(&flags, "deg", 5.0)?;
+    let steps: usize = get(&flags, "steps", 400)?;
+    let (manifest, layout, _tv, ti) = load_prep(&prep)?;
+
+    let view_angle = deg_to_rad(VIEW_ANGLE_DEG);
+    let domain = ExplorationDomain::new(Vec3::ZERO, D_MIN, D_MAX);
+    let poses = SphericalPath::new(domain, 2.5, deg, view_angle)
+        .with_precession(deg * 0.2)
+        .generate(steps);
+    let trace = demand_trace(&layout, &poses);
+    let profile = ReuseProfile::compute(&trace);
+
+    println!(
+        "{} ({} blocks): {deg} deg spherical path, {steps} steps",
+        manifest.dataset,
+        layout.num_blocks()
+    );
+    println!(
+        "trace: {} accesses, {} distinct blocks, mean reuse distance {:.1}",
+        profile.total,
+        profile.cold,
+        profile.mean_distance().unwrap_or(0.0)
+    );
+    println!("
+LRU miss curve (cache size as a fraction of blocks):");
+    for f in [0.05, 0.1, 0.2, 0.25, 0.35, 0.5, 0.75, 1.0] {
+        let cap = ((layout.num_blocks() as f64 * f).round() as usize).max(1);
+        println!("  {f:>5.2}  ->  {:.4}", profile.lru_miss_rate(cap));
+    }
+    if let Some(cap) = profile.capacity_for_miss_rate(0.1, layout.num_blocks()) {
+        println!(
+            "
+smallest cache for <=10% misses: {cap} blocks ({:.0}% of the dataset)",
+            100.0 * cap as f64 / layout.num_blocks() as f64
+        );
+    }
+    println!("
+importance (T_important): sigma(50%) = {:.3} bits;", manifest.sigma);
+    println!(
+        "top 5 blocks by entropy: {}",
+        ti.ranked()
+            .iter()
+            .take(5)
+            .map(|e| format!("{}({:.2})", e.block, e.entropy))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "info" => cmd_info(),
+        "prep" | "run" | "render" | "analyze" => match parse_flags(&args[1..]) {
+            Ok(flags) => match cmd.as_str() {
+                "prep" => cmd_prep(flags),
+                "run" => cmd_run(flags),
+                "analyze" => cmd_analyze(flags),
+                _ => cmd_render(flags),
+            },
+            Err(e) => Err(e),
+        },
+        "--help" | "-h" | "help" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

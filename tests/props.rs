@@ -1,0 +1,120 @@
+//! Cross-crate property tests: invariants that span the geometry, volume,
+//! cache, and core layers together.
+
+use proptest::prelude::*;
+use viz_appaware::cache::PolicyKind;
+use viz_appaware::core::{
+    demand_trace, run_session, ImportanceTable, RadiusRule, ReuseProfile, SamplingConfig,
+    SessionConfig, Strategy, VisibleTable,
+};
+use viz_appaware::geom::angle::deg_to_rad;
+use viz_appaware::geom::{CameraPath, CameraPose, ExplorationDomain, SphericalPath, Vec3};
+use viz_appaware::volume::{BrickLayout, Dims3};
+
+fn small_layout(seed: usize) -> BrickLayout {
+    // Vary the grid a little so the properties aren't layout-specific.
+    let n = 32 + (seed % 3) * 16;
+    BrickLayout::new(Dims3::cube(n), Dims3::cube(8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The session's miss accounting always agrees with the reuse-distance
+    /// profile's cold-miss floor: no policy can miss less than the number
+    /// of distinct blocks touched.
+    #[test]
+    fn misses_never_undercut_compulsory(
+        step_deg in 2.0f64..30.0,
+        steps in 10usize..60,
+        lseed in 0usize..3,
+    ) {
+        let layout = small_layout(lseed);
+        let dom = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+        let poses = SphericalPath::new(dom, 2.5, step_deg, deg_to_rad(15.0)).generate(steps);
+        let trace = demand_trace(&layout, &poses);
+        let profile = ReuseProfile::compute(&trace);
+        let cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes());
+        for kind in [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Arc] {
+            let r = run_session(&cfg, &layout, &Strategy::Baseline(kind), &poses, None);
+            prop_assert!(r.misses >= profile.cold,
+                "{}: {} misses < {} compulsory", kind.label(), r.misses, profile.cold);
+            prop_assert_eq!(r.accesses, trace.len() as u64);
+        }
+    }
+
+    /// LRU session misses match the trace profile exactly (two independent
+    /// implementations of the same semantics).
+    #[test]
+    fn lru_session_agrees_with_mattson_profile(
+        step_deg in 2.0f64..25.0,
+        steps in 10usize..50,
+    ) {
+        let layout = small_layout(0);
+        let dom = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+        let poses = SphericalPath::new(dom, 2.5, step_deg, deg_to_rad(15.0)).generate(steps);
+        let trace = demand_trace(&layout, &poses);
+        let profile = ReuseProfile::compute(&trace);
+        let cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes());
+        let r = run_session(&cfg, &layout, &Strategy::Baseline(PolicyKind::Lru), &poses, None);
+        // DRAM capacity = 25% of blocks (ratio 0.5 squared).
+        let cap = ((layout.num_blocks() as f64 * 0.25).round() as usize).max(1);
+        prop_assert_eq!(r.misses, profile.lru_misses(cap));
+    }
+
+    /// T_visible predictions are always subsets of the block universe and
+    /// respect the importance cap.
+    #[test]
+    fn predictions_are_valid_and_capped(
+        samples in 32usize..256,
+        cap in 4usize..64,
+        theta in 0.0f64..180.0,
+        phi in 0.0f64..360.0,
+        d in 1.0f64..6.0,
+    ) {
+        let layout = small_layout(1);
+        let imp = ImportanceTable::from_entropies(
+            (0..layout.num_blocks()).map(|i| (i % 13) as f64).collect(),
+            32,
+        );
+        let cfg = SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(15.0))
+            .with_target_samples(samples);
+        let tv = VisibleTable::build(cfg, &layout, RadiusRule::Fixed(0.15), Some((&imp, cap)));
+        let pose = CameraPose::orbit(theta, phi, d, 15.0);
+        let pred = tv.predict(&pose);
+        prop_assert!(pred.len() <= cap);
+        for b in pred {
+            prop_assert!(b.index() < layout.num_blocks());
+        }
+    }
+
+    /// Session wall-time decomposition: total >= io + render for the
+    /// app-aware overlap rule never undercounts components.
+    #[test]
+    fn wall_time_decomposition_is_sound(
+        step_deg in 2.0f64..20.0,
+        steps in 5usize..40,
+    ) {
+        let layout = small_layout(2);
+        let dom = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
+        let poses = SphericalPath::new(dom, 2.5, step_deg, deg_to_rad(15.0)).generate(steps);
+        let cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes());
+        let imp = ImportanceTable::from_entropies(vec![1.0; layout.num_blocks()], 32);
+        let scfg = SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(15.0))
+            .with_target_samples(64);
+        let tv = VisibleTable::build(scfg, &layout, RadiusRule::Fixed(0.15), None);
+        let r = run_session(
+            &cfg,
+            &layout,
+            &Strategy::AppAware(viz_appaware::core::AppAwareConfig::paper(0.0)),
+            &poses,
+            Some((&tv, &imp)),
+        );
+        // Overlap can hide prefetch but never render or I/O.
+        prop_assert!(r.total_s + 1e-9 >= r.io_s + r.render_s);
+        prop_assert!(r.total_s <= r.io_s + r.render_s + r.prefetch_s + r.lookup_s + 1e-9);
+        for s in &r.per_step {
+            prop_assert!(s.total_s + 1e-12 >= s.io_s + s.render_s);
+        }
+    }
+}
