@@ -5,11 +5,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use viz_cache::{AccessClass, CacheLevel, Hierarchy, Lookup, PolicyKind};
 use viz_core::{
-    visible_blocks, ImportanceTable, RadiusModel, RadiusRule, SamplingConfig, VisibleTable,
+    visible_blocks, visible_blocks_brute_force, ImportanceTable, RadiusModel, RadiusRule,
+    SamplingConfig, VisibleTable,
 };
 use viz_geom::angle::deg_to_rad;
 use viz_geom::CameraPose;
-use viz_volume::{BlockStats, BrickLayout, DatasetKind, DatasetSpec, Dims3};
+use viz_volume::{BlockBvh, BlockStats, BrickLayout, DatasetKind, DatasetSpec, Dims3};
 
 fn bench_entropy(c: &mut Criterion) {
     let mut g = c.benchmark_group("entropy");
@@ -36,6 +37,28 @@ fn bench_visibility(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_bvh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvh");
+    for &blocks in &[512usize, 4096, 32768] {
+        let layout = BrickLayout::with_target_blocks(Dims3::cube(512), blocks);
+        let n = layout.num_blocks() as u64;
+        let pose = CameraPose::orbit(80.0, 30.0, 2.5, 15.0);
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("build", blocks), &layout, |b, l| {
+            b.iter(|| BlockBvh::new(black_box(l)));
+        });
+        // Warm the cached index so the query benches measure queries only.
+        let _ = layout.block_bvh();
+        g.bench_with_input(BenchmarkId::new("query_bvh", blocks), &layout, |b, l| {
+            b.iter(|| visible_blocks(black_box(&pose), black_box(l)));
+        });
+        g.bench_with_input(BenchmarkId::new("query_brute", blocks), &layout, |b, l| {
+            b.iter(|| visible_blocks_brute_force(black_box(&pose), black_box(l)));
+        });
+    }
+    g.finish();
+}
+
 fn bench_table_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("t_visible_build");
     g.sample_size(10);
@@ -43,8 +66,8 @@ fn bench_table_build(c: &mut Criterion) {
     let importance =
         ImportanceTable::from_entropies((0..layout.num_blocks()).map(|i| i as f64).collect(), 64);
     for &samples in &[180usize, 720, 1620] {
-        let cfg = SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(15.0))
-            .with_target_samples(samples);
+        let cfg =
+            SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(15.0)).with_target_samples(samples);
         g.bench_with_input(BenchmarkId::new("samples", samples), &cfg, |b, cfg| {
             b.iter(|| {
                 VisibleTable::build(
@@ -64,7 +87,9 @@ fn bench_table_lookup(c: &mut Criterion) {
     let cfg = SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(15.0)).with_target_samples(3240);
     let tv = VisibleTable::build(cfg, &layout, RadiusRule::Fixed(0.05), None);
     let poses: Vec<CameraPose> = (0..64)
-        .map(|i| CameraPose::orbit(i as f64 * 3.0, i as f64 * 7.0, 2.0 + (i % 10) as f64 * 0.1, 15.0))
+        .map(|i| {
+            CameraPose::orbit(i as f64 * 3.0, i as f64 * 7.0, 2.0 + (i % 10) as f64 * 0.1, 15.0)
+        })
         .collect();
     c.bench_function("t_visible_lookup_64_poses", |b| {
         b.iter(|| {
@@ -165,6 +190,7 @@ criterion_group!(
     bench_reuse_profile,
     bench_entropy,
     bench_visibility,
+    bench_bvh,
     bench_table_build,
     bench_table_lookup,
     bench_policies,

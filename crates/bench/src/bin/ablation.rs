@@ -7,10 +7,10 @@
 //! Belady/MIN bound on the same demand trace.
 
 use viz_bench::{Env, Opts};
+use viz_cache::{simulate_belady, PolicyKind};
 use viz_core::{
     compute_visibility, demand_trace, run_session_precomputed, AppAwareConfig, Strategy, Table,
 };
-use viz_cache::{simulate_belady, PolicyKind};
 use viz_volume::DatasetKind;
 
 fn main() {
@@ -31,7 +31,12 @@ fn main() {
     let vis = compute_visibility(&env.layout, &path);
 
     let mk = |preload: bool, prefetch: bool, overlap: bool| {
-        Strategy::AppAware(AppAwareConfig { preload, prefetch, overlap, ..AppAwareConfig::paper(sigma) })
+        Strategy::AppAware(AppAwareConfig {
+            preload,
+            prefetch,
+            overlap,
+            ..AppAwareConfig::paper(sigma)
+        })
     };
     let variants: Vec<(&str, Strategy)> = vec![
         ("FIFO", Strategy::Baseline(PolicyKind::Fifo)),
@@ -69,7 +74,14 @@ fn main() {
     // of the paper's T_visible lookup.
     {
         let s = Strategy::AppAware(viz_core::AppAwareConfig::paper(sigma).with_dead_reckoning());
-        let r = run_session_precomputed(&cfg, &env.layout, &s, &path, &vis, Some((&tv, &env.importance)));
+        let r = run_session_precomputed(
+            &cfg,
+            &env.layout,
+            &s,
+            &path,
+            &vis,
+            Some((&tv, &env.importance)),
+        );
         t.push(
             "OPT (dead reckoning)",
             vec![
@@ -90,7 +102,14 @@ fn main() {
             viz_core::AppAwareConfig::paper(sigma)
                 .with_adaptive_sigma(AdaptiveSigma::default_for_bins(64)),
         );
-        let r = run_session_precomputed(&cfg, &env.layout, &s, &path, &vis, Some((&tv, &env.importance)));
+        let r = run_session_precomputed(
+            &cfg,
+            &env.layout,
+            &s,
+            &path,
+            &vis,
+            Some((&tv, &env.importance)),
+        );
         t.push(
             "OPT (adaptive sigma)",
             vec![
@@ -109,10 +128,7 @@ fn main() {
         use viz_core::ImportanceTable;
         use viz_volume::block_mean_gradient;
         let field = env.spec.materialize(0, 0.0);
-        let grad = ImportanceTable::from_entropies(
-            block_mean_gradient(&field, &env.layout),
-            64,
-        );
+        let grad = ImportanceTable::from_entropies(block_mean_gradient(&field, &env.layout), 64);
         let sigma_g = grad.sigma_for_fraction(0.5);
         let s = Strategy::AppAware(viz_core::AppAwareConfig::paper(sigma_g));
         let r = run_session_precomputed(&cfg, &env.layout, &s, &path, &vis, Some((&tv, &grad)));
@@ -133,10 +149,7 @@ fn main() {
     let trace = demand_trace(&env.layout, &path);
     let dram_capacity = (env.layout.num_blocks() / 4).max(1);
     let belady = simulate_belady(&trace, dram_capacity);
-    t.push(
-        "Belady/MIN (offline bound)",
-        vec![("miss rate".to_string(), belady.miss_rate())],
-    );
+    t.push("Belady/MIN (offline bound)", vec![("miss rate".to_string(), belady.miss_rate())]);
 
     opts.emit(&t);
 }

@@ -50,9 +50,7 @@ fn main() {
                 io.push(x.clone(), vec![]);
             }
             miss.rows[bi].values.push((series.clone(), Metric::MissRate.of(&r)));
-            io.rows[bi]
-                .values
-                .push((series, r.io_s + r.lookup_s));
+            io.rows[bi].values.push((series, r.io_s + r.lookup_s));
             eprintln!(
                 "fig07: {} samples={budget} miss={:.4} io+lookup={:.3}s",
                 kind.name(),

@@ -10,21 +10,13 @@
 //! block range minimizes miss rate.
 
 use viz_bench::{Env, Opts};
-use viz_core::{
-    compute_visibility, run_session_precomputed, AppAwareConfig, Strategy, Table,
-};
 use viz_cache::PolicyKind;
+use viz_core::{compute_visibility, run_session_precomputed, AppAwareConfig, Strategy, Table};
 use viz_volume::{DatasetKind, Dims3};
 
 /// The paper's six block divisions at full scale.
-const BLOCKS_FULL: [(usize, usize, usize); 6] = [
-    (32, 32, 64),
-    (32, 64, 64),
-    (64, 64, 64),
-    (64, 64, 128),
-    (64, 128, 128),
-    (128, 128, 128),
-];
+const BLOCKS_FULL: [(usize, usize, usize); 6] =
+    [(32, 32, 64), (32, 64, 64), (64, 64, 64), (64, 64, 128), (64, 128, 128), (128, 128, 128)];
 
 fn main() {
     let opts = Opts::from_env();
@@ -65,28 +57,30 @@ fn main() {
 
     let mut tables: Vec<Table> = Vec::new();
 
-    let mut run_panel = |panel_id: String, title: String, poses_of: &dyn Fn(&Env) -> Vec<viz_geom::CameraPose>| {
-        let mut t = Table::new(&panel_id, &title, "block size", "miss rate");
-        for d in &divisions {
-            let poses = poses_of(&d.env);
-            let vis = compute_visibility(&d.env.layout, &poses);
-            let cfg = d.env.session_config(0.5);
-            let sigma = d.env.sigma();
-            let mut vals = Vec::new();
-            for s in [
-                Strategy::Baseline(PolicyKind::Fifo),
-                Strategy::Baseline(PolicyKind::Lru),
-                Strategy::AppAware(AppAwareConfig::paper(sigma)),
-            ] {
-                let tbl = matches!(s, Strategy::AppAware(_)).then_some((&d.tv, &d.env.importance));
-                let r = run_session_precomputed(&cfg, &d.env.layout, &s, &poses, &vis, tbl);
-                vals.push((r.strategy.clone(), r.miss_rate));
+    let mut run_panel =
+        |panel_id: String, title: String, poses_of: &dyn Fn(&Env) -> Vec<viz_geom::CameraPose>| {
+            let mut t = Table::new(&panel_id, &title, "block size", "miss rate");
+            for d in &divisions {
+                let poses = poses_of(&d.env);
+                let vis = compute_visibility(&d.env.layout, &poses);
+                let cfg = d.env.session_config(0.5);
+                let sigma = d.env.sigma();
+                let mut vals = Vec::new();
+                for s in [
+                    Strategy::Baseline(PolicyKind::Fifo),
+                    Strategy::Baseline(PolicyKind::Lru),
+                    Strategy::AppAware(AppAwareConfig::paper(sigma)),
+                ] {
+                    let tbl =
+                        matches!(s, Strategy::AppAware(_)).then_some((&d.tv, &d.env.importance));
+                    let r = run_session_precomputed(&cfg, &d.env.layout, &s, &poses, &vis, tbl);
+                    vals.push((r.strategy.clone(), r.miss_rate));
+                }
+                t.push(d.label.clone(), vals);
             }
-            t.push(d.label.clone(), vals);
-        }
-        eprintln!("fig09: panel {panel_id} done");
-        tables.push(t);
-    };
+            eprintln!("fig09: panel {panel_id} done");
+            tables.push(t);
+        };
 
     for (i, &deg) in spherical.iter().enumerate() {
         let panel = (b'a' + i as u8) as char;

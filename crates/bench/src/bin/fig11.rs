@@ -18,11 +18,8 @@ fn main() {
     let opts = Opts::parse(std::env::args().skip(1).filter(|a| a != "--show-model"));
 
     // 50×100×50 at paper scale → 1024 blocks of 800×800×400.
-    let block = Dims3::new(
-        (50 / opts.scale).max(2),
-        (100 / opts.scale).max(2),
-        (50 / opts.scale).max(2),
-    );
+    let block =
+        Dims3::new((50 / opts.scale).max(2), (100 / opts.scale).max(2), (50 / opts.scale).max(2));
     let env = Env::with_block_dims(DatasetKind::LiftedRr, opts.scale, block, opts.seed);
     eprintln!("fig11: {} blocks", env.layout.num_blocks());
 

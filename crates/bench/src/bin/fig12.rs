@@ -7,8 +7,8 @@
 //! per-step view change for every policy.
 
 use viz_bench::{Env, Opts};
-use viz_core::{run_session, AppAwareConfig, Strategy, Table};
 use viz_cache::PolicyKind;
+use viz_core::{run_session, AppAwareConfig, Strategy, Table};
 use viz_volume::DatasetKind;
 
 fn main() {
@@ -50,7 +50,15 @@ fn main() {
         "deg range",
         "miss rate",
     );
-    for &(lo, hi) in &[(0.0, 5.0), (5.0, 10.0), (10.0, 15.0), (15.0, 20.0), (20.0, 25.0), (25.0, 30.0), (30.0, 35.0)] {
+    for &(lo, hi) in &[
+        (0.0, 5.0),
+        (5.0, 10.0),
+        (10.0, 15.0),
+        (15.0, 20.0),
+        (20.0, 25.0),
+        (25.0, 30.0),
+        (30.0, 35.0),
+    ] {
         let path = env.random_path(lo, hi, opts.steps, opts.seed ^ 0x12);
         let mut vals = Vec::new();
         for s in &strategies {

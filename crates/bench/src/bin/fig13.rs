@@ -8,10 +8,8 @@
 //! win into the 10–15° range (8.6% vs LRU, 19.7% vs FIFO).
 
 use viz_bench::{Env, Opts};
-use viz_core::{
-    compute_visibility, run_session_precomputed, AppAwareConfig, Strategy, Table,
-};
 use viz_cache::PolicyKind;
+use viz_core::{compute_visibility, run_session_precomputed, AppAwareConfig, Strategy, Table};
 use viz_volume::DatasetKind;
 
 fn main() {
@@ -19,14 +17,8 @@ fn main() {
     let env = Env::new(DatasetKind::Ball3d, opts.scale, 4096, opts.seed);
     eprintln!("fig13: {} blocks", env.layout.num_blocks());
 
-    let sweeps: [(f64, f64); 6] = [
-        (0.0, 5.0),
-        (5.0, 10.0),
-        (10.0, 15.0),
-        (15.0, 20.0),
-        (20.0, 25.0),
-        (25.0, 30.0),
-    ];
+    let sweeps: [(f64, f64); 6] =
+        [(0.0, 5.0), (5.0, 10.0), (10.0, 15.0), (15.0, 20.0), (20.0, 25.0), (25.0, 30.0)];
 
     for (panel, ratio) in [('a', 0.5f64), ('b', 0.7f64)] {
         let tv = env.visible_table(opts.samples, ratio * ratio);

@@ -9,11 +9,11 @@
 //!    (which data-dependent operations require).
 
 use viz_bench::{Env, Opts};
+use viz_cache::TierCost;
 use viz_core::{
     compute_visibility, parallel_fetch_time, run_lod_session, serial_fetch_time, Distribution,
     LodPolicy, Table,
 };
-use viz_cache::TierCost;
 use viz_volume::DatasetKind;
 
 fn main() {
@@ -57,12 +57,7 @@ fn main() {
     let sigma = env.sigma();
     let hot_sets: Vec<Vec<viz_volume::BlockId>> = visibility
         .iter()
-        .map(|v| {
-            v.iter()
-                .copied()
-                .filter(|&b| env.importance.entropy(b) > sigma)
-                .collect()
-        })
+        .map(|v| v.iter().copied().filter(|&b| env.importance.entropy(b) > sigma).collect())
         .collect();
     let mut t1b = Table::new(
         "futurework-parallel-hot",
@@ -77,10 +72,7 @@ fn main() {
         let t_bal: f64 = hot_sets.iter().map(|v| parallel_fetch_time(v, &bal, cost, bytes)).sum();
         t1b.push(
             k.to_string(),
-            vec![
-                ("round-robin".to_string(), t_rr),
-                ("importance-LPT".to_string(), t_bal),
-            ],
+            vec![("round-robin".to_string(), t_rr), ("importance-LPT".to_string(), t_bal)],
         );
     }
     opts.emit(&t1b);

@@ -41,10 +41,7 @@ fn main() {
     }
 
     println!();
-    println!(
-        "Scaled instances generated for this reproduction (--scale {}):",
-        opts.scale
-    );
+    println!("Scaled instances generated for this reproduction (--scale {}):", opts.scale);
     println!(
         "{:<17} {:<16} {:>10} {:>12} {:>14} {:>14}",
         "name", "resolution", "size", "blocks", "median H", "top H"

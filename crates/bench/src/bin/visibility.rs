@@ -1,0 +1,180 @@
+//! Visibility-kernel benchmark: brute-force Eq. 1 scans vs the BVH.
+//!
+//! Measures, at the paper's operating point (512³ volume, 16³ blocks =
+//! 32,768 blocks; 25,920 sampling positions × 8 vicinal points):
+//!
+//! - `T_visible` build time, brute force vs BVH-accelerated, and the
+//!   resulting speedup (the PR's ≥5× target);
+//! - single ground-truth query latency (`visible_blocks`), both paths;
+//! - BVH construction time and footprint;
+//! - table memory: flat CSR bytes vs the former `Vec<Vec<BlockId>>`
+//!   layout, and serialized size: varint-delta v2 vs the fixed-width v1.
+//!
+//! Results are printed and written as JSON (default `BENCH_visibility.json`;
+//! `--out PATH` overrides, `--fast` shrinks the workload for smoke runs).
+
+use std::time::Instant;
+use viz_bench::{D_MAX, D_MIN, VIEW_ANGLE_DEG};
+use viz_core::persist::encode_visible_table;
+use viz_core::{
+    visible_blocks, visible_blocks_brute_force, RadiusModel, RadiusRule, SamplingConfig,
+    VisibleTable,
+};
+use viz_geom::angle::deg_to_rad;
+use viz_geom::CameraPose;
+use viz_volume::{BlockBvh, BrickLayout, Dims3};
+
+struct Args {
+    fast: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args { fast: false, out: "BENCH_visibility.json".to_string() };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => a.fast = true,
+            "--out" => {
+                if let Some(p) = it.next() {
+                    a.out = p;
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("options: --fast  --out PATH");
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown option {other:?}"),
+        }
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    // Paper scale: 512³ voxels in 16³ bricks → 32³ = 32,768 blocks and the
+    // preferred 25,920-sample lattice. --fast shrinks both for CI.
+    let (volume, samples) = if args.fast { (128usize, 720usize) } else { (512, 25_920) };
+    let layout = BrickLayout::new(Dims3::cube(volume), Dims3::cube(16));
+    let angle = deg_to_rad(VIEW_ANGLE_DEG);
+    let cfg = SamplingConfig::paper_default(D_MIN, D_MAX, angle).with_target_samples(samples);
+    let rule = RadiusRule::Optimal(RadiusModel::new(0.25, angle));
+    eprintln!(
+        "visibility: {v}^3 volume, {b} blocks, {s} samples x {p} vicinal points",
+        v = volume,
+        b = layout.num_blocks(),
+        s = cfg.total_samples(),
+        p = cfg.vicinal_points,
+    );
+
+    // BVH construction (the one-time cost the accelerated path adds).
+    let t0 = Instant::now();
+    let bvh = BlockBvh::new(&layout);
+    let bvh_build_s = t0.elapsed().as_secs_f64();
+    eprintln!("bvh: built in {bvh_build_s:.4}s, {} bytes", bvh.approx_bytes());
+
+    // Table build, both paths. Build order is brute first so the cached
+    // layout BVH (warmed above) cannot subsidize the baseline.
+    let t0 = Instant::now();
+    let brute = VisibleTable::build_brute_force(cfg, &layout, rule, None);
+    let brute_build_s = t0.elapsed().as_secs_f64();
+    eprintln!("build: brute force {brute_build_s:.3}s");
+
+    let t0 = Instant::now();
+    let accel = VisibleTable::build(cfg, &layout, rule, None);
+    let accel_build_s = t0.elapsed().as_secs_f64();
+    let speedup = brute_build_s / accel_build_s;
+    eprintln!("build: bvh {accel_build_s:.3}s ({speedup:.1}x)");
+
+    assert_eq!(brute.csr_offsets(), accel.csr_offsets(), "offsets diverge");
+    assert_eq!(brute.csr_ids(), accel.csr_ids(), "visible sets diverge");
+    eprintln!("check: accelerated table identical to brute force");
+
+    // Single-query ground-truth latency over a pose sweep.
+    let poses: Vec<CameraPose> = (0..200)
+        .map(|i| {
+            let t = i as f64 / 200.0;
+            CameraPose::orbit(
+                10.0 + 160.0 * t,
+                360.0 * ((i * 7) % 200) as f64 / 200.0,
+                D_MIN + (D_MAX - D_MIN) * t,
+                VIEW_ANGLE_DEG,
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut brute_seen = 0usize;
+    for p in &poses {
+        brute_seen += visible_blocks_brute_force(p, &layout).len();
+    }
+    let query_brute_us = t0.elapsed().as_secs_f64() * 1e6 / poses.len() as f64;
+    let t0 = Instant::now();
+    let mut accel_seen = 0usize;
+    for p in &poses {
+        accel_seen += visible_blocks(p, &layout).len();
+    }
+    let query_accel_us = t0.elapsed().as_secs_f64() * 1e6 / poses.len() as f64;
+    assert_eq!(brute_seen, accel_seen, "query paths disagree");
+    eprintln!(
+        "query: brute {query_brute_us:.1}us, bvh {query_accel_us:.1}us ({:.1}x)",
+        query_brute_us / query_accel_us
+    );
+
+    // Memory + serialized size: CSR/varint-v2 vs the seed layouts.
+    let n = accel.len();
+    let ids = accel.csr_ids().len();
+    let csr_bytes = accel.approx_bytes();
+    let vec_of_vec_bytes = ids * 4 + n * 24; // former per-entry Vec headers
+    let v2 = encode_visible_table(&accel).expect("encode");
+    // v1 frame cost: 10-byte preamble + JSON header + u32 count + fixed
+    // u32 per entry length and per id.
+    let header = serde_json::to_vec(&(&accel.config, &accel.radius_rule)).expect("header");
+    let v1_estimate = 10 + header.len() + 4 + n * 4 + ids * 4;
+    eprintln!(
+        "size: csr {csr_bytes} B (vec-of-vec {vec_of_vec_bytes} B), \
+         serialized v2 {} B (v1 {v1_estimate} B)",
+        v2.len()
+    );
+
+    let json = serde_json::json!({
+        "bench": "visibility",
+        "operating_point": {
+            "volume_dims": volume,
+            "block_dims": 16,
+            "num_blocks": layout.num_blocks(),
+            "samples": cfg.total_samples(),
+            "vicinal_points": cfg.vicinal_points,
+            "view_angle_deg": VIEW_ANGLE_DEG,
+            "fast": args.fast,
+        },
+        "bvh": {
+            "build_s": bvh_build_s,
+            "approx_bytes": bvh.approx_bytes(),
+            "num_blocks": bvh.num_blocks(),
+        },
+        "table_build": {
+            "brute_force_s": brute_build_s,
+            "bvh_s": accel_build_s,
+            "speedup": speedup,
+            "identical": true,
+        },
+        "query": {
+            "poses": poses.len(),
+            "brute_force_us": query_brute_us,
+            "bvh_us": query_accel_us,
+            "speedup": query_brute_us / query_accel_us,
+        },
+        "table_bytes": {
+            "entries": n,
+            "total_ids": ids,
+            "csr": csr_bytes,
+            "vec_of_vec": vec_of_vec_bytes,
+            "serialized_v2": v2.len(),
+            "serialized_v1": v1_estimate,
+        },
+    });
+    let pretty = serde_json::to_string_pretty(&json).expect("json");
+    std::fs::write(&args.out, pretty + "\n").expect("write results");
+    println!("{}", serde_json::to_string_pretty(&json).expect("json"));
+    eprintln!("wrote {}", args.out);
+}

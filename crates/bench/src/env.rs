@@ -90,7 +90,13 @@ impl Env {
     /// A random path with per-step view change in `[lo, hi]` degrees and a
     /// strong zoom component: the distance jitter sweeps the whole shell
     /// (used where adaptive-radius behaviour matters, e.g. Fig. 11).
-    pub fn zooming_random_path(&self, lo: f64, hi: f64, steps: usize, seed: u64) -> Vec<CameraPose> {
+    pub fn zooming_random_path(
+        &self,
+        lo: f64,
+        hi: f64,
+        steps: usize,
+        seed: u64,
+    ) -> Vec<CameraPose> {
         RandomWalkPath::new(Self::domain(), 2.5, lo, hi, Self::view_angle(), seed)
             .with_distance_jitter(0.4)
             .generate(steps)

@@ -9,5 +9,5 @@
 pub mod env;
 pub mod opts;
 
-pub use env::{Env, PATH_STEPS, VIEW_ANGLE_DEG};
+pub use env::{Env, D_MAX, D_MIN, PATH_STEPS, VIEW_ANGLE_DEG};
 pub use opts::Opts;

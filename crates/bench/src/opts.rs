@@ -101,7 +101,8 @@ mod tests {
 
     #[test]
     fn parses_values() {
-        let o = parse(&["--scale", "2", "--steps", "100", "--samples", "8640", "--seed", "7", "--csv"]);
+        let o =
+            parse(&["--scale", "2", "--steps", "100", "--samples", "8640", "--seed", "7", "--csv"]);
         assert_eq!(o.scale, 2);
         assert_eq!(o.steps, 100);
         assert_eq!(o.samples, 8640);

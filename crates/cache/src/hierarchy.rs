@@ -80,10 +80,7 @@ impl<K: Copy + Eq + Hash + Ord + Send + 'static> Hierarchy<K> {
         Hierarchy {
             tiers: tiers
                 .into_iter()
-                .map(|spec| Tier {
-                    cache: CacheLevel::new(spec.policy, spec.capacity),
-                    spec,
-                })
+                .map(|spec| Tier { cache: CacheLevel::new(spec.policy, spec.capacity), spec })
                 .collect(),
             backing,
             backing_name: "backing".to_string(),
@@ -95,7 +92,12 @@ impl<K: Copy + Eq + Hash + Ord + Send + 'static> Hierarchy<K> {
     /// The paper's standard configuration: DRAM and SSD tiers over an HDD,
     /// with DRAM = `ratio²`·blocks and SSD = `ratio`·blocks (ratio 0.5 ⇒
     /// 25% / 50% of the dataset, exactly §V-A).
-    pub fn paper_default(num_blocks: usize, ratio: f64, policy: PolicyKind, block_bytes: usize) -> Self {
+    pub fn paper_default(
+        num_blocks: usize,
+        ratio: f64,
+        policy: PolicyKind,
+        block_bytes: usize,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&ratio), "cache ratio must be in (0, 1]");
         let ssd_cap = ((num_blocks as f64 * ratio).round() as usize).max(1);
         let dram_cap = ((num_blocks as f64 * ratio * ratio).round() as usize).max(1);

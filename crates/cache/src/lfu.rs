@@ -52,11 +52,7 @@ impl<K: Copy + Eq + Hash + Ord + Send> ReplacementPolicy<K> for LfuPolicy<K> {
     }
 
     fn choose_victim(&mut self, is_evictable: &mut dyn FnMut(&K) -> bool) -> Option<K> {
-        let found = self
-            .order
-            .iter()
-            .find(|(_, _, k)| is_evictable(k))
-            .copied()?;
+        let found = self.order.iter().find(|(_, _, k)| is_evictable(k)).copied()?;
         self.order.remove(&found);
         self.meta.remove(&found.2);
         Some(found.2)

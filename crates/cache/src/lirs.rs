@@ -109,11 +109,7 @@ impl<K: Copy + Eq + Hash> LirsPolicy<K> {
 
     /// Bound ghost metadata by dropping the oldest ghosts from the stack.
     fn trim_ghosts(&mut self) {
-        let mut ghosts = self
-            .state
-            .values()
-            .filter(|s| **s == State::HirGhost)
-            .count();
+        let mut ghosts = self.state.values().filter(|s| **s == State::HirGhost).count();
         if ghosts <= self.ghost_cap {
             return;
         }
@@ -217,12 +213,8 @@ impl<K: Copy + Eq + Hash + Send> ReplacementPolicy<K> for LirsPolicy<K> {
             return Some(key);
         }
         // Queue exhausted (or all pinned): demote+evict from LIR bottom up.
-        let candidates: Vec<K> = self
-            .stack
-            .iter()
-            .filter(|k| self.state.get(k) == Some(&State::Lir))
-            .copied()
-            .collect();
+        let candidates: Vec<K> =
+            self.stack.iter().filter(|k| self.state.get(k) == Some(&State::Lir)).copied().collect();
         for key in candidates {
             if is_evictable(&key) {
                 self.stack_remove(&key);
@@ -354,10 +346,7 @@ mod tests {
         let lru = run(Box::new(crate::lru::LruPolicy::new()));
         let lirs = run(Box::new(LirsPolicy::new(cap)));
         assert_eq!(lru, 15 * keys.len(), "LRU must thrash on the loop");
-        assert!(
-            lirs < lru / 2,
-            "LIRS should retain its LIR set: {lirs} vs {lru}"
-        );
+        assert!(lirs < lru / 2, "LIRS should retain its LIR set: {lirs} vs {lru}");
     }
 
     #[test]
@@ -384,11 +373,8 @@ mod tests {
             }
             p.on_hit(k / 2);
         }
-        let resident = p
-            .state
-            .values()
-            .filter(|s| matches!(s, State::Lir | State::HirResident))
-            .count();
+        let resident =
+            p.state.values().filter(|s| matches!(s, State::Lir | State::HirResident)).count();
         assert_eq!(p.len(), resident);
     }
 

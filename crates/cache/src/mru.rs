@@ -56,12 +56,8 @@ impl<K: Copy + Eq + Hash + Send> ReplacementPolicy<K> for MruPolicy<K> {
 
     fn choose_victim(&mut self, is_evictable: &mut dyn FnMut(&K) -> bool) -> Option<K> {
         // Newest first.
-        let found = self
-            .order
-            .iter()
-            .rev()
-            .find(|(_, k)| is_evictable(k))
-            .map(|(&s, &k)| (s, k))?;
+        let found =
+            self.order.iter().rev().find(|(_, k)| is_evictable(k)).map(|(&s, &k)| (s, k))?;
         self.order.remove(&found.0);
         self.last.remove(&found.1);
         Some(found.1)

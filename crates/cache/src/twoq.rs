@@ -126,8 +126,7 @@ impl<K: Copy + Eq + Hash + Send> ReplacementPolicy<K> for TwoQPolicy<K> {
                 .or_else(|| take(&mut self.am, &mut self.index, is_evictable))
         } else {
             take(&mut self.am, &mut self.index, is_evictable).or_else(|| {
-                take(&mut self.a1in, &mut self.index, is_evictable)
-                    .inspect(|&v| self.ghost_push(v))
+                take(&mut self.a1in, &mut self.index, is_evictable).inspect(|&v| self.ghost_push(v))
             })
         };
         victim
@@ -245,12 +244,12 @@ mod tests {
     #[test]
     fn protected_eviction_is_lru() {
         let mut p = TwoQPolicy::new(4); // kin = 1
-        // Promote 1 and 2 into Am.
+                                        // Promote 1 and 2 into Am.
         for k in [1u32, 2] {
             promote(&mut p, k);
         }
         p.on_hit(1); // 2 becomes protected-LRU
-        // Fill A1in to its target so eviction turns to Am.
+                     // Fill A1in to its target so eviction turns to Am.
         p.on_insert(50);
         let v = p.choose_victim(&mut |_| true).unwrap();
         assert_eq!(v, 2, "protected LRU should go first, got {v}");

@@ -71,7 +71,8 @@ impl SigmaController {
         // through the epsilon floor.
         let actual = prefetch_s.max(1e-6 * render_s);
         let error = (actual / target).ln();
-        self.sigma = (self.sigma + self.cfg.gain * error).clamp(self.cfg.min_sigma, self.cfg.max_sigma);
+        self.sigma =
+            (self.sigma + self.cfg.gain * error).clamp(self.cfg.min_sigma, self.cfg.max_sigma);
         self.sigma
     }
 }

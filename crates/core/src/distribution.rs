@@ -205,10 +205,7 @@ mod tests {
         let cost = TierCost::hdd();
         let t_rr = parallel_fetch_time(&hot, &rr, cost, 1 << 20);
         let t_bal = parallel_fetch_time(&hot, &bal, cost, 1 << 20);
-        assert!(
-            t_bal < t_rr * 0.6,
-            "balanced {t_bal} should be ~half of round-robin {t_rr}"
-        );
+        assert!(t_bal < t_rr * 0.6, "balanced {t_bal} should be ~half of round-robin {t_rr}");
         let _ = imp;
     }
 

@@ -169,8 +169,8 @@ mod tests {
         let cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes());
         let dom = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
         let stats = across_seeds(&[11, 22, 33, 44, 55], |seed| {
-            let path = RandomWalkPath::new(dom, 2.5, 5.0, 10.0, deg_to_rad(15.0), seed)
-                .generate(60);
+            let path =
+                RandomWalkPath::new(dom, 2.5, 5.0, 10.0, deg_to_rad(15.0), seed).generate(60);
             run_session(
                 &cfg,
                 &layout,

@@ -76,20 +76,15 @@ impl BlockHistogramTable {
     pub fn weighted_importance<W: Fn(f32) -> f32>(&self, weight: W) -> ImportanceTable {
         let (lo, hi) = self.range;
         let span = (hi - lo).max(f32::MIN_POSITIVE);
-        let centers: Vec<f32> = (0..self.bins)
-            .map(|i| lo + span * (i as f32 + 0.5) / self.bins as f32)
-            .collect();
+        let centers: Vec<f32> =
+            (0..self.bins).map(|i| lo + span * (i as f32 + 0.5) / self.bins as f32).collect();
         let weights: Vec<f64> = centers.iter().map(|&c| weight(c) as f64).collect();
         let scores: Vec<f64> = self
             .histograms
             .iter()
             .map(|h| {
                 let total = h.total.max(1) as f64;
-                h.counts
-                    .iter()
-                    .zip(&weights)
-                    .map(|(&c, &w)| (c as f64 / total) * w)
-                    .sum()
+                h.counts.iter().zip(&weights).map(|(&c, &w)| (c as f64 / total) * w).sum()
             })
             .collect();
         ImportanceTable::from_entropies(scores, self.bins)
@@ -130,10 +125,7 @@ mod tests {
         let direct = ImportanceTable::from_field(&layout, &field, 64);
         let derived = table.entropy_importance();
         for id in layout.block_ids() {
-            assert!(
-                (direct.entropy(id) - derived.entropy(id)).abs() < 1e-9,
-                "block {id}"
-            );
+            assert!((direct.entropy(id) - derived.entropy(id)).abs() < 1e-9, "block {id}");
         }
     }
 

@@ -77,11 +77,8 @@ impl ImportanceTable {
         bins: usize,
     ) -> Self {
         let ids: Vec<BlockId> = layout.block_ids().collect();
-        let (vnx, vny, vnz) = (
-            layout.volume.nx as f64,
-            layout.volume.ny as f64,
-            layout.volume.nz as f64,
-        );
+        let (vnx, vny, vnz) =
+            (layout.volume.nx as f64, layout.volume.ny as f64, layout.volume.nz as f64);
         let by_block: Vec<f64> = ids
             .par_iter()
             .map(|&id| {
@@ -134,10 +131,7 @@ impl ImportanceTable {
     /// Blocks with entropy strictly greater than `sigma` (the paper's
     /// pre-load set, Algorithm 1 line 7).
     pub fn above_threshold(&self, sigma: f64) -> impl Iterator<Item = BlockId> + '_ {
-        self.entries
-            .iter()
-            .take_while(move |e| e.entropy > sigma)
-            .map(|e| e.block)
+        self.entries.iter().take_while(move |e| e.entropy > sigma).map(|e| e.block)
     }
 
     /// The entropy value such that exactly `fraction` of blocks lie above
@@ -156,16 +150,25 @@ impl ImportanceTable {
 
     /// Keep only the most important `max` blocks of `set`, in descending
     /// entropy order (the paper's over-prediction fallback at the end of
-    /// §IV-B).
+    /// §IV-B). Uses partial selection — O(n + max·log max) instead of a full
+    /// O(n·log n) sort; the comparator is a total order (entropy desc, id asc
+    /// tiebreak), so the result is identical to sort-then-truncate.
     pub fn filter_top(&self, set: &[BlockId], max: usize) -> Vec<BlockId> {
-        let mut v: Vec<BlockId> = set.to_vec();
-        v.sort_by(|a, b| {
+        if max == 0 {
+            return Vec::new();
+        }
+        let cmp = |a: &BlockId, b: &BlockId| {
             self.entropy(*b)
                 .partial_cmp(&self.entropy(*a))
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(b))
-        });
-        v.truncate(max);
+        };
+        let mut v: Vec<BlockId> = set.to_vec();
+        if v.len() > max {
+            v.select_nth_unstable_by(max - 1, cmp);
+            v.truncate(max);
+        }
+        v.sort_unstable_by(cmp);
         v
     }
 }
@@ -226,6 +229,31 @@ mod tests {
         let t = ImportanceTable::from_entropies(vec![1.0, 1.0, 1.0], 8);
         let ids: Vec<BlockId> = t.top_n(3).collect();
         assert_eq!(ids, vec![BlockId(0), BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn filter_top_handles_edge_sizes() {
+        let t = table();
+        let set = vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)];
+        assert!(t.filter_top(&set, 0).is_empty());
+        // max >= len keeps everything, sorted by descending entropy.
+        let all = t.filter_top(&set, 10);
+        assert_eq!(all, vec![BlockId(1), BlockId(3), BlockId(0), BlockId(2)]);
+    }
+
+    #[test]
+    fn filter_top_matches_full_sort() {
+        // Partial selection must agree with the reference full-sort-then-
+        // truncate result, ties included.
+        let entropies: Vec<f64> = (0..97).map(|i| ((i * 31) % 7) as f64).collect();
+        let t = ImportanceTable::from_entropies(entropies, 16);
+        let set: Vec<BlockId> = (0..97).map(BlockId).collect();
+        for max in [1usize, 3, 7, 48, 96, 97] {
+            let mut want = set.clone();
+            want.sort_by(|a, b| t.entropy(*b).partial_cmp(&t.entropy(*a)).unwrap().then(a.cmp(b)));
+            want.truncate(max);
+            assert_eq!(t.filter_top(&set, max), want, "max {max}");
+        }
     }
 
     #[test]

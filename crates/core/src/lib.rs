@@ -79,10 +79,8 @@ pub mod session;
 pub mod trace;
 
 pub use adaptive::{AdaptiveSigma, SigmaController};
+pub use distribution::{parallel_fetch_time, serial_fetch_time, DeviceId, Distribution};
 pub use eval::{across_seeds, RunningStats};
-pub use distribution::{
-    parallel_fetch_time, serial_fetch_time, DeviceId, Distribution,
-};
 pub use histable::BlockHistogramTable;
 pub use importance::{ImportanceEntry, ImportanceTable};
 pub use lod::{run_lod_session, LodPolicy, LodReport};
@@ -95,9 +93,11 @@ pub use prediction::extrapolate_pose;
 pub use radius::RadiusModel;
 pub use replay::{compare, Comparison, JournalEntry, MetricDelta};
 pub use report::{Metric, Row, Table};
-pub use sampling::{visible_blocks, RadiusRule, SamplingConfig, VisibleTable};
-pub use trace::ReuseProfile;
-pub use session::{
-    compute_visibility, demand_trace, run_session, run_session_precomputed, AppAwareConfig, RenderModel, PredictorKind, SessionConfig, SessionReport,
-    StepMetrics, Strategy,
+pub use sampling::{
+    visible_blocks, visible_blocks_brute_force, RadiusRule, SamplingConfig, VisibleTable,
 };
+pub use session::{
+    compute_visibility, demand_trace, run_session, run_session_precomputed, AppAwareConfig,
+    PredictorKind, RenderModel, SessionConfig, SessionReport, StepMetrics, Strategy,
+};
+pub use trace::ReuseProfile;

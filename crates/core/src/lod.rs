@@ -91,8 +91,12 @@ pub fn run_lod_session(
     poses: &[CameraPose],
 ) -> LodReport {
     let num_blocks = layout.num_blocks();
-    let mut hier: Hierarchy<LodKey> =
-        Hierarchy::paper_default(num_blocks, config.cache_ratio, PolicyKind::Lru, config.block_bytes);
+    let mut hier: Hierarchy<LodKey> = Hierarchy::paper_default(
+        num_blocks,
+        config.cache_ratio,
+        PolicyKind::Lru,
+        config.block_bytes,
+    );
 
     let mut per_step = Vec::with_capacity(poses.len());
     let (mut io_total, mut render_total, mut wall_total) = (0.0, 0.0, 0.0);

@@ -376,8 +376,7 @@ mod tests {
         let p = poses(80);
         let cfg = SessionConfig::paper(0.5, l.nominal_block_bytes());
         let (tv, imps) = tables(&l, 4);
-        let script =
-            ExplorationScript::with_variable_switches(&p, &[vec![0, 1], vec![2, 3]], 10);
+        let script = ExplorationScript::with_variable_switches(&p, &[vec![0, 1], vec![2, 3]], 10);
         let lru = run_multivar_session(
             &cfg,
             &l,
@@ -409,8 +408,7 @@ mod tests {
         let cfg = SessionConfig::paper(0.5, l.nominal_block_bytes());
         let (_, imps) = tables(&l, 1);
         let static_script = ExplorationScript::single_phase(&p, vec![0]);
-        let moving_script =
-            ExplorationScript::single_phase(&p, vec![0]).with_time_advance(10, 4);
+        let moving_script = ExplorationScript::single_phase(&p, vec![0]).with_time_advance(10, 4);
         let stat = run_multivar_session(
             &cfg,
             &l,

@@ -96,11 +96,7 @@ pub struct Prefetcher {
 impl Prefetcher {
     /// Spawn the worker. `queue_depth` bounds the request channel so a
     /// runaway producer back-pressures instead of ballooning memory.
-    pub fn spawn(
-        source: Arc<dyn BlockSource>,
-        pool: Arc<BlockPool>,
-        queue_depth: usize,
-    ) -> Self {
+    pub fn spawn(source: Arc<dyn BlockSource>, pool: Arc<BlockPool>, queue_depth: usize) -> Self {
         assert!(queue_depth > 0);
         let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(queue_depth);
         let handle = std::thread::Builder::new()
@@ -146,10 +142,7 @@ impl Prefetcher {
     /// Stop the worker and return how many blocks it fetched.
     pub fn shutdown(mut self) -> u64 {
         let _ = self.tx.send(Request::Shutdown);
-        self.handle
-            .take()
-            .map(|h| h.join().unwrap_or(0))
-            .unwrap_or(0)
+        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
     }
 }
 
@@ -197,10 +190,7 @@ mod tests {
         }
         pf.sync();
         assert_eq!(pool.len(), 16);
-        assert_eq!(
-            pool.get(BlockKey::scalar(BlockId(5))).unwrap().as_slice(),
-            &[5.0f32; 8]
-        );
+        assert_eq!(pool.get(BlockKey::scalar(BlockId(5))).unwrap().as_slice(), &[5.0f32; 8]);
         let fetched = pf.shutdown();
         assert_eq!(fetched, 16);
     }

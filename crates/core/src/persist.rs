@@ -15,33 +15,76 @@ use std::path::Path;
 
 const VIS_MAGIC: &[u8; 4] = b"TVIS";
 const IMP_MAGIC: &[u8; 4] = b"TIMP";
-const VERSION: u16 = 1;
+/// Current `T_visible` frame version: CSR payload, LEB128 varint
+/// delta-encoded per entry. Version 1 (fixed u32 runs) is still decoded.
+const VIS_VERSION: u16 = 2;
+const IMP_VERSION: u16 = 1;
 
 fn err(m: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, m.into())
 }
 
+/// Append `v` as an LEB128 varint (1–5 bytes).
+fn put_varint_u32(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read one LEB128 varint from the front of `buf`.
+fn get_varint_u32(buf: &mut &[u8]) -> io::Result<u32> {
+    let mut v: u32 = 0;
+    for shift in [0u32, 7, 14, 21, 28] {
+        if !buf.has_remaining() {
+            return Err(err("truncated varint"));
+        }
+        let byte = buf.get_u8();
+        let bits = (byte & 0x7F) as u32;
+        if shift == 28 && bits > 0x0F {
+            return Err(err("varint overflows u32"));
+        }
+        v |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(err("varint longer than 5 bytes"))
+}
+
 /// Serialize a `T_visible` table: a small JSON header (config + radius
-/// rule, via serde) followed by length-prefixed block-id runs per entry.
+/// rule, via serde) followed by the CSR payload — per entry a varint
+/// length, then the first block id and successive (wrapping) deltas as
+/// varints. Entries are sorted ascending, so deltas are small and most ids
+/// persist in 1–2 bytes instead of the 4 of the version-1 format.
 pub fn encode_visible_table(t: &VisibleTable) -> io::Result<Vec<u8>> {
     let header = serde_json::to_vec(&(&t.config, &t.radius_rule)).map_err(io::Error::other)?;
-    let mut buf = Vec::with_capacity(header.len() + t.approx_bytes() + 64);
+    let mut buf = Vec::with_capacity(header.len() + t.approx_bytes() / 2 + 64);
     buf.put_slice(VIS_MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(VIS_VERSION);
     buf.put_u32_le(header.len() as u32);
     buf.put_slice(&header);
     buf.put_u32_le(t.len() as u32);
     for i in 0..t.len() {
         let entry = t.entry(i);
-        buf.put_u32_le(entry.len() as u32);
-        for b in entry {
-            buf.put_u32_le(b.0);
+        put_varint_u32(&mut buf, entry.len() as u32);
+        let mut prev = 0u32;
+        for (j, b) in entry.iter().enumerate() {
+            // Wrapping deltas round-trip even if an entry is unsorted.
+            put_varint_u32(&mut buf, if j == 0 { b.0 } else { b.0.wrapping_sub(prev) });
+            prev = b.0;
         }
     }
     Ok(buf)
 }
 
-/// Parse a buffer produced by [`encode_visible_table`].
+/// Parse a buffer produced by [`encode_visible_table`] — the current
+/// varint-delta version 2 or the seed's fixed-width version 1.
 pub fn decode_visible_table(mut buf: &[u8]) -> io::Result<VisibleTable> {
     if buf.remaining() < 10 {
         return Err(err("T_visible frame too short"));
@@ -51,7 +94,8 @@ pub fn decode_visible_table(mut buf: &[u8]) -> io::Result<VisibleTable> {
     if &magic != VIS_MAGIC {
         return Err(err("bad T_visible magic"));
     }
-    if buf.get_u16_le() != VERSION {
+    let version = buf.get_u16_le();
+    if version != 1 && version != VIS_VERSION {
         return Err(err("unsupported T_visible version"));
     }
     let hlen = buf.get_u32_le() as usize;
@@ -65,32 +109,49 @@ pub fn decode_visible_table(mut buf: &[u8]) -> io::Result<VisibleTable> {
         return Err(err("missing entry count"));
     }
     let n = buf.get_u32_le() as usize;
-    let mut sets = Vec::with_capacity(n);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut ids: Vec<viz_volume::BlockId> = Vec::new();
+    offsets.push(0u32);
     for _ in 0..n {
-        if buf.remaining() < 4 {
-            return Err(err("truncated entry length"));
+        let k = if version == 1 {
+            if buf.remaining() < 4 {
+                return Err(err("truncated entry length"));
+            }
+            buf.get_u32_le() as usize
+        } else {
+            get_varint_u32(&mut buf)? as usize
+        };
+        if version == 1 {
+            if buf.remaining() < k * 4 {
+                return Err(err("truncated entry payload"));
+            }
+            for _ in 0..k {
+                ids.push(viz_volume::BlockId(buf.get_u32_le()));
+            }
+        } else {
+            let mut prev = 0u32;
+            for j in 0..k {
+                let raw = get_varint_u32(&mut buf)?;
+                prev = if j == 0 { raw } else { prev.wrapping_add(raw) };
+                ids.push(viz_volume::BlockId(prev));
+            }
         }
-        let k = buf.get_u32_le() as usize;
-        if buf.remaining() < k * 4 {
-            return Err(err("truncated entry payload"));
+        if ids.len() > u32::MAX as usize {
+            return Err(err("T_visible id count overflows u32 offsets"));
         }
-        let mut set = Vec::with_capacity(k);
-        for _ in 0..k {
-            set.push(viz_volume::BlockId(buf.get_u32_le()));
-        }
-        sets.push(set);
+        offsets.push(ids.len() as u32);
     }
     if buf.has_remaining() {
         return Err(err("trailing bytes after T_visible payload"));
     }
-    VisibleTable::from_parts(config, radius_rule, sets).map_err(err)
+    VisibleTable::from_csr(config, radius_rule, offsets, ids).map_err(err)
 }
 
 /// Serialize a `T_important` table (bin count + per-block entropies).
 pub fn encode_importance_table(t: &ImportanceTable) -> Vec<u8> {
     let mut buf = Vec::with_capacity(14 + t.len() * 8);
     buf.put_slice(IMP_MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(IMP_VERSION);
     buf.put_u32_le(t.bins as u32);
     buf.put_u32_le(t.len() as u32);
     for i in 0..t.len() {
@@ -109,7 +170,7 @@ pub fn decode_importance_table(mut buf: &[u8]) -> io::Result<ImportanceTable> {
     if &magic != IMP_MAGIC {
         return Err(err("bad T_important magic"));
     }
-    if buf.get_u16_le() != VERSION {
+    if buf.get_u16_le() != IMP_VERSION {
         return Err(err("unsupported T_important version"));
     }
     let bins = buf.get_u32_le() as usize;
@@ -126,7 +187,11 @@ pub fn decode_importance_table(mut buf: &[u8]) -> io::Result<ImportanceTable> {
 
 /// Write both tables next to each other under `dir`
 /// (`t_visible.bin`, `t_important.bin`).
-pub fn save_tables(dir: &Path, visible: &VisibleTable, importance: &ImportanceTable) -> io::Result<()> {
+pub fn save_tables(
+    dir: &Path,
+    visible: &VisibleTable,
+    importance: &ImportanceTable,
+) -> io::Result<()> {
     fs::create_dir_all(dir)?;
     let atomically = |name: &str, bytes: &[u8]| -> io::Result<()> {
         let tmp = dir.join(format!("{name}.tmp"));
@@ -252,6 +317,67 @@ mod tests {
     fn loading_missing_dir_errors() {
         let dir = std::env::temp_dir().join("viz_persist_definitely_missing");
         assert!(load_tables(&dir).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrips_edge_values() {
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, 1 << 21, u32::MAX - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            put_varint_u32(&mut buf, v);
+            assert!(buf.len() <= 5);
+            let mut s = buf.as_slice();
+            assert_eq!(get_varint_u32(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+        // Overlong / overflowing encodings are rejected.
+        let mut s: &[u8] = &[0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert!(get_varint_u32(&mut s).is_err());
+        let mut s: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(get_varint_u32(&mut s).is_err());
+        let mut s: &[u8] = &[0x80];
+        assert!(get_varint_u32(&mut s).is_err());
+    }
+
+    /// A frame in the seed's version-1 layout (fixed u32 lengths and ids)
+    /// must still decode to the same table.
+    #[test]
+    fn decodes_version_1_frames() {
+        let (tv, _) = sample_tables();
+        let header = serde_json::to_vec(&(&tv.config, &tv.radius_rule)).unwrap();
+        let mut buf = Vec::new();
+        buf.put_slice(VIS_MAGIC);
+        buf.put_u16_le(1);
+        buf.put_u32_le(header.len() as u32);
+        buf.put_slice(&header);
+        buf.put_u32_le(tv.len() as u32);
+        for i in 0..tv.len() {
+            let entry = tv.entry(i);
+            buf.put_u32_le(entry.len() as u32);
+            for b in entry {
+                buf.put_u32_le(b.0);
+            }
+        }
+        let back = decode_visible_table(&buf).unwrap();
+        assert_eq!(back.csr_offsets(), tv.csr_offsets());
+        assert_eq!(back.csr_ids(), tv.csr_ids());
+    }
+
+    #[test]
+    fn version_2_is_smaller_than_version_1() {
+        let (tv, _) = sample_tables();
+        let v2 = encode_visible_table(&tv).unwrap();
+        // Version-1 payload cost: 4 bytes per id plus 4 per entry length.
+        let header = serde_json::to_vec(&(&tv.config, &tv.radius_rule)).unwrap();
+        let v1_len = 10 + header.len() + 4 + tv.len() * 4 + tv.csr_ids().len() * 4;
+        assert!(v2.len() < v1_len, "v2 {} bytes >= v1 {} bytes", v2.len(), v1_len);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let (tv, _) = sample_tables();
+        let mut buf = encode_visible_table(&tv).unwrap();
+        buf[4] = 99; // version field low byte
+        assert!(decode_visible_table(&buf).is_err());
     }
 
     #[test]

@@ -41,10 +41,7 @@ impl RadiusModel {
     /// Create a model; `cache_ratio` in (0, 1], positive `view_angle` < π.
     pub fn new(cache_ratio: f64, view_angle: f64) -> Self {
         assert!(cache_ratio > 0.0 && cache_ratio <= 1.0, "cache ratio out of (0, 1]");
-        assert!(
-            view_angle > 0.0 && view_angle < std::f64::consts::PI,
-            "view angle out of (0, pi)"
-        );
+        assert!(view_angle > 0.0 && view_angle < std::f64::consts::PI, "view angle out of (0, pi)");
         RadiusModel { cache_ratio, view_angle, min_radius: 1e-3 }
     }
 
@@ -103,10 +100,7 @@ mod tests {
                 let r = m.optimal_radius(d);
                 if r > m.min_radius {
                     let frac = m.predicted_fraction(d, r);
-                    assert!(
-                        (frac - ratio).abs() < 1e-9,
-                        "ratio {ratio} d {d}: fraction {frac}"
-                    );
+                    assert!((frac - ratio).abs() < 1e-9, "ratio {ratio} d {d}: fraction {frac}");
                 }
             }
         }
@@ -172,10 +166,7 @@ mod tests {
         let err_star = (m.predicted_fraction(d, r_star) - 0.25).abs();
         for fixed in [0.1, 0.075, 0.05, 0.025] {
             let err_fixed = (m.predicted_fraction(d, fixed) - 0.25).abs();
-            assert!(
-                err_star <= err_fixed + 1e-12,
-                "fixed r = {fixed} beat the optimum"
-            );
+            assert!(err_star <= err_fixed + 1e-12, "fixed r = {fixed} beat the optimum");
         }
     }
 

@@ -25,7 +25,12 @@ pub struct JournalEntry {
 
 impl JournalEntry {
     /// Bundle a run into a journal entry.
-    pub fn new(label: &str, config: &SessionConfig, strategy: &Strategy, report: SessionReport) -> Self {
+    pub fn new(
+        label: &str,
+        config: &SessionConfig,
+        strategy: &Strategy,
+        report: SessionReport,
+    ) -> Self {
         JournalEntry {
             label: label.to_string(),
             config: config.clone(),
@@ -97,12 +102,7 @@ pub fn compare(baseline: &JournalEntry, candidate: &JournalEntry, tolerance: f64
         if relative > tolerance {
             regressions.push(name.to_string());
         }
-        deltas.push(MetricDelta {
-            metric: name.to_string(),
-            baseline: b,
-            candidate: c,
-            relative,
-        });
+        deltas.push(MetricDelta { metric: name.to_string(), baseline: b, candidate: c, relative });
     }
     Comparison { deltas, regressions }
 }

@@ -99,12 +99,7 @@ impl Table {
         let series = self.series();
         let mut widths: Vec<usize> = Vec::with_capacity(series.len() + 1);
         widths.push(
-            self.rows
-                .iter()
-                .map(|r| r.x.len())
-                .chain([self.x_label.len()])
-                .max()
-                .unwrap_or(4),
+            self.rows.iter().map(|r| r.x.len()).chain([self.x_label.len()]).max().unwrap_or(4),
         );
         for s in &series {
             widths.push(s.len().max(10));

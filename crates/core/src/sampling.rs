@@ -112,8 +112,8 @@ impl SamplingConfig {
             0
         } else {
             let t = (d - self.d_min) / (self.d_max - self.d_min);
-            ((t * (self.n_dist - 1) as f64).round() as isize)
-                .clamp(0, self.n_dist as isize - 1) as usize
+            ((t * (self.n_dist - 1) as f64).round() as isize).clamp(0, self.n_dist as isize - 1)
+                as usize
         };
         (it * self.n_phi + ip) * self.n_dist + id_
     }
@@ -137,20 +137,30 @@ impl RadiusRule {
     }
 }
 
-/// The `T_visible` look-up table.
+/// The `T_visible` look-up table, stored as a flat CSR (compressed sparse
+/// row) layout: one `offsets` array of `total_samples() + 1` entries and one
+/// concatenated `ids` array. Entry `i` is `ids[offsets[i]..offsets[i + 1]]`.
+/// Compared with the former `Vec<Vec<BlockId>>`, this is one allocation
+/// instead of one per sample, contiguous in memory for `predict`, and
+/// compact to persist.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VisibleTable {
     /// Lattice this table was built on.
     pub config: SamplingConfig,
     /// Radius rule used.
     pub radius_rule: RadiusRule,
-    /// `sets[i]` = sorted block ids visible from sample `i` (`S_v`).
-    sets: Vec<Vec<BlockId>>,
+    /// CSR row offsets into [`Self::csr_ids`]; `offsets.len()` is
+    /// `total_samples() + 1` and `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// Concatenated per-sample block ids (each run sorted ascending).
+    ids: Vec<BlockId>,
 }
 
 impl VisibleTable {
     /// Build the table: the paper's one-time pre-processing step. Parallel
-    /// over sampling positions. When `max_blocks_per_entry` is set, each
+    /// over sampling positions, with the per-cone Eq. 1 scan accelerated by
+    /// the layout's [`viz_volume::BlockBvh`] — results are identical to
+    /// [`Self::build_brute_force`]. When `max_blocks_per_entry` is set, each
     /// `S_v` is truncated to its most important blocks using `importance`
     /// (the §IV-C over-prediction fallback).
     pub fn build(
@@ -159,8 +169,34 @@ impl VisibleTable {
         radius_rule: RadiusRule,
         importance: Option<(&ImportanceTable, usize)>,
     ) -> Self {
+        Self::build_inner(config, layout, radius_rule, importance, true)
+    }
+
+    /// The seed's brute-force build path (linear Eq. 1 scan over every block
+    /// per vicinal point), retained as the reference for equivalence tests
+    /// and the perf baseline recorded by the `visibility` bench bin.
+    pub fn build_brute_force(
+        config: SamplingConfig,
+        layout: &BrickLayout,
+        radius_rule: RadiusRule,
+        importance: Option<(&ImportanceTable, usize)>,
+    ) -> Self {
+        Self::build_inner(config, layout, radius_rule, importance, false)
+    }
+
+    fn build_inner(
+        config: SamplingConfig,
+        layout: &BrickLayout,
+        radius_rule: RadiusRule,
+        importance: Option<(&ImportanceTable, usize)>,
+        accelerated: bool,
+    ) -> Self {
         config.validate();
-        let bounds = layout.all_block_bounds();
+        let num_blocks = layout.num_blocks();
+        // Brute force scans this; the accelerated path queries the cached
+        // BVH (warmed here so the parallel loop never races to build it).
+        let bounds = (!accelerated).then(|| layout.all_block_bounds());
+        let bvh = accelerated.then(|| layout.block_bvh());
         let n = config.total_samples();
         let sets: Vec<Vec<BlockId>> = (0..n)
             .into_par_iter()
@@ -172,12 +208,29 @@ impl VisibleTable {
                 let d = config.shell_distance(id_);
                 let r = radius_rule.radius(d);
                 // Derive a per-sample seed so the build is order-independent.
-                let mut rng = StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-                let mut visible = vec![false; bounds.len()];
-                mark_visible_from(v, config.view_angle, &bounds, &mut visible);
+                let mut rng = StdRng::seed_from_u64(
+                    config.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                let mut visible = vec![false; num_blocks];
+                let mut scratch: Vec<u32> = Vec::new();
+                let mut mark = |v_prime: Vec3, visible: &mut [bool], scratch: &mut Vec<u32>| {
+                    let cone = cone_at(v_prime, config.view_angle);
+                    match (bvh, &bounds) {
+                        (Some(bvh), _) => {
+                            scratch.clear();
+                            bvh.visible_into(&cone, scratch);
+                            for &b in scratch.iter() {
+                                visible[b as usize] = true;
+                            }
+                        }
+                        (None, Some(bounds)) => mark_visible_from(&cone, bounds, visible),
+                        (None, None) => unreachable!("one scan path is always prepared"),
+                    }
+                };
+                mark(v, &mut visible, &mut scratch);
                 for _ in 1..config.vicinal_points {
                     let v_prime = sample_in_ball(&mut rng, v, r);
-                    mark_visible_from(v_prime, config.view_angle, &bounds, &mut visible);
+                    mark(v_prime, &mut visible, &mut scratch);
                 }
                 let mut set: Vec<BlockId> = visible
                     .iter()
@@ -193,11 +246,24 @@ impl VisibleTable {
                 set
             })
             .collect();
-        VisibleTable { config, radius_rule, sets }
+        Self::from_sets(config, radius_rule, sets)
     }
 
-    /// Reassemble a table from its parts (deserialization path). Fails when
-    /// the entry count does not match the config's lattice size.
+    /// Flatten per-sample sets into the CSR arrays.
+    fn from_sets(config: SamplingConfig, radius_rule: RadiusRule, sets: Vec<Vec<BlockId>>) -> Self {
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        let mut offsets = Vec::with_capacity(sets.len() + 1);
+        let mut ids = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for s in &sets {
+            ids.extend_from_slice(s);
+            offsets.push(ids.len() as u32);
+        }
+        VisibleTable { config, radius_rule, offsets, ids }
+    }
+
+    /// Reassemble a table from per-entry sets (legacy deserialization path).
+    /// Fails when the entry count does not match the config's lattice size.
     pub fn from_parts(
         config: SamplingConfig,
         radius_rule: RadiusRule,
@@ -210,49 +276,94 @@ impl VisibleTable {
                 config.total_samples()
             ));
         }
-        Ok(VisibleTable { config, radius_rule, sets })
+        Ok(Self::from_sets(config, radius_rule, sets))
+    }
+
+    /// Reassemble a table directly from its CSR arrays (the compact binary
+    /// persist path). Validates the offsets invariants.
+    pub fn from_csr(
+        config: SamplingConfig,
+        radius_rule: RadiusRule,
+        offsets: Vec<u32>,
+        ids: Vec<BlockId>,
+    ) -> Result<Self, String> {
+        if offsets.len() != config.total_samples() + 1 {
+            return Err(format!(
+                "offset count {} does not match lattice size {} + 1",
+                offsets.len(),
+                config.total_samples()
+            ));
+        }
+        if offsets.first() != Some(&0) {
+            return Err("CSR offsets must start at 0".to_string());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("CSR offsets must be non-decreasing".to_string());
+        }
+        if *offsets.last().unwrap() as usize != ids.len() {
+            return Err(format!(
+                "last offset {} does not match id count {}",
+                offsets.last().unwrap(),
+                ids.len()
+            ));
+        }
+        Ok(VisibleTable { config, radius_rule, offsets, ids })
     }
 
     /// Number of table entries.
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// `true` when the table has no entries.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.len() == 0
     }
 
     /// Predicted visible set for the sample nearest to `pose` — the
     /// Algorithm 1 prefetch candidates for the *next* camera position.
     pub fn predict(&self, pose: &CameraPose) -> &[BlockId] {
-        &self.sets[self.config.nearest_index(pose)]
+        self.entry(self.config.nearest_index(pose))
     }
 
     /// Entry by raw sample index (diagnostics).
     pub fn entry(&self, i: usize) -> &[BlockId] {
-        &self.sets[i]
+        &self.ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The raw CSR row offsets (persist/diagnostics).
+    pub fn csr_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated block ids (persist/diagnostics).
+    pub fn csr_ids(&self) -> &[BlockId] {
+        &self.ids
     }
 
     /// Mean `S_v` size across the table (over-prediction diagnostic).
     pub fn mean_set_size(&self) -> f64 {
-        if self.sets.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        self.sets.iter().map(|s| s.len()).sum::<usize>() as f64 / self.sets.len() as f64
+        self.ids.len() as f64 / self.len() as f64
     }
 
     /// Approximate in-memory footprint in bytes (the Fig. 7 look-up
-    /// overhead grows with this).
+    /// overhead grows with this). Two flat arrays — compare with the former
+    /// `Vec<Vec<_>>` layout at `ids * 4 + entries * 24`.
     pub fn approx_bytes(&self) -> usize {
-        self.sets.iter().map(|s| s.len() * 4 + 24).sum::<usize>()
+        self.offsets.len() * 4 + self.ids.len() * 4
     }
 }
 
-/// Mark every block visible from `v` per the paper's Eq. 1 cone test.
-fn mark_visible_from(v: Vec3, view_angle: f64, bounds: &[Aabb], visible: &mut [bool]) {
-    let pose = CameraPose::new(v, Vec3::ZERO, view_angle);
-    let cone = ConeFrustum::from_pose(&pose);
+/// Cone of the paper's Eq. 1 for a camera at `v` looking at the centroid.
+fn cone_at(v: Vec3, view_angle: f64) -> ConeFrustum {
+    ConeFrustum::from_pose(&CameraPose::new(v, Vec3::ZERO, view_angle))
+}
+
+/// Mark every block visible per the paper's Eq. 1 cone test (linear scan).
+fn mark_visible_from(cone: &ConeFrustum, bounds: &[Aabb], visible: &mut [bool]) {
     for (i, b) in bounds.iter().enumerate() {
         if !visible[i] && cone.intersects_block_corners(b) {
             visible[i] = true;
@@ -261,8 +372,15 @@ fn mark_visible_from(v: Vec3, view_angle: f64, bounds: &[Aabb], visible: &mut [b
 }
 
 /// Ground-truth visible set for a pose (the same Eq. 1 test the table is
-/// built from, applied to the exact camera position).
+/// built from, applied to the exact camera position), answered through the
+/// layout's cached BVH. Identical to [`visible_blocks_brute_force`].
 pub fn visible_blocks(pose: &CameraPose, layout: &BrickLayout) -> Vec<BlockId> {
+    layout.block_bvh().visible_blocks(&ConeFrustum::from_pose(pose))
+}
+
+/// The seed's linear-scan ground truth, kept as the reference implementation
+/// for equivalence tests and benches.
+pub fn visible_blocks_brute_force(pose: &CameraPose, layout: &BrickLayout) -> Vec<BlockId> {
     let cone = ConeFrustum::from_pose(pose);
     layout
         .block_ids()
@@ -303,10 +421,7 @@ mod tests {
         for target in [3_240usize, 8_640, 25_920, 72_000, 108_000] {
             let c = SamplingConfig::paper_default(2.0, 4.0, 0.5).with_target_samples(target);
             let got = c.total_samples();
-            assert!(
-                (got as f64 / target as f64 - 1.0).abs() < 0.35,
-                "target {target} → {got}"
-            );
+            assert!((got as f64 / target as f64 - 1.0).abs() < 0.35, "target {target} → {got}");
         }
     }
 
@@ -318,12 +433,7 @@ mod tests {
 
     #[test]
     fn build_produces_nonempty_sets() {
-        let t = VisibleTable::build(
-            small_config(),
-            &layout(),
-            RadiusRule::Fixed(0.1),
-            None,
-        );
+        let t = VisibleTable::build(small_config(), &layout(), RadiusRule::Fixed(0.1), None);
         assert_eq!(t.len(), small_config().total_samples());
         assert!(t.mean_set_size() > 0.0, "no sample sees any block");
     }
@@ -396,16 +506,9 @@ mod tests {
     #[test]
     fn importance_truncation_caps_entry_size() {
         let l = layout();
-        let imp = ImportanceTable::from_entropies(
-            (0..l.num_blocks()).map(|i| i as f64).collect(),
-            64,
-        );
-        let t = VisibleTable::build(
-            small_config(),
-            &l,
-            RadiusRule::Fixed(0.5),
-            Some((&imp, 5)),
-        );
+        let imp =
+            ImportanceTable::from_entropies((0..l.num_blocks()).map(|i| i as f64).collect(), 64);
+        let t = VisibleTable::build(small_config(), &l, RadiusRule::Fixed(0.5), Some((&imp, 5)));
         for i in 0..t.len() {
             assert!(t.entry(i).len() <= 5, "entry {i} has {} blocks", t.entry(i).len());
         }
@@ -415,10 +518,8 @@ mod tests {
     fn truncation_keeps_highest_entropy_blocks() {
         let l = layout();
         // Entropy = block id: highest ids are most important.
-        let imp = ImportanceTable::from_entropies(
-            (0..l.num_blocks()).map(|i| i as f64).collect(),
-            64,
-        );
+        let imp =
+            ImportanceTable::from_entropies((0..l.num_blocks()).map(|i| i as f64).collect(), 64);
         let full = VisibleTable::build(small_config(), &l, RadiusRule::Fixed(0.5), None);
         let cut = VisibleTable::build(small_config(), &l, RadiusRule::Fixed(0.5), Some((&imp, 3)));
         for i in 0..full.len() {
@@ -445,6 +546,79 @@ mod tests {
         let vis = visible_blocks(&pose, &l);
         assert!(vis.len() < l.num_blocks() / 2);
         assert!(!vis.is_empty());
+    }
+
+    #[test]
+    fn accelerated_build_matches_brute_force() {
+        let l = layout();
+        let fast = VisibleTable::build(small_config(), &l, RadiusRule::Fixed(0.2), None);
+        let slow =
+            VisibleTable::build_brute_force(small_config(), &l, RadiusRule::Fixed(0.2), None);
+        assert_eq!(fast.csr_offsets(), slow.csr_offsets());
+        assert_eq!(fast.csr_ids(), slow.csr_ids());
+    }
+
+    #[test]
+    fn visible_blocks_matches_brute_force() {
+        let l = layout();
+        for (theta, phi, d, ang) in
+            [(10.0, 0.0, 2.5, 15.0), (85.0, 140.0, 3.0, 45.0), (170.0, 301.0, 2.1, 70.0)]
+        {
+            let pose = CameraPose::orbit(theta, phi, d, ang);
+            assert_eq!(
+                visible_blocks(&pose, &l),
+                visible_blocks_brute_force(&pose, &l),
+                "{theta},{phi},{d},{ang}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_invariants_hold() {
+        let t = VisibleTable::build(small_config(), &layout(), RadiusRule::Fixed(0.1), None);
+        let offs = t.csr_offsets();
+        assert_eq!(offs.len(), t.len() + 1);
+        assert_eq!(offs[0], 0);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*offs.last().unwrap() as usize, t.csr_ids().len());
+        // entry() slices line up with the raw arrays.
+        let flat: Vec<BlockId> = (0..t.len()).flat_map(|i| t.entry(i).to_vec()).collect();
+        assert_eq!(flat.as_slice(), t.csr_ids());
+    }
+
+    #[test]
+    fn from_csr_validates_offsets() {
+        let c = small_config();
+        let n = c.total_samples();
+        let rule = RadiusRule::Fixed(0.1);
+        // Valid: all-empty entries.
+        let ok = VisibleTable::from_csr(c, rule, vec![0; n + 1], Vec::new());
+        assert!(ok.is_ok());
+        // Wrong offset count.
+        assert!(VisibleTable::from_csr(c, rule, vec![0; n], Vec::new()).is_err());
+        // First offset nonzero.
+        let mut offs = vec![1u32; n + 1];
+        offs[n] = 1;
+        assert!(VisibleTable::from_csr(c, rule, offs, vec![BlockId(0)]).is_err());
+        // Decreasing offsets.
+        let mut offs = vec![0u32; n + 1];
+        offs[1] = 2;
+        offs[2] = 1;
+        *offs.last_mut().unwrap() = 2;
+        assert!(VisibleTable::from_csr(c, rule, offs, vec![BlockId(0); 2]).is_err());
+        // Last offset disagrees with id count.
+        let mut offs = vec![0u32; n + 1];
+        *offs.last_mut().unwrap() = 3;
+        assert!(VisibleTable::from_csr(c, rule, offs, vec![BlockId(0); 2]).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_entries() {
+        let t = VisibleTable::build(small_config(), &layout(), RadiusRule::Fixed(0.2), None);
+        let sets: Vec<Vec<BlockId>> = (0..t.len()).map(|i| t.entry(i).to_vec()).collect();
+        let back = VisibleTable::from_parts(t.config, t.radius_rule, sets).unwrap();
+        assert_eq!(back.csr_offsets(), t.csr_offsets());
+        assert_eq!(back.csr_ids(), t.csr_ids());
     }
 
     #[test]

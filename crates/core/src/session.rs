@@ -17,8 +17,8 @@
 //! `io + max(prefetch, render)` because prefetch is hidden behind rendering.
 
 use crate::adaptive::{AdaptiveSigma, SigmaController};
-use crate::prediction::extrapolate_pose;
 use crate::importance::ImportanceTable;
+use crate::prediction::extrapolate_pose;
 use crate::sampling::{visible_blocks, VisibleTable};
 use serde::{Deserialize, Serialize};
 use viz_cache::{AccessClass, Hierarchy, PolicyKind};
@@ -254,6 +254,9 @@ pub fn run_session(
 /// strategies compute this once and call [`run_session_precomputed`].
 pub fn compute_visibility(layout: &BrickLayout, poses: &[CameraPose]) -> Vec<Vec<BlockId>> {
     use rayon::prelude::*;
+    // Warm the cached BVH once up front so the rayon workers don't all
+    // stall on the same lazy build.
+    let _ = layout.block_bvh();
     poses.par_iter().map(|p| visible_blocks(p, layout)).collect()
 }
 
@@ -548,7 +551,8 @@ mod tests {
         let cfg = SessionConfig::paper(0.5, 4096);
         let path = poses(10.0, 40);
         // Half the blocks high-entropy, half zero.
-        let ent: Vec<f64> = (0..l.num_blocks()).map(|i| if i % 2 == 0 { 5.0 } else { 0.0 }).collect();
+        let ent: Vec<f64> =
+            (0..l.num_blocks()).map(|i| if i % 2 == 0 { 5.0 } else { 0.0 }).collect();
         let ti = ImportanceTable::from_entropies(ent, 64);
         let scfg = SamplingConfig {
             n_theta: 8,
@@ -612,12 +616,11 @@ mod tests {
         // lower miss rate (for any policy).
         let l = layout();
         let cfg = SessionConfig::paper(0.5, 4096);
-        let small = run_session(&cfg, &l, &Strategy::Baseline(PolicyKind::Lru), &poses(1.0, 100), None);
-        let large = run_session(&cfg, &l, &Strategy::Baseline(PolicyKind::Lru), &poses(30.0, 100), None);
-        assert!(
-            small.miss_rate <= large.miss_rate,
-            "1° path missed more than 30° path"
-        );
+        let small =
+            run_session(&cfg, &l, &Strategy::Baseline(PolicyKind::Lru), &poses(1.0, 100), None);
+        let large =
+            run_session(&cfg, &l, &Strategy::Baseline(PolicyKind::Lru), &poses(30.0, 100), None);
+        assert!(small.miss_rate <= large.miss_rate, "1° path missed more than 30° path");
     }
 
     #[test]
@@ -692,10 +695,7 @@ mod tests {
         let none = run_session(
             &cfg,
             &l,
-            &Strategy::AppAware(AppAwareConfig {
-                prefetch: false,
-                ..AppAwareConfig::paper(0.0)
-            }),
+            &Strategy::AppAware(AppAwareConfig { prefetch: false, ..AppAwareConfig::paper(0.0) }),
             &path,
             Some((&tv, &ti)),
         );

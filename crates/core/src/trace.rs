@@ -89,12 +89,7 @@ impl ReuseProfile {
         if n == 0 {
             return None;
         }
-        let sum: f64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(d, &c)| d as f64 * c as f64)
-            .sum();
+        let sum: f64 = self.counts.iter().enumerate().map(|(d, &c)| d as f64 * c as f64).sum();
         Some(sum / n as f64)
     }
 }

@@ -1,10 +1,14 @@
 //! Property-based tests for the application-aware policy core.
 
 use proptest::prelude::*;
-use viz_core::{ImportanceTable, RadiusModel, RadiusRule, SamplingConfig, VisibleTable};
+use viz_core::persist::{decode_visible_table, encode_visible_table};
+use viz_core::{
+    visible_blocks, visible_blocks_brute_force, ImportanceTable, RadiusModel, RadiusRule,
+    SamplingConfig, VisibleTable,
+};
 use viz_geom::angle::deg_to_rad;
 use viz_geom::CameraPose;
-use viz_volume::{BrickLayout, Dims3};
+use viz_volume::{BlockId, BrickLayout, Dims3};
 
 proptest! {
     /// Eq. 6 solves the cache-fill condition whenever it is interior.
@@ -119,5 +123,80 @@ proptest! {
         for b in predicted {
             prop_assert!(b.index() < layout.num_blocks());
         }
+    }
+
+    /// BVH-accelerated ground truth is identical to the brute-force linear
+    /// Eq. 1 scan for randomized layouts, poses and view angles.
+    #[test]
+    fn bvh_visibility_matches_brute_force(
+        vol_exp in 4u32..7,       // 16³..64³ volumes
+        blk_exp in 2u32..5,       // 4³..16³ blocks
+        theta in 0.0f64..180.0,
+        phi in 0.0f64..360.0,
+        d in 1.2f64..6.0,
+        angle_deg in 2.0f64..100.0,
+    ) {
+        let layout = BrickLayout::new(
+            Dims3::cube(1 << vol_exp),
+            Dims3::cube(1 << blk_exp.min(vol_exp)),
+        );
+        let pose = CameraPose::orbit(theta, phi, d, angle_deg);
+        prop_assert_eq!(
+            visible_blocks(&pose, &layout),
+            visible_blocks_brute_force(&pose, &layout)
+        );
+    }
+
+    /// The accelerated table build equals the brute-force build entry for
+    /// entry (same CSR arrays), for randomized small lattices.
+    #[test]
+    fn table_build_matches_brute_force(
+        n_theta in 2usize..5,
+        n_phi in 2usize..6,
+        vicinal in 1usize..4,
+        seed in 0u64..1000,
+        radius in 0.01f64..0.4,
+    ) {
+        let layout = BrickLayout::new(Dims3::cube(32), Dims3::cube(8));
+        let cfg = SamplingConfig {
+            n_theta, n_phi, n_dist: 2,
+            d_min: 1.8, d_max: 3.0,
+            vicinal_points: vicinal,
+            view_angle: deg_to_rad(25.0),
+            seed,
+        };
+        let fast = VisibleTable::build(cfg, &layout, RadiusRule::Fixed(radius), None);
+        let slow = VisibleTable::build_brute_force(cfg, &layout, RadiusRule::Fixed(radius), None);
+        prop_assert_eq!(fast.csr_offsets(), slow.csr_offsets());
+        prop_assert_eq!(fast.csr_ids(), slow.csr_ids());
+    }
+
+    /// A table assembled from arbitrary per-entry id sets survives the CSR
+    /// flatten and the version-2 binary encode/decode unchanged.
+    #[test]
+    fn csr_table_roundtrips_persist(
+        raw_sets in prop::collection::vec(
+            prop::collection::vec(0u32..10_000, 0..20),
+            16..=16, // must match the 2×4×2 lattice below
+        ),
+    ) {
+        let cfg = SamplingConfig {
+            n_theta: 2, n_phi: 4, n_dist: 2,
+            d_min: 2.0, d_max: 3.0,
+            vicinal_points: 1,
+            view_angle: deg_to_rad(20.0),
+            seed: 1,
+        };
+        let sets: Vec<Vec<BlockId>> = raw_sets
+            .into_iter()
+            .map(|s| s.into_iter().map(BlockId).collect())
+            .collect();
+        let t = VisibleTable::from_parts(cfg, RadiusRule::Fixed(0.1), sets.clone()).unwrap();
+        for (i, s) in sets.iter().enumerate() {
+            prop_assert_eq!(t.entry(i), s.as_slice());
+        }
+        let back = decode_visible_table(&encode_visible_table(&t).unwrap()).unwrap();
+        prop_assert_eq!(back.csr_offsets(), t.csr_offsets());
+        prop_assert_eq!(back.csr_ids(), t.csr_ids());
     }
 }

@@ -69,11 +69,8 @@ impl CameraPose {
     /// `theta_deg`/`phi_deg` are spherical angles, `d` the distance, and
     /// `view_angle_deg` the frustum angle in degrees.
     pub fn orbit(theta_deg: f64, phi_deg: f64, d: f64, view_angle_deg: f64) -> Self {
-        let sc = SphericalCoord {
-            radius: d,
-            theta: deg_to_rad(theta_deg),
-            phi: deg_to_rad(phi_deg),
-        };
+        let sc =
+            SphericalCoord { radius: d, theta: deg_to_rad(theta_deg), phi: deg_to_rad(phi_deg) };
         CameraPose {
             position: sc.to_cartesian(),
             center: Vec3::ZERO,

@@ -12,25 +12,95 @@ use crate::camera::CameraPose;
 use crate::vec3::Vec3;
 use serde::{Deserialize, Serialize};
 
+/// Three-way result of [`ConeFrustum::classify_sphere`]: where a bounding
+/// sphere sits relative to the cone. `Outside` is *conservative* (never
+/// claimed when any part of the sphere touches the cone) and `Inside` is
+/// *exact* (only claimed when every point of the sphere is in the cone), so
+/// a BVH traversal can prune on `Outside`, bulk-accept on `Inside`, and run
+/// the exact per-corner test only on `Crossing` boundary nodes without ever
+/// changing the result set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SphereClass {
+    /// The sphere is certainly disjoint from the cone.
+    Outside,
+    /// The sphere may straddle the cone boundary — fall back to exact tests.
+    Crossing,
+    /// The sphere lies entirely inside the cone.
+    Inside,
+}
+
 /// The paper's conical frustum approximation (Eq. 1).
+///
+/// `cos(θ/2)` and `sin(θ/2)` are precomputed at construction so the Eq. 1
+/// inner loop is a dot-product compare, not a `cos()` per corner per block,
+/// and sphere classification is trig-free; the angle fields are therefore
+/// read-only behind accessors. The serialized form stays
+/// `{apex, axis, half_angle}` — the derived terms are recomputed on
+/// deserialization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(from = "ConeFrustumWire", into = "ConeFrustumWire")]
 pub struct ConeFrustum {
     /// Camera position (apex of the cone), the paper's `v` or `v'`.
     pub apex: Vec3,
     /// Unit axis of the cone: the view direction `v→o`.
     pub axis: Vec3,
     /// Half of the view angle, `θ/2`, in radians.
-    pub half_angle: f64,
+    half_angle: f64,
+    /// `cos(θ/2)`, hoisted out of [`Self::contains_point`].
+    cos_half_angle: f64,
+    /// `sin(θ/2)`, hoisted out of [`Self::classify_sphere`].
+    sin_half_angle: f64,
+}
+
+/// Wire format of [`ConeFrustum`]: the derived cosine is not serialized.
+#[derive(Clone, Copy, Serialize, Deserialize)]
+#[serde(rename = "ConeFrustum")]
+struct ConeFrustumWire {
+    apex: Vec3,
+    axis: Vec3,
+    half_angle: f64,
+}
+
+impl From<ConeFrustumWire> for ConeFrustum {
+    fn from(w: ConeFrustumWire) -> Self {
+        ConeFrustum::new(w.apex, w.axis, w.half_angle)
+    }
+}
+
+impl From<ConeFrustum> for ConeFrustumWire {
+    fn from(c: ConeFrustum) -> Self {
+        ConeFrustumWire { apex: c.apex, axis: c.axis, half_angle: c.half_angle }
+    }
 }
 
 impl ConeFrustum {
+    /// Cone with apex `apex`, unit axis `axis` and half angle `θ/2` radians.
+    pub fn new(apex: Vec3, axis: Vec3, half_angle: f64) -> Self {
+        let (sin_half_angle, cos_half_angle) = half_angle.sin_cos();
+        ConeFrustum { apex, axis, half_angle, cos_half_angle, sin_half_angle }
+    }
+
     /// Cone for a camera pose looking at the volume centroid.
     pub fn from_pose(pose: &CameraPose) -> Self {
-        ConeFrustum {
-            apex: pose.position,
-            axis: pose.view_direction(),
-            half_angle: pose.view_angle * 0.5,
-        }
+        Self::new(pose.position, pose.view_direction(), pose.view_angle * 0.5)
+    }
+
+    /// Half of the view angle, `θ/2`, in radians.
+    #[inline]
+    pub fn half_angle(&self) -> f64 {
+        self.half_angle
+    }
+
+    /// Precomputed `cos(θ/2)`.
+    #[inline]
+    pub fn cos_half_angle(&self) -> f64 {
+        self.cos_half_angle
+    }
+
+    /// Precomputed `sin(θ/2)`.
+    #[inline]
+    pub fn sin_half_angle(&self) -> f64 {
+        self.sin_half_angle
     }
 
     /// Eq. 1 on a single point: `φ = arccos( (v→p)·(v→o) / (||v→p|| ||v→o||) )`,
@@ -42,8 +112,9 @@ impl ConeFrustum {
         if n <= 1e-300 {
             return true;
         }
-        // cos φ >= cos(θ/2)  ⇔  φ <= θ/2 (cos is decreasing on [0, π]).
-        to_p.dot(self.axis) / n >= self.half_angle.cos()
+        // cos φ >= cos(θ/2)  ⇔  φ <= θ/2 (cos is decreasing on [0, π]);
+        // multiplied through by ||v→p|| ≥ 0 to avoid the division.
+        to_p.dot(self.axis) >= self.cos_half_angle * n
     }
 
     /// The paper's block visibility test: a block is visible when *any* of
@@ -55,21 +126,71 @@ impl ConeFrustum {
             || block.contains(self.apex)
     }
 
+    /// Exact whole-box containment: `true` only when every point of `block`
+    /// lies inside the cone. Valid because a cone with half angle ≤ 90° is
+    /// convex, so corner containment implies containment of the hull; wider
+    /// (non-convex) cones conservatively return `false`.
+    pub fn contains_aabb(&self, block: &Aabb) -> bool {
+        self.cos_half_angle >= 0.0 && block.corners().iter().all(|&c| self.contains_point(c))
+    }
+
     /// Conservative sphere-vs-cone test on the block's bounding sphere.
     /// Never misses a visible block (may over-include), making it suitable
     /// for prefetch candidate generation.
     pub fn intersects_block_sphere(&self, block: &Aabb) -> bool {
-        let center = block.center();
-        let radius = block.bounding_radius();
+        self.classify_sphere(block.center(), block.bounding_radius()) != SphereClass::Outside
+    }
+
+    /// Classify a sphere against the cone without per-call trigonometry.
+    ///
+    /// For the common convex case (`θ/2 ≤ 90°`) the sphere center is mapped
+    /// into the (axial, radial) half-plane: `a = (c−v)·axis` and
+    /// `b = √(‖c−v‖² − a²)`. There the cone is the region below the boundary
+    /// ray from the origin at angle `θ/2`, and
+    /// `signed = a·sin(θ/2) − b·cos(θ/2)` is the signed distance to the
+    /// boundary *line* (positive inside). Since the distance from any outside
+    /// point to the cone set is at least its distance to that line, and the
+    /// distance from any inside point to the lateral surface is at least
+    /// `signed`:
+    ///
+    /// * `signed ≥ r`  ⇒ every sphere point is inside   → [`SphereClass::Inside`]
+    /// * `signed < −r` ⇒ every sphere point is outside  → [`SphereClass::Outside`]
+    /// * otherwise the sphere may straddle the boundary → [`SphereClass::Crossing`]
+    ///
+    /// Non-convex cones (`θ/2 > 90°`) fall back to comparing angular extents,
+    /// which is valid for any half angle because the cone is an angular set.
+    /// A sphere containing the apex is always `Crossing` (the exact corner
+    /// test has an apex-containment clause the sphere cannot settle).
+    pub fn classify_sphere(&self, center: Vec3, radius: f64) -> SphereClass {
         let to_c = center - self.apex;
-        let dist = to_c.norm();
-        if dist <= radius {
-            return true; // apex inside the bounding sphere
+        let dist2 = to_c.dot(to_c);
+        if dist2 <= radius * radius {
+            return SphereClass::Crossing; // apex inside the sphere
         }
-        let angle_to_center = to_c.angle_between(self.axis);
-        // Angular radius of the sphere as seen from the apex.
-        let angular_radius = (radius / dist).clamp(-1.0, 1.0).asin();
-        angle_to_center <= self.half_angle + angular_radius
+        if self.cos_half_angle >= 0.0 {
+            let a = to_c.dot(self.axis);
+            let b = (dist2 - a * a).max(0.0).sqrt();
+            let signed = a * self.sin_half_angle - b * self.cos_half_angle;
+            if signed >= radius {
+                SphereClass::Inside
+            } else if signed < -radius {
+                SphereClass::Outside
+            } else {
+                SphereClass::Crossing
+            }
+        } else {
+            let dist = dist2.sqrt();
+            let angle_to_center = to_c.angle_between(self.axis);
+            // Angular radius of the sphere as seen from the apex.
+            let angular_radius = (radius / dist).clamp(-1.0, 1.0).asin();
+            if angle_to_center + angular_radius <= self.half_angle {
+                SphereClass::Inside
+            } else if angle_to_center - angular_radius > self.half_angle {
+                SphereClass::Outside
+            } else {
+                SphereClass::Crossing
+            }
+        }
     }
 }
 
@@ -164,8 +285,8 @@ mod tests {
 
     #[test]
     fn cone_boundary_angle() {
-        let cone = looking_down_z(60.0); // half angle 30°
-        // Point at exactly 29.9° off axis from apex: inside.
+        // Half angle 30°; a point at exactly 29.9° off axis is inside.
+        let cone = looking_down_z(60.0);
         let ang = deg_to_rad(29.9);
         let p = Vec3::new(0.0, 0.0, 5.0) + Vec3::new(ang.sin(), 0.0, -ang.cos()) * 3.0;
         assert!(cone.contains_point(p));
@@ -222,6 +343,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn classify_sphere_is_consistent_with_exact_tests() {
+        // Outside must be conservative (never claimed for a corner-visible
+        // block) and Inside must be exact (all corners pass the Eq. 1 test).
+        for half_deg in [5.0, 17.5, 35.0, 80.0, 110.0] {
+            let cone = looking_down_z(2.0 * half_deg);
+            for ix in -4..4 {
+                for iy in -4..4 {
+                    for iz in -4..4 {
+                        let min = Vec3::new(ix as f64, iy as f64, iz as f64) * 0.5;
+                        let b = Aabb::new(min, min + Vec3::splat(0.5));
+                        match cone.classify_sphere(b.center(), b.bounding_radius()) {
+                            SphereClass::Outside => assert!(
+                                !cone.intersects_block_corners(&b),
+                                "Outside for a corner-visible block {b:?} at θ/2={half_deg}°"
+                            ),
+                            SphereClass::Inside => assert!(
+                                b.corners().iter().all(|&c| cone.contains_point(c)),
+                                "Inside but a corner escapes the cone {b:?} at θ/2={half_deg}°"
+                            ),
+                            SphereClass::Crossing => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_containing_apex_is_crossing() {
+        let cone = looking_down_z(30.0);
+        // Sphere around the apex: never Inside or Outside.
+        assert_eq!(cone.classify_sphere(cone.apex, 0.5), SphereClass::Crossing);
     }
 
     #[test]

@@ -71,9 +71,8 @@ impl KeyframePath {
         let u = u.clamp(0.0, 1.0);
         let n_seg = if self.closed { self.keys.len() } else { self.keys.len() - 1 };
         // Cumulative segment weights.
-        let weights: Vec<f64> = (0..n_seg)
-            .map(|i| self.keys[(i + 1) % self.keys.len()].weight)
-            .collect();
+        let weights: Vec<f64> =
+            (0..n_seg).map(|i| self.keys[(i + 1) % self.keys.len()].weight).collect();
         let total: f64 = weights.iter().sum();
         let mut target = u * total;
         let mut seg = 0;

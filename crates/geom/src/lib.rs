@@ -11,6 +11,8 @@
 //! - [`camera`] — the `<l, d>` camera parameterization of Section IV-B.
 //! - [`frustum`] — the conical visibility test of Eq. 1 plus an exact
 //!   six-plane frustum for validation and rendering.
+//! - [`bvh`] — a flat BVH over block AABBs accelerating the Eq. 1 scans
+//!   (conservative sphere-cone pruning, exact corner test at leaves).
 //! - [`sphere`] — the exploration domain Omega and its sampling lattices.
 //! - [`path`] — spherical and random camera paths from Section V-A.
 //!
@@ -34,6 +36,7 @@
 
 pub mod aabb;
 pub mod angle;
+pub mod bvh;
 pub mod camera;
 pub mod frustum;
 pub mod keyframe;
@@ -44,8 +47,9 @@ pub mod sphere;
 pub mod vec3;
 
 pub use aabb::Aabb;
+pub use bvh::Bvh;
 pub use camera::{CameraBasis, CameraPose};
-pub use frustum::{ConeFrustum, PlaneFrustum};
+pub use frustum::{ConeFrustum, PlaneFrustum, SphereClass};
 pub use keyframe::{Keyframe, KeyframePath};
 pub use path::{CameraPath, CompositePath, RandomWalkPath, SphericalPath, ZoomPath};
 pub use quat::Quat;

@@ -64,7 +64,11 @@ impl CameraPath for SphericalPath {
         let prec = deg_to_rad(self.precession_deg);
         let mut poses = Vec::with_capacity(n);
         for _ in 0..n {
-            poses.push(CameraPose::new(self.domain.center + dir * d, self.domain.center, self.view_angle));
+            poses.push(CameraPose::new(
+                self.domain.center + dir * d,
+                self.domain.center,
+                self.view_angle,
+            ));
             dir = dir.rotate_around(axis, step).normalize();
             if prec != 0.0 {
                 // Tilt the orbit axis around the current direction so the
@@ -144,7 +148,11 @@ impl CameraPath for RandomWalkPath {
         let shell = self.domain.r_max - self.domain.r_min;
         let mut poses = Vec::with_capacity(n);
         for _ in 0..n {
-            poses.push(CameraPose::new(self.domain.center + dir * d, self.domain.center, self.view_angle));
+            poses.push(CameraPose::new(
+                self.domain.center + dir * d,
+                self.domain.center,
+                self.view_angle,
+            ));
             // Rotate around a random axis orthogonal to `dir` so the full
             // step budget goes into direction change.
             let tangent = dir.any_orthonormal();
@@ -161,10 +169,7 @@ impl CameraPath for RandomWalkPath {
     }
 
     fn label(&self) -> String {
-        format!(
-            "random(step={}-{}deg,seed={})",
-            self.step_min_deg, self.step_max_deg, self.seed
-        )
+        format!("random(step={}-{}deg,seed={})", self.step_min_deg, self.step_max_deg, self.seed)
     }
 }
 
@@ -186,7 +191,13 @@ pub struct ZoomPath {
 
 impl ZoomPath {
     /// Create a zoom path along a fixed direction.
-    pub fn new(domain: ExplorationDomain, direction: Vec3, d_start: f64, d_end: f64, view_angle: f64) -> Self {
+    pub fn new(
+        domain: ExplorationDomain,
+        direction: Vec3,
+        d_start: f64,
+        d_end: f64,
+        view_angle: f64,
+    ) -> Self {
         ZoomPath { domain, direction: direction.normalize(), d_start, d_end, view_angle }
     }
 }
@@ -278,8 +289,7 @@ mod tests {
 
     #[test]
     fn random_walk_step_sizes_respect_range() {
-        let p = RandomWalkPath::new(domain(), 3.0, 10.0, 15.0, 0.7, 42)
-            .with_distance_jitter(0.0);
+        let p = RandomWalkPath::new(domain(), 3.0, 10.0, 15.0, 0.7, 42).with_distance_jitter(0.0);
         let poses = p.generate(200);
         for w in poses.windows(2) {
             let change = rad_to_deg(w[0].direction_change(&w[1]));
@@ -303,10 +313,7 @@ mod tests {
         let p = RandomWalkPath::new(domain(), 3.0, 5.0, 10.0, 0.7, 3).with_distance_jitter(0.5);
         for pose in p.generate(500) {
             let d = pose.distance();
-            assert!(
-                (1.5 - 1e-9..=6.0 + 1e-9).contains(&d),
-                "d = {d} escaped the domain"
-            );
+            assert!((1.5 - 1e-9..=6.0 + 1e-9).contains(&d), "d = {d} escaped the domain");
         }
     }
 

@@ -205,9 +205,8 @@ mod tests {
         // Radial CDF check: for uniform ball sampling, P(r < R/2) = 1/8.
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
-        let inner = (0..n)
-            .filter(|_| sample_in_ball(&mut rng, Vec3::ZERO, 1.0).norm() < 0.5)
-            .count();
+        let inner =
+            (0..n).filter(|_| sample_in_ball(&mut rng, Vec3::ZERO, 1.0).norm() < 0.5).count();
         let frac = inner as f64 / n as f64;
         assert!((frac - 0.125).abs() < 0.01, "got {frac}");
     }

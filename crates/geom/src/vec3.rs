@@ -90,8 +90,7 @@ impl Vec3 {
     /// Unit vector in the same direction; panics on the zero vector.
     #[inline]
     pub fn normalize(self) -> Vec3 {
-        self.try_normalize()
-            .expect("cannot normalize a zero-length vector")
+        self.try_normalize().expect("cannot normalize a zero-length vector")
     }
 
     /// Angle between two vectors in radians, in `[0, pi]`.

@@ -4,7 +4,9 @@ use proptest::prelude::*;
 use viz_geom::angle::{deg_to_rad, rad_to_deg};
 use viz_geom::path::{CameraPath, RandomWalkPath, SphericalPath};
 use viz_geom::sphere::SphericalCoord;
-use viz_geom::{Aabb, CameraPose, ConeFrustum, ExplorationDomain, PlaneFrustum, Quat, Ray, Vec3};
+use viz_geom::{
+    Aabb, Bvh, CameraPose, ConeFrustum, ExplorationDomain, PlaneFrustum, Quat, Ray, Vec3,
+};
 
 fn finite_vec3() -> impl Strategy<Value = Vec3> {
     (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
@@ -110,7 +112,7 @@ proptest! {
         half_deg in 1.0f64..80.0,
         t in 0.0f64..50.0,
     ) {
-        let cone = ConeFrustum { apex, axis: dir.normalize(), half_angle: deg_to_rad(half_deg) };
+        let cone = ConeFrustum::new(apex, dir.normalize(), deg_to_rad(half_deg));
         prop_assert!(cone.contains_point(apex + dir.normalize() * t));
     }
 
@@ -160,7 +162,7 @@ proptest! {
         // Build a point at `depth` along the axis, offset by a fraction of
         // the cone radius in a random tangential direction.
         let tangent = cone.axis.any_orthonormal().rotate_around(cone.axis, spin);
-        let radius = depth * cone.half_angle.tan() * off_frac;
+        let radius = depth * cone.half_angle().tan() * off_frac;
         let p = cone.apex + cone.axis * depth + tangent * radius;
         prop_assert!(cone.contains_point(p), "construction should be in-cone");
         prop_assert!(pf.contains_point(p), "plane frustum must circumscribe the cone");
@@ -184,6 +186,29 @@ proptest! {
         prop_assert!((r.norm() - v.norm()).abs() < 1e-9 * v.norm().max(1.0));
         // Unit norm is preserved.
         prop_assert!((q.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// BVH-accelerated cone queries return exactly the brute-force Eq. 1
+    /// visible set — same members, same (ascending) order — for randomized
+    /// box soups, camera poses and view angles.
+    #[test]
+    fn bvh_cone_query_matches_linear_scan(
+        corners in prop::collection::vec((finite_vec3(), finite_vec3()), 0..80),
+        theta in 0.0f64..180.0,
+        phi in 0.0f64..360.0,
+        d in 1.2f64..6.0,
+        angle_deg in 2.0f64..120.0,
+    ) {
+        let boxes: Vec<Aabb> = corners.into_iter().map(|(a, b)| Aabb::new(a, b)).collect();
+        let bvh = Bvh::build(&boxes);
+        let pose = CameraPose::orbit(theta, phi, d, angle_deg);
+        let cone = ConeFrustum::from_pose(&pose);
+        let brute: Vec<u32> = boxes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| cone.intersects_block_corners(b).then_some(i as u32))
+            .collect();
+        prop_assert_eq!(bvh.cone_query(&cone), brute);
     }
 
     #[test]

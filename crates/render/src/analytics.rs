@@ -136,10 +136,7 @@ pub fn region_histogram(blocks: &[&[f32]], range: (f32, f32), bins: usize) -> Hi
 /// Count voxels satisfying a query predicate over resident blocks —
 /// query-based visualization (§III-A: "combination of numerous queries").
 pub fn query_count<F: Fn(f32) -> bool + Sync>(blocks: &[&[f32]], pred: F) -> u64 {
-    blocks
-        .par_iter()
-        .map(|b| b.iter().filter(|&&v| pred(v)).count() as u64)
-        .sum()
+    blocks.par_iter().map(|b| b.iter().filter(|&&v| pred(v)).count() as u64).sum()
 }
 
 #[cfg(test)]

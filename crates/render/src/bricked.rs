@@ -188,10 +188,8 @@ mod tests {
     #[test]
     fn closure_lookup_works() {
         let (field, layout, _) = setup();
-        let all: HashMap<BlockId, Arc<Vec<f32>>> = layout
-            .block_ids()
-            .map(|id| (id, Arc::new(field.extract_block(&layout, id))))
-            .collect();
+        let all: HashMap<BlockId, Arc<Vec<f32>>> =
+            layout.block_ids().map(|id| (id, Arc::new(field.extract_block(&layout, id)))).collect();
         let f = move |id: BlockId| all.get(&id).cloned();
         let src = BrickedSource::new(&layout, &f);
         assert!(src.sample(5.0, 5.0, 5.0).is_some());

@@ -130,10 +130,8 @@ mod tests {
         let img_full = render(&full_src, &pose, &tf, &rc);
 
         let keep = contributing_working_set(&pose, &layout, &stats, &tf);
-        let map: HashMap<BlockId, Arc<Vec<f32>>> = keep
-            .iter()
-            .map(|&b| (b, Arc::new(field.extract_block(&layout, b))))
-            .collect();
+        let map: HashMap<BlockId, Arc<Vec<f32>>> =
+            keep.iter().map(|&b| (b, Arc::new(field.extract_block(&layout, b)))).collect();
         let lookup = move |id: BlockId| map.get(&id).cloned();
         let culled_src = BrickedSource::new(&layout, &lookup);
         let img_culled = render(&culled_src, &pose, &tf, &rc);

@@ -61,7 +61,9 @@ impl Image {
     pub fn bright_pixels(&self, threshold: f64) -> usize {
         self.pixels
             .iter()
-            .filter(|p| 0.2126 * p[0] as f64 + 0.7152 * p[1] as f64 + 0.0722 * p[2] as f64 > threshold)
+            .filter(|p| {
+                0.2126 * p[0] as f64 + 0.7152 * p[1] as f64 + 0.0722 * p[2] as f64 > threshold
+            })
             .count()
     }
 

@@ -93,11 +93,7 @@ pub fn downsample(img: &Image, factor: usize) -> Image {
                 }
             }
             let c = count.max(1) as f32;
-            out.set(
-                ox,
-                oy,
-                crate::tf::Rgba::new(acc[0] / c, acc[1] / c, acc[2] / c, 1.0),
-            );
+            out.set(ox, oy, crate::tf::Rgba::new(acc[0] / c, acc[1] / c, acc[2] / c, 1.0));
         }
     }
     out

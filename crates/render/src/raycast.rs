@@ -178,11 +178,7 @@ fn trace<S: SampleSource>(
 /// Eq. 1 visible set; exposed so examples can demand-load exactly what the
 /// next render needs.
 pub fn frame_working_set(pose: &CameraPose, layout: &BrickLayout) -> Vec<viz_volume::BlockId> {
-    let cone = viz_geom::ConeFrustum::from_pose(pose);
-    layout
-        .block_ids()
-        .filter(|&id| cone.intersects_block_corners(&layout.block_bounds(id)))
-        .collect()
+    layout.block_bvh().visible_blocks(&viz_geom::ConeFrustum::from_pose(pose))
 }
 
 /// Convenience: orbiting pose at `distance` looking at the layout's center

@@ -22,7 +22,12 @@ pub struct Rgba {
 impl Rgba {
     /// Construct; components are clamped to `[0, 1]`.
     pub fn new(r: f32, g: f32, b: f32, a: f32) -> Self {
-        Rgba { r: r.clamp(0.0, 1.0), g: g.clamp(0.0, 1.0), b: b.clamp(0.0, 1.0), a: a.clamp(0.0, 1.0) }
+        Rgba {
+            r: r.clamp(0.0, 1.0),
+            g: g.clamp(0.0, 1.0),
+            b: b.clamp(0.0, 1.0),
+            a: a.clamp(0.0, 1.0),
+        }
     }
 
     /// Fully transparent black.
@@ -31,7 +36,12 @@ impl Rgba {
     /// Component-wise linear interpolation.
     pub fn lerp(self, other: Rgba, t: f32) -> Rgba {
         let l = |a: f32, b: f32| a + (b - a) * t;
-        Rgba { r: l(self.r, other.r), g: l(self.g, other.g), b: l(self.b, other.b), a: l(self.a, other.a) }
+        Rgba {
+            r: l(self.r, other.r),
+            g: l(self.g, other.g),
+            b: l(self.b, other.b),
+            a: l(self.a, other.a),
+        }
     }
 }
 
@@ -116,10 +126,7 @@ impl TransferFunction {
         ];
         TransferFunction::new(
             pts.iter()
-                .map(|&(x, r, g, b)| ControlPoint {
-                    x,
-                    color: Rgba::new(r, g, b, 0.85 * x),
-                })
+                .map(|&(x, r, g, b)| ControlPoint { x, color: Rgba::new(r, g, b, 0.85 * x) })
                 .collect(),
             range,
         )

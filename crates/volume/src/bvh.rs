@@ -1,0 +1,103 @@
+//! Spatial index over a layout's block AABBs.
+//!
+//! [`BlockBvh`] wraps [`viz_geom::Bvh`] with [`BlockId`]-typed queries; the
+//! accelerated visible set is **identical** to the brute-force Eq. 1 scan
+//! over [`BrickLayout::all_block_bounds`] (subtrees certainly outside the
+//! cone are pruned, subtrees certainly inside are emitted wholesale, and
+//! the exact corner test runs at every boundary leaf).
+//! [`BrickLayout::block_bvh`] builds one lazily and caches it per layout.
+
+use crate::layout::{BlockId, BrickLayout};
+use viz_geom::{Bvh, ConeFrustum};
+
+/// A BVH over every block of one [`BrickLayout`].
+#[derive(Debug, Clone)]
+pub struct BlockBvh {
+    bvh: Bvh,
+}
+
+impl BlockBvh {
+    /// Build the index over all blocks of `layout`.
+    pub fn new(layout: &BrickLayout) -> Self {
+        BlockBvh { bvh: Bvh::build(&layout.all_block_bounds()) }
+    }
+
+    /// Number of blocks indexed.
+    pub fn num_blocks(&self) -> usize {
+        self.bvh.len()
+    }
+
+    /// `true` when no blocks are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.bvh.is_empty()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bvh.approx_bytes()
+    }
+
+    /// Ids of every block whose Eq. 1 corner test passes against `cone`,
+    /// sorted ascending — exactly the brute-force scan's result.
+    pub fn visible_blocks(&self, cone: &ConeFrustum) -> Vec<BlockId> {
+        self.bvh.cone_query(cone).into_iter().map(BlockId).collect()
+    }
+
+    /// Append the raw ids of every cone-visible block to `out`, in traversal
+    /// order (unsorted). The allocation-free hot path for callers that mark
+    /// a bitmap or reuse a scratch vector across many queries.
+    pub fn visible_into(&self, cone: &ConeFrustum, out: &mut Vec<u32>) {
+        self.bvh.cone_query_into(cone, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims3;
+    use viz_geom::angle::deg_to_rad;
+    use viz_geom::{CameraPose, Vec3};
+
+    fn layout() -> BrickLayout {
+        BrickLayout::new(Dims3::cube(64), Dims3::cube(16)) // 64 blocks
+    }
+
+    fn brute(cone: &ConeFrustum, l: &BrickLayout) -> Vec<BlockId> {
+        l.block_ids().filter(|&id| cone.intersects_block_corners(&l.block_bounds(id))).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_scan() {
+        let l = layout();
+        let bvh = BlockBvh::new(&l);
+        assert_eq!(bvh.num_blocks(), l.num_blocks());
+        for (theta, phi, ang) in [(10.0, 0.0, 15.0), (80.0, 30.0, 30.0), (170.0, 250.0, 60.0)] {
+            let pose = CameraPose::orbit(theta, phi, 2.5, ang);
+            let cone = ConeFrustum::from_pose(&pose);
+            assert_eq!(bvh.visible_blocks(&cone), brute(&cone, &l), "{theta},{phi},{ang}");
+        }
+    }
+
+    #[test]
+    fn cached_accessor_builds_once_and_agrees() {
+        let l = layout();
+        let a = l.block_bvh() as *const BlockBvh;
+        let b = l.block_bvh() as *const BlockBvh;
+        assert_eq!(a, b, "accessor must cache");
+        let pose = CameraPose::new(Vec3::new(0.0, 0.0, 2.5), Vec3::ZERO, deg_to_rad(25.0));
+        let cone = ConeFrustum::from_pose(&pose);
+        assert_eq!(l.block_bvh().visible_blocks(&cone), brute(&cone, &l));
+    }
+
+    #[test]
+    fn unsorted_query_covers_same_set() {
+        let l = layout();
+        let pose = CameraPose::orbit(60.0, 120.0, 2.2, 40.0);
+        let cone = ConeFrustum::from_pose(&pose);
+        let mut raw = Vec::new();
+        l.block_bvh().visible_into(&cone, &mut raw);
+        raw.sort_unstable();
+        let sorted: Vec<u32> = l.block_bvh().visible_blocks(&cone).iter().map(|b| b.0).collect();
+        assert_eq!(raw, sorted);
+    }
+}

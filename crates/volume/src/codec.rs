@@ -69,10 +69,7 @@ fn raw_floats(bytes: &[u8], count: usize) -> Result<Vec<f32>, String> {
     if bytes.len() != count * 4 {
         return Err(format!("raw payload length {} != {}", bytes.len(), count * 4));
     }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect())
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
 }
 
 /// RLE of one byte plane: pairs `(run_len_u8, value)`, runs capped at 255.
@@ -117,8 +114,12 @@ fn plane_rle_decompress(bytes: &[u8], count: usize) -> Result<Vec<f32>, String> 
         if cursor + 4 > bytes.len() {
             return Err(format!("truncated plane {plane_idx} header"));
         }
-        let len = u32::from_le_bytes([bytes[cursor], bytes[cursor + 1], bytes[cursor + 2], bytes[cursor + 3]])
-            as usize;
+        let len = u32::from_le_bytes([
+            bytes[cursor],
+            bytes[cursor + 1],
+            bytes[cursor + 2],
+            bytes[cursor + 3],
+        ]) as usize;
         cursor += 4;
         if cursor + len > bytes.len() {
             return Err(format!("truncated plane {plane_idx} body"));
@@ -232,9 +233,8 @@ mod tests {
     #[test]
     fn incompressible_noise_does_not_explode() {
         // Worst case for RLE is alternating bytes: ≤ 2x expansion.
-        let data: Vec<f32> = (0..2048)
-            .map(|i| f32::from_bits((i as u32).wrapping_mul(2654435761)))
-            .collect();
+        let data: Vec<f32> =
+            (0..2048).map(|i| f32::from_bits((i as u32).wrapping_mul(2654435761))).collect();
         let encoded = Codec::PlaneRle.compress(&data).len();
         assert!(encoded <= data.len() * 8 + 16, "expansion {encoded}");
         roundtrip(Codec::PlaneRle, &data);

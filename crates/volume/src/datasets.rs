@@ -295,13 +295,10 @@ impl ScalarFunction for ClimateField {
                 // Tangential vortex speed: ramps up to the eyewall then
                 // decays outward; plus background shear.
                 let eyewall = 0.08;
-                let speed = if r < eyewall {
-                    r / eyewall
-                } else {
-                    (eyewall / r).powf(0.6)
-                };
+                let speed = if r < eyewall { r / eyewall } else { (eyewall / r).powf(0.6) };
                 let shear = 0.2 * (z - 0.5);
-                (speed + shear + 0.08 * self.noise.sample(x * 12.0, y * 12.0, z * 6.0)).clamp(-1.0, 2.0)
+                (speed + shear + 0.08 * self.noise.sample(x * 12.0, y * 12.0, z * 6.0))
+                    .clamp(-1.0, 2.0)
             }
             ClimateFamily::Aerosol => {
                 // Smoke source in the southwest, advected towards the
@@ -440,10 +437,7 @@ mod tests {
         entropies.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = entropies[entropies.len() / 2];
         let top = entropies[entropies.len() - 1];
-        assert!(
-            top > median * 1.5 + 0.5,
-            "no entropy contrast: median {median}, top {top}"
-        );
+        assert!(top > median * 1.5 + 0.5, "no entropy contrast: median {median}, top {top}");
     }
 
     #[test]

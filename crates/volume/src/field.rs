@@ -40,11 +40,7 @@ impl VolumeField {
     /// Evaluate `f` at every voxel center, in parallel over z-slabs.
     pub fn from_function<F: ScalarFunction + ?Sized>(dims: Dims3, f: &F, t: f64) -> Self {
         let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
-        let inv = (
-            1.0 / nx.max(1) as f64,
-            1.0 / ny.max(1) as f64,
-            1.0 / nz.max(1) as f64,
-        );
+        let inv = (1.0 / nx.max(1) as f64, 1.0 / ny.max(1) as f64, 1.0 / nz.max(1) as f64);
         let mut data = vec![0.0f32; dims.count()];
         let slab = nx * ny;
         data.par_chunks_mut(slab).enumerate().for_each(|(z, chunk)| {
@@ -113,14 +109,8 @@ impl VolumeField {
     pub fn min_max(&self) -> (f32, f32) {
         self.data
             .par_iter()
-            .fold(
-                || (f32::INFINITY, f32::NEG_INFINITY),
-                |(lo, hi), &v| (lo.min(v), hi.max(v)),
-            )
-            .reduce(
-                || (f32::INFINITY, f32::NEG_INFINITY),
-                |a, b| (a.0.min(b.0), a.1.max(b.1)),
-            )
+            .fold(|| (f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+            .reduce(|| (f32::INFINITY, f32::NEG_INFINITY), |a, b| (a.0.min(b.0), a.1.max(b.1)))
     }
 }
 

@@ -77,11 +77,15 @@ mod tests {
 
     fn linear_field() -> VolumeField {
         // f = 2x + 3y + 6z  ⇒ |∇f| = 7 everywhere (interior).
-        VolumeField::from_function(Dims3::cube(8), &|x: f64, y: f64, z: f64, _t: f64| {
-            // Coordinates are normalized; scale to voxel units: d/dvoxel =
-            // (coefficient / n).
-            (16.0 * x + 24.0 * y + 48.0 * z) as f32
-        }, 0.0)
+        VolumeField::from_function(
+            Dims3::cube(8),
+            &|x: f64, y: f64, z: f64, _t: f64| {
+                // Coordinates are normalized; scale to voxel units: d/dvoxel =
+                // (coefficient / n).
+                (16.0 * x + 24.0 * y + 48.0 * z) as f32
+            },
+            0.0,
+        )
     }
 
     #[test]
@@ -129,9 +133,17 @@ mod tests {
     #[test]
     fn block_gradient_ranks_edge_blocks_high() {
         // A step function: gradient concentrated at the x = 0.5 plane.
-        let f = VolumeField::from_function(Dims3::cube(16), &|x: f64, _y: f64, _z: f64, _t: f64| {
-            if x < 0.5 { 0.0 } else { 1.0 }
-        }, 0.0);
+        let f = VolumeField::from_function(
+            Dims3::cube(16),
+            &|x: f64, _y: f64, _z: f64, _t: f64| {
+                if x < 0.5 {
+                    0.0
+                } else {
+                    1.0
+                }
+            },
+            0.0,
+        );
         let layout = BrickLayout::new(f.dims, Dims3::cube(8));
         let g = block_mean_gradient(&f, &layout);
         // Blocks straddle the step at bx ∈ {0, 1}; all blocks touch it only

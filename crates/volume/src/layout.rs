@@ -3,8 +3,10 @@
 //! the paper's normalized world coordinates (volume edge = 2, centered at
 //! the origin; see Fig. 10).
 
+use crate::bvh::BlockBvh;
 use crate::dims::Dims3;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use viz_geom::{Aabb, Vec3};
 
 /// Identifier of a block within a layout (dense, `0..layout.num_blocks()`).
@@ -29,7 +31,7 @@ impl std::fmt::Display for BlockId {
 /// transform. World coordinates normalize the *longest* volume edge to 2
 /// (so coordinates span `[-1, 1]` on that axis), exactly the normalization
 /// the paper's radius model assumes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BrickLayout {
     /// Voxel dimensions of the whole volume.
     pub volume: Dims3,
@@ -37,7 +39,20 @@ pub struct BrickLayout {
     pub block: Dims3,
     /// Number of blocks along each axis.
     pub grid: Dims3,
+    /// Lazily-built spatial index over the block AABBs (see
+    /// [`Self::block_bvh`]); derived data, excluded from comparison and
+    /// serialization.
+    #[serde(skip)]
+    bvh: OnceLock<BlockBvh>,
 }
+
+impl PartialEq for BrickLayout {
+    fn eq(&self, other: &Self) -> bool {
+        self.volume == other.volume && self.block == other.block && self.grid == other.grid
+    }
+}
+
+impl Eq for BrickLayout {}
 
 impl BrickLayout {
     /// Partition `volume` into blocks of nominal size `block`.
@@ -45,7 +60,7 @@ impl BrickLayout {
         assert!(block.nx > 0 && block.ny > 0 && block.nz > 0, "block dims must be positive");
         assert!(volume.nx > 0 && volume.ny > 0 && volume.nz > 0, "volume dims must be positive");
         let grid = volume.blocks_for(block);
-        BrickLayout { volume, block, grid }
+        BrickLayout { volume, block, grid, bvh: OnceLock::new() }
     }
 
     /// Partition targeting approximately `target_blocks` equal cubes.
@@ -62,11 +77,8 @@ impl BrickLayout {
         let sx = ((vx / geo * k).round() as usize).max(1).min(volume.nx);
         let sy = ((vy / geo * k).round() as usize).max(1).min(volume.ny);
         let sz = ((vz / geo * k).round() as usize).max(1).min(volume.nz);
-        let block = Dims3::new(
-            volume.nx.div_ceil(sx),
-            volume.ny.div_ceil(sy),
-            volume.nz.div_ceil(sz),
-        );
+        let block =
+            Dims3::new(volume.nx.div_ceil(sx), volume.ny.div_ceil(sy), volume.nz.div_ceil(sz));
         BrickLayout::new(volume, block)
     }
 
@@ -179,6 +191,13 @@ impl BrickLayout {
     pub fn all_block_bounds(&self) -> Vec<Aabb> {
         self.block_ids().map(|id| self.block_bounds(id)).collect()
     }
+
+    /// The spatial index over this layout's block AABBs, built on first use
+    /// and cached for the layout's lifetime (thread-safe). Accelerated
+    /// queries through it return exactly the brute-force Eq. 1 visible set.
+    pub fn block_bvh(&self) -> &BlockBvh {
+        self.bvh.get_or_init(|| BlockBvh::new(self))
+    }
 }
 
 #[cfg(test)]
@@ -270,10 +289,7 @@ mod tests {
             let l = BrickLayout::with_target_blocks(Dims3::cube(256), target);
             let n = l.num_blocks();
             // Within a factor of 2 of the request.
-            assert!(
-                n >= target / 2 && n <= target * 2,
-                "target {target} produced {n} blocks"
-            );
+            assert!(n >= target / 2 && n <= target * 2, "target {target} produced {n} blocks");
         }
     }
 

@@ -6,6 +6,7 @@
 //! store used as the slow end of the memory hierarchy.
 //!
 //! - [`dims`], [`layout`] — voxel grids and the uniform block partition.
+//! - [`bvh`] — the cached per-layout spatial index accelerating Eq. 1 scans.
 //! - [`field`] — materialized scalar fields and procedural generation.
 //! - [`noise`] — seeded value noise / fBm used by the generators.
 //! - [`datasets`] — the four Table I datasets as procedural stand-ins.
@@ -33,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bvh;
 pub mod codec;
 pub mod combinators;
 pub mod datasets;
@@ -46,6 +48,7 @@ pub mod stats;
 pub mod store;
 pub mod timevarying;
 
+pub use bvh::BlockBvh;
 pub use codec::Codec;
 pub use datasets::{DatasetKind, DatasetSpec};
 pub use dims::Dims3;

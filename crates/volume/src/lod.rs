@@ -147,8 +147,7 @@ mod tests {
         let mean0: f64 = f.data().iter().map(|&v| v as f64).sum::<f64>() / f.data().len() as f64;
         let p = LodPyramid::build(f, 2);
         let l1 = p.level(LodLevel(1));
-        let mean1: f64 =
-            l1.data().iter().map(|&v| v as f64).sum::<f64>() / l1.data().len() as f64;
+        let mean1: f64 = l1.data().iter().map(|&v| v as f64).sum::<f64>() / l1.data().len() as f64;
         assert!((mean0 - mean1).abs() < 1e-3, "{mean0} vs {mean1}");
     }
 

@@ -123,9 +123,8 @@ mod tests {
     #[test]
     fn noise_varies_in_space() {
         let n = ValueNoise::new(5);
-        let samples: Vec<f64> = (0..100)
-            .map(|i| n.sample(i as f64 * 0.61, i as f64 * 0.37, 0.0))
-            .collect();
+        let samples: Vec<f64> =
+            (0..100).map(|i| n.sample(i as f64 * 0.61, i as f64 * 0.37, 0.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(var > 0.01, "noise is nearly constant (var = {var})");

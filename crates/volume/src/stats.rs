@@ -151,12 +151,7 @@ impl BlockStats {
         if n == 0 {
             return BlockStats { min: 0.0, max: 0.0, mean: 0.0, entropy: 0.0 };
         }
-        BlockStats {
-            min: lo,
-            max: hi,
-            mean: (sum / n as f64) as f32,
-            entropy: h.entropy(),
-        }
+        BlockStats { min: lo, max: hi, mean: (sum / n as f64) as f32, entropy: h.entropy() }
     }
 }
 

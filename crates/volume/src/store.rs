@@ -17,7 +17,9 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Addresses one cached unit: a block of one variable at one timestep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct BlockKey {
     /// Variable index.
     pub var: u16,
@@ -129,9 +131,7 @@ pub fn decode_block(mut buf: &[u8]) -> io::Result<(Dims3, Vec<f32>)> {
             if buf.remaining() != len {
                 return Err(err("compressed payload length mismatch".into()));
             }
-            let data = codec
-                .decompress(&buf[..len], dims.count())
-                .map_err(err)?;
+            let data = codec.decompress(&buf[..len], dims.count()).map_err(err)?;
             Ok((dims, data))
         }
         _ => Err(err("unsupported block version".into())),
@@ -161,8 +161,7 @@ impl DiskBlockStore {
     }
 
     fn path_of(&self, key: BlockKey) -> PathBuf {
-        self.root
-            .join(format!("v{}_t{}_b{}.vblk", key.var, key.time, key.block.0))
+        self.root.join(format!("v{}_t{}_b{}.vblk", key.var, key.time, key.block.0))
     }
 
     /// Write one block using the store's codec.
@@ -339,9 +338,8 @@ mod tests {
         let dir = tmpdir("field");
         let store = DiskBlockStore::open(&dir).unwrap();
         let dims = Dims3::new(8, 8, 4);
-        let field = VolumeField::from_function(dims, &|x: f64, y: f64, z: f64, _| {
-            (x + y + z) as f32
-        }, 0.0);
+        let field =
+            VolumeField::from_function(dims, &|x: f64, y: f64, z: f64, _| (x + y + z) as f32, 0.0);
         let layout = BrickLayout::new(dims, Dims3::cube(4));
         store.write_field(&layout, &field, 0, 0).unwrap();
         for id in layout.block_ids() {
@@ -364,7 +362,8 @@ mod tests {
     #[test]
     fn mem_store_insert_field() {
         let dims = Dims3::cube(8);
-        let field = VolumeField::from_function(dims, &|x: f64, _y: f64, _z: f64, _t: f64| x as f32, 0.0);
+        let field =
+            VolumeField::from_function(dims, &|x: f64, _y: f64, _z: f64, _t: f64| x as f32, 0.0);
         let layout = BrickLayout::new(dims, Dims3::cube(4));
         let store = MemBlockStore::new();
         store.insert_field(&layout, &field, 0, 0);

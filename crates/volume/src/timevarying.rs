@@ -81,10 +81,7 @@ impl FieldCache {
         inner.clock += 1;
         let clock = inner.clock;
         // Another thread may have raced us; keep whichever is present.
-        let entry = inner
-            .fields
-            .entry(key)
-            .or_insert_with(|| (Arc::clone(&field), clock));
+        let entry = inner.fields.entry(key).or_insert_with(|| (Arc::clone(&field), clock));
         let out = Arc::clone(&entry.0);
         // Evict LRU entries beyond capacity.
         while inner.fields.len() > self.capacity {

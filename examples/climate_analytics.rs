@@ -70,11 +70,7 @@ fn main() {
         }
         let m = acc.matrix();
 
-        println!(
-            "\nview {vi}: {} visible blocks, {} voxels analyzed",
-            vis.len(),
-            acc.count()
-        );
+        println!("\nview {vi}: {} visible blocks, {} voxels analyzed", vis.len(), acc.count());
         println!("  moisture histogram peak at bin {peak}/15; smoke voxels (>0.2): {smoke}");
         println!("  correlation matrix (moisture, wind, aerosol, thermo):");
         for i in 0..4 {

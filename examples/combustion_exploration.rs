@@ -12,7 +12,9 @@ use viz_appaware::core::{
 };
 use viz_appaware::geom::angle::deg_to_rad;
 use viz_appaware::geom::{CameraPath, ExplorationDomain, SphericalPath, Vec3};
-use viz_appaware::render::{frame_working_set, render, BrickedSource, RenderConfig, TransferFunction};
+use viz_appaware::render::{
+    frame_working_set, render, BrickedSource, RenderConfig, TransferFunction,
+};
 use viz_appaware::volume::{
     BlockKey, BlockSource, BrickLayout, DatasetKind, DatasetSpec, DiskBlockStore,
 };

@@ -34,10 +34,7 @@ fn main() {
     let visibility = compute_visibility(&layout, &path);
     let cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes());
 
-    println!(
-        "lifted_mix_frac, {} blocks, 400-step random path (5-10 deg)\n",
-        layout.num_blocks()
-    );
+    println!("lifted_mix_frac, {} blocks, 400-step random path (5-10 deg)\n", layout.num_blocks());
     println!("{:<22} {:>10} {:>10} {:>10}", "policy", "miss rate", "I/O (s)", "total (s)");
 
     for strategy in [
@@ -50,10 +47,7 @@ fn main() {
     ] {
         let tables = matches!(strategy, Strategy::AppAware(_)).then_some((&t_visible, &importance));
         let r = run_session_precomputed(&cfg, &layout, &strategy, &path, &visibility, tables);
-        println!(
-            "{:<22} {:>10.4} {:>10.3} {:>10.3}",
-            r.strategy, r.miss_rate, r.io_s, r.total_s
-        );
+        println!("{:<22} {:>10.4} {:>10.3} {:>10.3}", r.strategy, r.miss_rate, r.io_s, r.total_s);
     }
 
     // The unbeatable offline bound for reactive replacement (no prefetch).

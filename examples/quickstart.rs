@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use viz_appaware::cache::PolicyKind;
 use viz_appaware::core::{
     run_session, AppAwareConfig, ImportanceTable, RadiusModel, RadiusRule, SamplingConfig,
     SessionConfig, Strategy, VisibleTable,
@@ -11,7 +12,6 @@ use viz_appaware::core::{
 use viz_appaware::geom::angle::deg_to_rad;
 use viz_appaware::geom::{CameraPath, ExplorationDomain, SphericalPath, Vec3};
 use viz_appaware::volume::{BrickLayout, DatasetKind, DatasetSpec};
-use viz_appaware::cache::PolicyKind;
 
 fn main() {
     // 1. A volume: the paper's synthetic `3d_ball` at 1/8 scale (128³),
@@ -56,13 +56,14 @@ fn main() {
 
     // 4. An interactive exploration: 400 positions orbiting at 5°/step.
     let domain = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
-    let path = SphericalPath::new(domain, 2.5, 5.0, view_angle)
-        .with_precession(1.0)
-        .generate(400);
+    let path = SphericalPath::new(domain, 2.5, 5.0, view_angle).with_precession(1.0).generate(400);
 
     // 5. Replay under each strategy on the simulated DRAM/SSD/HDD stack.
     let cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes());
-    println!("\n{:<6} {:>10} {:>10} {:>12} {:>12}", "policy", "miss rate", "I/O (s)", "prefetch (s)", "total (s)");
+    println!(
+        "\n{:<6} {:>10} {:>10} {:>12} {:>12}",
+        "policy", "miss rate", "I/O (s)", "prefetch (s)", "total (s)"
+    );
     for strategy in [
         Strategy::Baseline(PolicyKind::Fifo),
         Strategy::Baseline(PolicyKind::Lru),

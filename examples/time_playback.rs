@@ -51,9 +51,7 @@ fn main() {
 
     // Orbit while time advances every 25 camera steps.
     let domain = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
-    let poses = SphericalPath::new(domain, 2.5, 4.0, view_angle)
-        .with_precession(1.0)
-        .generate(200);
+    let poses = SphericalPath::new(domain, 2.5, 4.0, view_angle).with_precession(1.0).generate(200);
     let script = ExplorationScript::single_phase(&poses, vec![0, 1])
         .with_time_advance(25, steps_in_time as u16);
     // The climate grid is flat (73x64x24), so a frame sees a large block

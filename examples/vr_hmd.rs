@@ -75,11 +75,8 @@ fn main() {
         .with_distance_jitter(0.02)
         .generate(300);
     let snaps = RandomWalkPath::new(domain, 2.4, 40.0, 70.0, view_angle, 777).generate(300);
-    let head: Vec<CameraPose> = smooth
-        .iter()
-        .enumerate()
-        .map(|(i, p)| if i % 40 == 39 { snaps[i] } else { *p })
-        .collect();
+    let head: Vec<CameraPose> =
+        smooth.iter().enumerate().map(|(i, p)| if i % 40 == 39 { snaps[i] } else { *p }).collect();
     let eyes = stereo_path(&head);
     println!(
         "HMD session: {} head positions -> {} eye renders, 90 Hz budget = {:.1} ms/frame",
@@ -92,9 +89,9 @@ fn main() {
     // HDD testbed, and its renderer is much leaner per block.
     use viz_appaware::cache::TierCost;
     let mut cfg = SessionConfig::paper(0.5, layout.nominal_block_bytes()).with_tier_costs([
-        TierCost::new(1e-7, 50e9),  // GPU memory
-        TierCost::dram(),           // host DRAM
-        TierCost::new(20e-6, 3e9),  // NVMe SSD backing
+        TierCost::new(1e-7, 50e9), // GPU memory
+        TierCost::dram(),          // host DRAM
+        TierCost::new(20e-6, 3e9), // NVMe SSD backing
     ]);
     cfg.render.base_s = 1e-3;
     cfg.render.per_block_s = 8e-6;
@@ -103,23 +100,15 @@ fn main() {
         "\n{:<6} {:>10} {:>12} {:>14} {:>10} {:>10}",
         "policy", "miss rate", "in budget", "stutter-free", "p99 (ms)", "worst (ms)"
     );
-    for strategy in [
-        Strategy::Baseline(PolicyKind::Lru),
-        Strategy::AppAware(AppAwareConfig::paper(sigma)),
-    ] {
+    for strategy in
+        [Strategy::Baseline(PolicyKind::Lru), Strategy::AppAware(AppAwareConfig::paper(sigma))]
+    {
         let tables = matches!(strategy, Strategy::AppAware(_)).then_some((&t_visible, &importance));
         let r = run_session(&cfg, &layout, &strategy, &eyes, tables);
         let (ok, total) = frames_in_budget(&r);
-        let mut frame_times: Vec<f64> = r
-            .per_step
-            .chunks(2)
-            .map(|p| p.iter().map(|s| s.total_s).sum::<f64>())
-            .collect();
-        let stutter_free = r
-            .per_step
-            .chunks(2)
-            .filter(|p| p.iter().all(|s| s.misses == 0))
-            .count();
+        let mut frame_times: Vec<f64> =
+            r.per_step.chunks(2).map(|p| p.iter().map(|s| s.total_s).sum::<f64>()).collect();
+        let stutter_free = r.per_step.chunks(2).filter(|p| p.iter().all(|s| s.misses == 0)).count();
         frame_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p99 = frame_times[(frame_times.len() * 99 / 100).min(frame_times.len() - 1)];
         let worst = *frame_times.last().unwrap();

@@ -70,7 +70,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(map)
 }
 
-fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(key) {
         Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
         None => Ok(default),
@@ -78,10 +82,9 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 }
 
 fn dataset_by_name(name: &str) -> Result<DatasetKind, String> {
-    DatasetKind::ALL
-        .into_iter()
-        .find(|k| k.name() == name)
-        .ok_or_else(|| format!("unknown dataset {name:?} (try: 3d_ball, lifted_mix_frac, lifted_rr, climate)"))
+    DatasetKind::ALL.into_iter().find(|k| k.name() == name).ok_or_else(|| {
+        format!("unknown dataset {name:?} (try: 3d_ball, lifted_mix_frac, lifted_rr, climate)")
+    })
 }
 
 fn policy_by_name(name: &str) -> Result<Option<PolicyKind>, String> {
@@ -186,14 +189,20 @@ fn cmd_prep(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn load_prep(dir: &str) -> Result<(PrepManifest, BrickLayout, VisibleTable, ImportanceTable), String> {
+fn load_prep(
+    dir: &str,
+) -> Result<(PrepManifest, BrickLayout, VisibleTable, ImportanceTable), String> {
     let dir = PathBuf::from(dir);
     let manifest: PrepManifest = serde_json::from_slice(
         &std::fs::read(dir.join("manifest.json")).map_err(|e| format!("missing manifest: {e}"))?,
     )
     .map_err(|e| e.to_string())?;
     let layout = BrickLayout::new(
-        viz_appaware::volume::Dims3::new(manifest.volume[0], manifest.volume[1], manifest.volume[2]),
+        viz_appaware::volume::Dims3::new(
+            manifest.volume[0],
+            manifest.volume[1],
+            manifest.volume[2],
+        ),
         viz_appaware::volume::Dims3::new(manifest.block[0], manifest.block[1], manifest.block[2]),
     );
     let (tv, ti) = load_tables(&dir).map_err(|e| e.to_string())?;
@@ -216,8 +225,10 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         "spherical" => SphericalPath::new(domain, 2.5, deg, view_angle)
             .with_precession(deg * 0.2)
             .generate(steps),
-        "random" => RandomWalkPath::new(domain, 2.5, deg.max(0.5) - 0.5, deg + 0.5, view_angle, seed)
-            .generate(steps),
+        "random" => {
+            RandomWalkPath::new(domain, 2.5, deg.max(0.5) - 0.5, deg + 0.5, view_angle, seed)
+                .generate(steps)
+        }
         other => return Err(format!("unknown path kind {other:?}")),
     };
 
@@ -251,8 +262,9 @@ fn cmd_render(flags: HashMap<String, String>) -> Result<(), String> {
     let size: usize = get(&flags, "size", 256)?;
 
     let (manifest, layout, tv, ti) = load_prep(&prep)?;
-    let store: Arc<dyn BlockSource> =
-        Arc::new(DiskBlockStore::open(PathBuf::from(&prep).join("blocks")).map_err(|e| e.to_string())?);
+    let store: Arc<dyn BlockSource> = Arc::new(
+        DiskBlockStore::open(PathBuf::from(&prep).join("blocks")).map_err(|e| e.to_string())?,
+    );
     let out = PathBuf::from(out);
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
 
@@ -302,9 +314,8 @@ fn cmd_analyze(flags: HashMap<String, String>) -> Result<(), String> {
 
     let view_angle = deg_to_rad(VIEW_ANGLE_DEG);
     let domain = ExplorationDomain::new(Vec3::ZERO, D_MIN, D_MAX);
-    let poses = SphericalPath::new(domain, 2.5, deg, view_angle)
-        .with_precession(deg * 0.2)
-        .generate(steps);
+    let poses =
+        SphericalPath::new(domain, 2.5, deg, view_angle).with_precession(deg * 0.2).generate(steps);
     let trace = demand_trace(&layout, &poses);
     let profile = ReuseProfile::compute(&trace);
 
@@ -319,8 +330,10 @@ fn cmd_analyze(flags: HashMap<String, String>) -> Result<(), String> {
         profile.cold,
         profile.mean_distance().unwrap_or(0.0)
     );
-    println!("
-LRU miss curve (cache size as a fraction of blocks):");
+    println!(
+        "
+LRU miss curve (cache size as a fraction of blocks):"
+    );
     for f in [0.05, 0.1, 0.2, 0.25, 0.35, 0.5, 0.75, 1.0] {
         let cap = ((layout.num_blocks() as f64 * f).round() as usize).max(1);
         println!("  {f:>5.2}  ->  {:.4}", profile.lru_miss_rate(cap));
@@ -332,8 +345,11 @@ smallest cache for <=10% misses: {cap} blocks ({:.0}% of the dataset)",
             100.0 * cap as f64 / layout.num_blocks() as f64
         );
     }
-    println!("
-importance (T_important): sigma(50%) = {:.3} bits;", manifest.sigma);
+    println!(
+        "
+importance (T_important): sigma(50%) = {:.3} bits;",
+        manifest.sigma
+    );
     println!(
         "top 5 blocks by entropy: {}",
         ti.ranked()

@@ -45,17 +45,23 @@ fn full_pipeline_prep_run_analyze_render() {
     // prep: tiny dataset so the test stays fast.
     let out = bin()
         .args([
-            "prep", "--out", prep_dir.to_str().unwrap(),
-            "--dataset", "3d_ball", "--scale", "16",
-            "--blocks", "128", "--samples", "256", "--seed", "5",
+            "prep",
+            "--out",
+            prep_dir.to_str().unwrap(),
+            "--dataset",
+            "3d_ball",
+            "--scale",
+            "16",
+            "--blocks",
+            "128",
+            "--samples",
+            "256",
+            "--seed",
+            "5",
         ])
         .output()
         .unwrap();
-    assert!(
-        out.status.success(),
-        "prep failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "prep failed: {}", String::from_utf8_lossy(&out.stderr));
     assert!(prep_dir.join("manifest.json").exists());
     assert!(prep_dir.join("t_visible.bin").exists());
     assert!(prep_dir.join("t_important.bin").exists());
@@ -65,8 +71,13 @@ fn full_pipeline_prep_run_analyze_render() {
     for policy in ["lru", "opt"] {
         let out = bin()
             .args([
-                "run", "--prep", prep_dir.to_str().unwrap(),
-                "--policy", policy, "--steps", "50",
+                "run",
+                "--prep",
+                prep_dir.to_str().unwrap(),
+                "--policy",
+                policy,
+                "--steps",
+                "50",
             ])
             .output()
             .unwrap();
@@ -85,11 +96,7 @@ fn full_pipeline_prep_run_analyze_render() {
         .args(["analyze", "--prep", prep_dir.to_str().unwrap(), "--steps", "60"])
         .output()
         .unwrap();
-    assert!(
-        out.status.success(),
-        "analyze failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "analyze failed: {}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("LRU miss curve"));
     assert!(text.contains("distinct blocks"));
@@ -98,17 +105,19 @@ fn full_pipeline_prep_run_analyze_render() {
     let frames_dir = tmp("frames");
     let out = bin()
         .args([
-            "render", "--prep", prep_dir.to_str().unwrap(),
-            "--frames", "2", "--size", "32",
-            "--out", frames_dir.to_str().unwrap(),
+            "render",
+            "--prep",
+            prep_dir.to_str().unwrap(),
+            "--frames",
+            "2",
+            "--size",
+            "32",
+            "--out",
+            frames_dir.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(
-        out.status.success(),
-        "render failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "render failed: {}", String::from_utf8_lossy(&out.stderr));
     let f0 = frames_dir.join("frame_000.ppm");
     assert!(f0.exists());
     let bytes = std::fs::read(&f0).unwrap();
@@ -120,20 +129,15 @@ fn full_pipeline_prep_run_analyze_render() {
 
 #[test]
 fn run_with_missing_prep_fails() {
-    let out = bin()
-        .args(["run", "--prep", "/nonexistent/prep_dir"])
-        .output()
-        .unwrap();
+    let out = bin().args(["run", "--prep", "/nonexistent/prep_dir"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 }
 
 #[test]
 fn bad_flag_values_fail_cleanly() {
-    let out = bin()
-        .args(["prep", "--out", "/tmp/x", "--dataset", "not_a_dataset"])
-        .output()
-        .unwrap();
+    let out =
+        bin().args(["prep", "--out", "/tmp/x", "--dataset", "not_a_dataset"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
 }

@@ -9,7 +9,7 @@ use viz_appaware::core::{
 };
 use viz_appaware::geom::angle::deg_to_rad;
 use viz_appaware::geom::{CameraPath, ExplorationDomain, SphericalPath, Vec3};
-use viz_appaware::render::{block_stats_for, contributing_working_set, TransferFunction, Rgba};
+use viz_appaware::render::{block_stats_for, contributing_working_set, Rgba, TransferFunction};
 use viz_appaware::volume::{BrickLayout, DatasetKind, DatasetSpec, VolumeField};
 
 fn setup() -> (VolumeField, BrickLayout, BlockHistogramTable) {

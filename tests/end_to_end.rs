@@ -70,10 +70,9 @@ fn appaware_beats_fifo_and_lru_on_every_dataset() {
 #[test]
 fn miss_rate_grows_with_view_step_for_all_strategies() {
     let s = setup(DatasetKind::Ball3d);
-    for strategy in [
-        Strategy::Baseline(PolicyKind::Lru),
-        Strategy::AppAware(AppAwareConfig::paper(s.sigma)),
-    ] {
+    for strategy in
+        [Strategy::Baseline(PolicyKind::Lru), Strategy::AppAware(AppAwareConfig::paper(s.sigma))]
+    {
         let mut prev = -1.0f64;
         for deg in [1.0, 10.0, 30.0] {
             let tables =
@@ -95,9 +94,11 @@ fn bigger_cache_ratio_reduces_total_time_for_opt() {
     let s = setup(DatasetKind::Ball3d);
     let path = orbit(120, 12.0);
     let strategy = Strategy::AppAware(AppAwareConfig::paper(s.sigma));
-    let half = run_session(&s.cfg, &s.layout, &strategy, &path, Some((&s.t_visible, &s.importance)));
+    let half =
+        run_session(&s.cfg, &s.layout, &strategy, &path, Some((&s.t_visible, &s.importance)));
     let cfg7 = SessionConfig::paper(0.7, s.layout.nominal_block_bytes());
-    let seven = run_session(&cfg7, &s.layout, &strategy, &path, Some((&s.t_visible, &s.importance)));
+    let seven =
+        run_session(&cfg7, &s.layout, &strategy, &path, Some((&s.t_visible, &s.importance)));
     assert!(
         seven.total_s <= half.total_s + 1e-9,
         "ratio 0.7 ({:.3}s) should not be slower than 0.5 ({:.3}s)",

@@ -31,7 +31,8 @@ fn ctx(blocks: usize) -> Ctx {
 }
 
 fn table(c: &Ctx, samples: usize, ratio: f64) -> VisibleTable {
-    let cfgs = SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(VIEW)).with_target_samples(samples);
+    let cfgs =
+        SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(VIEW)).with_target_samples(samples);
     VisibleTable::build(
         cfgs,
         &c.layout,
@@ -57,10 +58,7 @@ fn fig7a_miss_rate_improves_with_samples() {
         let r = run_session(&c.cfg, &c.layout, &strategy, &path, Some((&tv, &c.importance)));
         rates.push(r.miss_rate);
     }
-    assert!(
-        rates[2] <= rates[0] + 0.02,
-        "more samples should not hurt: {rates:?}"
-    );
+    assert!(rates[2] <= rates[0] + 0.02, "more samples should not hurt: {rates:?}");
 }
 
 /// Fig. 7(b): look-up overhead eventually outweighs the miss saving, so
@@ -80,10 +78,7 @@ fn fig7b_lookup_overhead_creates_u_shape() {
         let r = run_session(&cfg, &c.layout, &strategy, &path, Some((&tv, &c.importance)));
         times.push(Metric::IoPlusPrefetchSeconds.of(&r));
     }
-    assert!(
-        times[2] > times[1],
-        "oversampling should pay a lookup penalty: {times:?}"
-    );
+    assert!(times[2] > times[1], "oversampling should pay a lookup penalty: {times:?}");
 }
 
 /// Fig. 12 shape: OPT beats FIFO and LRU by a clear margin on both path
@@ -102,7 +97,8 @@ fn fig12_opt_margin() {
             Some((&tv, &c.importance)),
         );
         let lru = run_session(&c.cfg, &c.layout, &Strategy::Baseline(PolicyKind::Lru), &path, None);
-        let fifo = run_session(&c.cfg, &c.layout, &Strategy::Baseline(PolicyKind::Fifo), &path, None);
+        let fifo =
+            run_session(&c.cfg, &c.layout, &Strategy::Baseline(PolicyKind::Fifo), &path, None);
         // The figure's headline: OPT clearly below BOTH baselines. (The
         // paper's LRU <= FIFO ordering holds at full scale — see
         // EXPERIMENTS.md — but not universally at this test's miniature
@@ -129,7 +125,12 @@ fn fig11_optimal_radius_wins() {
     let run = |rule: RadiusRule| {
         let cfgs =
             SamplingConfig::paper_default(2.0, 3.2, deg_to_rad(VIEW)).with_target_samples(512);
-        let tv = VisibleTable::build(cfgs, &c.layout, rule, Some((&c.importance, c.layout.num_blocks() / 4)));
+        let tv = VisibleTable::build(
+            cfgs,
+            &c.layout,
+            rule,
+            Some((&c.importance, c.layout.num_blocks() / 4)),
+        );
         let r = run_session(&c.cfg, &c.layout, &strategy, &path, Some((&tv, &c.importance)));
         Metric::IoPlusPrefetchSeconds.of(&r)
     };
@@ -167,10 +168,7 @@ fn fig13_total_time_crossover_and_cache_ratio() {
     assert!(small > 0.0, "OPT should win at small steps (gap {small:.3})");
     // The relative advantage shrinks for large view changes…
     let large = gap(0.5, 25.0, 30.0);
-    assert!(
-        large < small,
-        "advantage should shrink with step size ({small:.3} -> {large:.3})"
-    );
+    assert!(large < small, "advantage should shrink with step size ({small:.3} -> {large:.3})");
     // …and a larger cache ratio improves OPT's standing there.
     let large_big_cache = gap(0.7, 25.0, 30.0);
     assert!(

@@ -158,10 +158,7 @@ fn importance_guides_which_blocks_matter_for_rendering() {
     let img_a = render(&sa, &p, &tf, &rc);
     let img_i = render(&si, &p, &tf, &rc);
     let diff = (img_a.mean_luminance() - img_i.mean_luminance()).abs();
-    assert!(
-        diff < 0.02,
-        "dropping zero-entropy blocks changed the image by {diff}"
-    );
+    assert!(diff < 0.02, "dropping zero-entropy blocks changed the image by {diff}");
 }
 
 #[test]
@@ -208,11 +205,7 @@ fn lod_levels_degrade_image_quality_monotonically() {
     let mut prev = f64::INFINITY;
     for (l, img) in images.iter().enumerate().skip(1) {
         let q = psnr(&images[0], img);
-        assert!(
-            q <= prev + 1e-9,
-            "level {l} PSNR {q} should not beat level {}",
-            l - 1
-        );
+        assert!(q <= prev + 1e-9, "level {l} PSNR {q} should not beat level {}", l - 1);
         assert!(q.is_finite(), "coarse level should differ from native");
         prev = q;
     }
