@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the `viz-fetch` engine: worker-pool scaling
+//! on a latency-injected source, coalesced demand reads, and the cost of
+//! a generation bump over a queued backlog.
+//!
+//! The checked-in numbers live in `BENCH_fetch.json` (regenerate with
+//! `cargo run --release -p viz-bench --bin fetch`); this group tracks
+//! regressions on the same operating points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+use viz_fetch::{BlockPool, FetchConfig, FetchEngine, InstrumentedSource};
+use viz_volume::{BlockId, BlockKey, BlockSource, MemBlockStore};
+
+const BLOCKS: usize = 128;
+const BLOCK_LEN: usize = 1024;
+const DELAY: Duration = Duration::from_micros(100);
+
+fn store() -> Arc<MemBlockStore> {
+    let s = MemBlockStore::new();
+    for i in 0..BLOCKS {
+        s.insert(BlockKey::scalar(BlockId(i as u32)), vec![i as f32; BLOCK_LEN]);
+    }
+    Arc::new(s)
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fetch_throughput");
+    g.sample_size(10);
+    for &workers in &[1usize, 2, 4, 8] {
+        g.throughput(Throughput::Elements(BLOCKS as u64));
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let source = Arc::new(InstrumentedSource::new(store(), DELAY));
+                let pool = Arc::new(BlockPool::new());
+                let engine = FetchEngine::spawn(
+                    source as Arc<dyn BlockSource>,
+                    pool,
+                    FetchConfig { workers: w, queue_cap: BLOCKS * 2 },
+                );
+                for i in 0..BLOCKS {
+                    engine.prefetch(BlockKey::scalar(BlockId(i as u32)), i as f64);
+                }
+                engine.sync();
+                engine.shutdown().completed
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_coalesced_demand(c: &mut Criterion) {
+    // Residency fast path: every get() after the first coalesces onto the
+    // resident block; this measures the per-request overhead of that path.
+    let source = Arc::new(InstrumentedSource::new(store(), Duration::ZERO));
+    let pool = Arc::new(BlockPool::new());
+    let engine = FetchEngine::spawn(
+        source as Arc<dyn BlockSource>,
+        pool,
+        FetchConfig { workers: 2, queue_cap: 1024 },
+    );
+    let key = BlockKey::scalar(BlockId(0));
+    engine.get(key).expect("warm the block");
+    c.bench_function("fetch_resident_get", |b| {
+        b.iter(|| engine.get(key).expect("resident read"));
+    });
+}
+
+fn bench_generation_bump(c: &mut Criterion) {
+    // Cost of invalidating a queued backlog: queue BLOCKS prefetches in
+    // deterministic mode, bump, and drain (every entry cancels at dequeue).
+    c.bench_function("fetch_bump_and_drain_backlog", |b| {
+        b.iter(|| {
+            let source = Arc::new(InstrumentedSource::new(store(), Duration::ZERO));
+            let pool = Arc::new(BlockPool::new());
+            let engine = FetchEngine::deterministic(source as Arc<dyn BlockSource>, pool);
+            for i in 0..BLOCKS {
+                engine.prefetch(BlockKey::scalar(BlockId(i as u32)), 1.0);
+            }
+            engine.bump_generation();
+            engine.run_until_idle();
+            engine.shutdown().cancelled
+        });
+    });
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_coalesced_demand, bench_generation_bump);
+criterion_main!(benches);

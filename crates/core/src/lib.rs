@@ -13,7 +13,10 @@
 //! - [`sampling`] — camera lattice, `T_visible` build, O(1) nearest lookup.
 //! - [`session`] — Algorithm 1 and the FIFO/LRU baselines over the
 //!   simulated hierarchy; per-step and aggregate metrics.
-//! - [`overlap`] — a real threaded prefetcher for disk-backed examples.
+//! - [`overlap`] — compatibility wrapper over the `viz-fetch` engine: the
+//!   original single-worker [`Prefetcher`] API for disk-backed examples.
+//!   New code should use `viz_fetch` directly (worker pools,
+//!   entropy-priority prefetch, coalescing, cancellation).
 //! - [`report`] — figure/table emission helpers for the bench harness.
 //!
 //! # Example — the paper's pipeline end to end
@@ -87,7 +90,7 @@ pub use lod::{run_lod_session, LodPolicy, LodReport};
 pub use multivar::{
     run_multivar_session, ExplorationScript, MultiVarReport, MultiVarStrategy, ScriptStep,
 };
-pub use overlap::{BlockPool, Prefetcher};
+pub use overlap::{BlockPool, PrefetchStats, Prefetcher};
 pub use persist::{load_tables, save_tables};
 pub use prediction::extrapolate_pose;
 pub use radius::RadiusModel;

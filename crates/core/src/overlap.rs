@@ -1,163 +1,94 @@
-//! Threaded overlap prefetcher: the real-data counterpart of the simulated
-//! overlap in [`crate::session`].
+//! Threaded overlap prefetching: the real-data counterpart of the
+//! simulated overlap in [`crate::session`].
 //!
 //! Algorithm 1 hides prefetch latency behind rendering. In the simulator
-//! that is a `max(render, prefetch)` accounting rule; here it is an actual
-//! worker thread that pulls block payloads from a [`BlockSource`] into a
-//! shared resident set while the caller renders. Used by the example
-//! binaries that drive the CPU ray caster over a disk-backed store.
+//! that is a `max(render, prefetch)` accounting rule; on real data it is
+//! the [`viz_fetch`] engine: a sharded resident [`BlockPool`], a priority
+//! scheduler with demand-over-prefetch ordering, request coalescing, and
+//! generation-based cancellation. This module keeps the original
+//! single-worker [`Prefetcher`] API alive as a thin wrapper over a
+//! 1-worker [`viz_fetch::FetchEngine`] for the callers that predate the
+//! engine; new code should use `viz_fetch` directly for worker pools,
+//! entropy-priority prefetch, and cancellation.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use viz_fetch::{FetchConfig, FetchEngine};
 use viz_volume::{BlockKey, BlockSource};
 
-/// Shared pool of resident block payloads.
-///
-/// The renderer reads blocks out of the pool; the prefetcher inserts them.
-/// Eviction is the caller's business (the pool only stores what it is
-/// given) — policy decisions stay in `viz-cache`.
-#[derive(Debug, Default)]
-pub struct BlockPool {
-    blocks: RwLock<HashMap<BlockKey, Arc<Vec<f32>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
+pub use viz_fetch::BlockPool;
 
-impl BlockPool {
-    /// Create an empty pool.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Look up a resident block, counting hit/miss statistics.
-    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<f32>>> {
-        let got = self.blocks.read().get(&key).cloned();
-        match got {
-            Some(b) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(b)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
-    /// Residency check without statistics side effects.
-    pub fn contains(&self, key: BlockKey) -> bool {
-        self.blocks.read().contains_key(&key)
-    }
-
-    /// Insert a payload.
-    pub fn insert(&self, key: BlockKey, data: Vec<f32>) {
-        self.blocks.write().insert(key, Arc::new(data));
-    }
-
-    /// Drop a block (eviction decided by the cache layer).
-    pub fn remove(&self, key: BlockKey) {
-        self.blocks.write().remove(&key);
-    }
-
-    /// Number of resident blocks.
-    pub fn len(&self) -> usize {
-        self.blocks.read().len()
-    }
-
-    /// `true` when nothing is resident.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// `(hits, misses)` counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
-    }
-}
-
-enum Request {
-    Fetch(BlockKey),
-    /// Fence: reply when every prior request has been serviced.
-    Sync(Sender<()>),
-    Shutdown,
+/// Counters surfaced by [`Prefetcher::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Blocks successfully loaded into the pool.
+    pub fetched: u64,
+    /// Requests rejected because the queue was full. Non-zero means the
+    /// producer outruns the worker — saturation is observable, not silent.
+    pub dropped: u64,
+    /// Requests merged onto a resident block, queued request, or
+    /// in-flight read.
+    pub coalesced: u64,
+    /// Reads that failed at the source (e.g. missing block files).
+    pub errors: u64,
 }
 
 /// Background worker that loads blocks from a [`BlockSource`] into a
 /// [`BlockPool`], overlapping with the caller's rendering work.
+///
+/// Compatibility wrapper over a single-worker [`FetchEngine`].
 pub struct Prefetcher {
-    tx: Sender<Request>,
-    handle: Option<JoinHandle<u64>>,
+    engine: FetchEngine,
 }
 
 impl Prefetcher {
-    /// Spawn the worker. `queue_depth` bounds the request channel so a
-    /// runaway producer back-pressures instead of ballooning memory.
+    /// Spawn the worker. `queue_depth` bounds the request queue; requests
+    /// beyond it are dropped and counted in [`PrefetchStats::dropped`].
     pub fn spawn(source: Arc<dyn BlockSource>, pool: Arc<BlockPool>, queue_depth: usize) -> Self {
         assert!(queue_depth > 0);
-        let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(queue_depth);
-        let handle = std::thread::Builder::new()
-            .name("viz-prefetcher".into())
-            .spawn(move || {
-                let mut fetched = 0u64;
-                while let Ok(req) = rx.recv() {
-                    match req {
-                        Request::Fetch(key) => {
-                            if !pool.contains(key) {
-                                if let Ok(data) = source.read_block(key) {
-                                    pool.insert(key, data);
-                                    fetched += 1;
-                                }
-                            }
-                        }
-                        Request::Sync(ack) => {
-                            let _ = ack.send(());
-                        }
-                        Request::Shutdown => break,
-                    }
-                }
-                fetched
-            })
-            .expect("failed to spawn prefetcher thread");
-        Prefetcher { tx, handle: Some(handle) }
+        Prefetcher {
+            engine: FetchEngine::spawn(
+                source,
+                pool,
+                FetchConfig { workers: 1, queue_cap: queue_depth },
+            ),
+        }
     }
 
-    /// Enqueue a block for background loading. Blocks when the queue is
-    /// full (back-pressure); returns `false` if the worker is gone.
+    /// Enqueue a block for background loading. Returns `false` when the
+    /// request was dropped (queue full) — see [`Self::stats`].
     pub fn request(&self, key: BlockKey) -> bool {
-        self.tx.send(Request::Fetch(key)).is_ok()
+        self.engine.prefetch(key, 0.0)
     }
 
     /// Wait until every previously enqueued request has been serviced.
     pub fn sync(&self) {
-        let (ack_tx, ack_rx) = bounded(1);
-        if self.tx.send(Request::Sync(ack_tx)).is_ok() {
-            let _ = ack_rx.recv();
+        self.engine.sync();
+    }
+
+    /// Counter snapshot (drops, coalesced duplicates, errors, loads).
+    pub fn stats(&self) -> PrefetchStats {
+        let m = self.engine.metrics();
+        PrefetchStats {
+            fetched: m.completed,
+            dropped: m.dropped,
+            coalesced: m.coalesced,
+            errors: m.errors,
         }
     }
 
-    /// Stop the worker and return how many blocks it fetched.
-    pub fn shutdown(mut self) -> u64 {
-        let _ = self.tx.send(Request::Shutdown);
-        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
-    }
-}
-
-impl Drop for Prefetcher {
-    fn drop(&mut self) {
-        if let Some(h) = self.handle.take() {
-            let _ = self.tx.send(Request::Shutdown);
-            let _ = h.join();
-        }
+    /// Drain the queue, stop the worker, and return how many blocks it
+    /// fetched.
+    pub fn shutdown(self) -> u64 {
+        self.engine.sync();
+        self.engine.shutdown().completed
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+    use viz_fetch::InstrumentedSource;
     use viz_volume::{BlockId, MemBlockStore};
 
     fn store_with(n: u32) -> Arc<MemBlockStore> {
@@ -178,6 +109,17 @@ mod tests {
         pool.remove(key);
         assert!(pool.get(key).is_none());
         assert_eq!(pool.stats(), (1, 2));
+    }
+
+    #[test]
+    fn pool_tracks_resident_bytes_and_clears() {
+        let pool = BlockPool::new();
+        pool.insert(BlockKey::scalar(BlockId(0)), vec![0.0; 16]);
+        pool.insert(BlockKey::scalar(BlockId(1)), vec![0.0; 8]);
+        assert_eq!(pool.bytes_resident(), 96);
+        pool.clear();
+        assert_eq!(pool.bytes_resident(), 0);
+        assert!(pool.is_empty());
     }
 
     #[test]
@@ -204,11 +146,12 @@ mod tests {
             pf.request(BlockKey::scalar(BlockId(0)));
         }
         pf.sync();
+        assert_eq!(pf.stats().coalesced, 4);
         assert_eq!(pf.shutdown(), 1);
     }
 
     #[test]
-    fn missing_blocks_are_skipped_silently() {
+    fn missing_blocks_are_skipped_and_counted() {
         let source = store_with(1);
         let pool = Arc::new(BlockPool::new());
         let pf = Prefetcher::spawn(source, pool.clone(), 8);
@@ -216,6 +159,7 @@ mod tests {
         pf.request(BlockKey::scalar(BlockId(99))); // not in the store
         pf.sync();
         assert_eq!(pool.len(), 1);
+        assert_eq!(pf.stats().errors, 1);
         pf.shutdown();
     }
 
@@ -232,6 +176,27 @@ mod tests {
         for i in 0..64u32 {
             assert!(pool.contains(BlockKey::scalar(BlockId(i))), "block {i} missing after sync");
         }
+        pf.shutdown();
+    }
+
+    #[test]
+    fn saturation_is_observable_via_dropped_counter() {
+        // A slow source and a queue of 1: the third distinct request must
+        // find the queue occupied and be dropped, visibly.
+        let source = Arc::new(InstrumentedSource::new(store_with(8), Duration::from_millis(20)));
+        let pool = Arc::new(BlockPool::new());
+        let pf = Prefetcher::spawn(source, pool.clone(), 1);
+        let mut accepted = 0u32;
+        for i in 0..4u32 {
+            if pf.request(BlockKey::scalar(BlockId(i))) {
+                accepted += 1;
+            }
+        }
+        pf.sync();
+        let stats = pf.stats();
+        assert!(stats.dropped >= 1, "queue of 1 with 4 rapid requests must drop");
+        assert_eq!(accepted as u64 + stats.dropped, 4);
+        assert_eq!(pool.len() as u64, stats.fetched);
         pf.shutdown();
     }
 

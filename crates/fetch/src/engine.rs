@@ -1,0 +1,743 @@
+//! The fetch engine: priority scheduling, coalescing, cancellation.
+//!
+//! A [`FetchEngine`] owns a binary heap of requests drained by a pool of
+//! worker threads (or stepped inline in deterministic mode). Scheduling
+//! order is: demand fetches first (the renderer is stalled on them), then
+//! prefetches by descending priority (callers pass `T_important` entropy),
+//! FIFO among equals. Concurrent requests for one key coalesce onto a
+//! single read; queued prefetches whose generation predates the current
+//! camera step are cancelled at dequeue without touching the source.
+
+use crate::pool::BlockPool;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use viz_volume::{BlockKey, BlockSource};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchConfig {
+    /// Worker threads. `0` selects deterministic mode: nothing runs until
+    /// the caller steps the scheduler with [`FetchEngine::run_one`] /
+    /// [`FetchEngine::run_until_idle`] on its own thread.
+    pub workers: usize,
+    /// Maximum queued *prefetch* requests; beyond it new prefetches are
+    /// dropped (counted in [`FetchMetrics::dropped`]). Demand fetches are
+    /// never dropped.
+    pub queue_cap: usize,
+}
+
+impl Default for FetchConfig {
+    fn default() -> Self {
+        FetchConfig { workers: 4, queue_cap: 4096 }
+    }
+}
+
+/// Cloneable fetch failure. `io::Error` is not `Clone`, but a coalesced
+/// read has many waiters and each needs a copy of the outcome.
+#[derive(Debug, Clone)]
+pub struct FetchError {
+    /// The underlying `io::ErrorKind`.
+    pub kind: io::ErrorKind,
+    /// Human-readable context.
+    pub message: String,
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fetch failed ({:?}): {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+impl From<io::Error> for FetchError {
+    fn from(e: io::Error) -> Self {
+        FetchError { kind: e.kind(), message: e.to_string() }
+    }
+}
+
+impl From<FetchError> for io::Error {
+    fn from(e: FetchError) -> Self {
+        io::Error::new(e.kind, e.message)
+    }
+}
+
+fn shutdown_error() -> FetchError {
+    FetchError { kind: io::ErrorKind::Interrupted, message: "fetch engine shut down".into() }
+}
+
+type Payload = Arc<Vec<f32>>;
+type FetchResult = Result<Payload, FetchError>;
+
+/// Handle to one demand fetch. Resolves exactly once, via [`Ticket::wait`]
+/// or a successful [`Ticket::try_wait`].
+#[derive(Debug)]
+pub struct Ticket(TicketInner);
+
+#[derive(Debug)]
+enum TicketInner {
+    Ready(FetchResult),
+    Waiting(Receiver<FetchResult>),
+}
+
+impl Ticket {
+    /// Block until the fetch completes. If the engine shuts down first,
+    /// returns an [`io::ErrorKind::Interrupted`]-kinded error.
+    pub fn wait(self) -> FetchResult {
+        match self.0 {
+            TicketInner::Ready(r) => r,
+            TicketInner::Waiting(rx) => rx.recv().unwrap_or_else(|_| Err(shutdown_error())),
+        }
+    }
+
+    /// Non-blocking poll: `Ok(result)` once resolved, `Err(self)` while the
+    /// fetch is still in flight (deterministic mode: step the engine, then
+    /// poll again).
+    pub fn try_wait(self) -> Result<FetchResult, Ticket> {
+        match self.0 {
+            TicketInner::Ready(r) => Ok(r),
+            TicketInner::Waiting(rx) => match rx.try_recv() {
+                Ok(r) => Ok(r),
+                Err(TryRecvError::Disconnected) => Ok(Err(shutdown_error())),
+                Err(TryRecvError::Empty) => Err(Ticket(TicketInner::Waiting(rx))),
+            },
+        }
+    }
+}
+
+/// Heap node. `stamp` pairs it with the live [`Pending`] entry: priority
+/// upgrades push a fresh node and re-stamp the entry, so superseded nodes
+/// are recognized and skipped at dequeue (lazy deletion).
+#[derive(Debug)]
+struct HeapEntry {
+    demand: bool,
+    pri: f64,
+    seq: u64,
+    stamp: u64,
+    key: BlockKey,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.demand
+            .cmp(&other.demand)
+            .then(self.pri.total_cmp(&other.pri))
+            .then(other.seq.cmp(&self.seq)) // earlier request wins ties
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+/// One logical queued request per key (coalescing happens at enqueue).
+struct Pending {
+    demand: bool,
+    pri: f64,
+    gen: u64,
+    stamp: u64,
+    waiters: Vec<Sender<FetchResult>>,
+}
+
+struct State {
+    heap: BinaryHeap<HeapEntry>,
+    pending: HashMap<BlockKey, Pending>,
+    inflight: HashMap<BlockKey, Vec<Sender<FetchResult>>>,
+    pending_prefetch: usize,
+    seq: u64,
+    stamp: u64,
+    shutdown: bool,
+}
+
+struct Counters {
+    demand_requests: AtomicU64,
+    prefetch_requests: AtomicU64,
+    coalesced: AtomicU64,
+    dropped: AtomicU64,
+    cancelled: AtomicU64,
+    completed: AtomicU64,
+    demand_completed: AtomicU64,
+    prefetch_completed: AtomicU64,
+    errors: AtomicU64,
+    lat_sum_ns: AtomicU64,
+    /// `u64::MAX` until the first read completes.
+    lat_min_ns: AtomicU64,
+    lat_max_ns: AtomicU64,
+    lat_count: AtomicU64,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            demand_requests: AtomicU64::new(0),
+            prefetch_requests: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            demand_completed: AtomicU64::new(0),
+            prefetch_completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            lat_sum_ns: AtomicU64::new(0),
+            lat_min_ns: AtomicU64::new(u64::MAX),
+            lat_max_ns: AtomicU64::new(0),
+            lat_count: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    idle: Condvar,
+    source: Arc<dyn BlockSource>,
+    pool: Arc<BlockPool>,
+    generation: AtomicU64,
+    cfg: FetchConfig,
+    m: Counters,
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FetchMetrics {
+    /// Demand (`request`/`get`) calls.
+    pub demand_requests: u64,
+    /// `prefetch` calls.
+    pub prefetch_requests: u64,
+    /// Requests merged onto an existing result (resident block), queue
+    /// entry, or in-flight read instead of issuing their own.
+    pub coalesced: u64,
+    /// Prefetches rejected because the queue was at `queue_cap`.
+    pub dropped: u64,
+    /// Stale-generation prefetches discarded at dequeue (source untouched).
+    pub cancelled: u64,
+    /// Reads that completed successfully.
+    pub completed: u64,
+    /// Of `completed`, how many were demand fetches.
+    pub demand_completed: u64,
+    /// Of `completed`, how many were prefetches.
+    pub prefetch_completed: u64,
+    /// Reads that failed at the source.
+    pub errors: u64,
+    /// Requests currently queued (gauge).
+    pub queue_depth: usize,
+    /// Reads currently in flight (gauge).
+    pub inflight: usize,
+    /// Current cancellation generation.
+    pub generation: u64,
+    /// Fastest successful read, seconds (0 if none).
+    pub latency_min_s: f64,
+    /// Mean successful read, seconds (0 if none).
+    pub latency_mean_s: f64,
+    /// Slowest successful read, seconds (0 if none).
+    pub latency_max_s: f64,
+}
+
+/// Multi-worker block-fetch engine over a [`BlockSource`]. See the crate
+/// docs for the scheduling/coalescing/cancellation contract.
+pub struct FetchEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct Job {
+    key: BlockKey,
+    demand: bool,
+}
+
+impl FetchEngine {
+    /// Start an engine. `cfg.workers == 0` selects deterministic mode.
+    pub fn spawn(source: Arc<dyn BlockSource>, pool: Arc<BlockPool>, cfg: FetchConfig) -> Self {
+        assert!(cfg.queue_cap > 0, "queue_cap must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                pending: HashMap::new(),
+                inflight: HashMap::new(),
+                pending_prefetch: 0,
+                seq: 0,
+                stamp: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            source,
+            pool,
+            generation: AtomicU64::new(0),
+            cfg,
+            m: Counters::default(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let s = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("viz-fetch-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("failed to spawn fetch worker")
+            })
+            .collect();
+        FetchEngine { shared, workers }
+    }
+
+    /// Deterministic single-stepped engine (no threads, unbounded queue).
+    pub fn deterministic(source: Arc<dyn BlockSource>, pool: Arc<BlockPool>) -> Self {
+        Self::spawn(source, pool, FetchConfig { workers: 0, queue_cap: usize::MAX >> 1 })
+    }
+
+    /// The resident pool this engine fills.
+    pub fn pool(&self) -> &Arc<BlockPool> {
+        &self.shared.pool
+    }
+
+    /// Queue a background load of `key` at `priority` (higher = sooner;
+    /// callers pass `T_important` entropy). Returns `false` only when the
+    /// request was dropped: queue at capacity, or engine shutting down.
+    /// Requests for resident, queued, or in-flight keys coalesce and
+    /// return `true`.
+    pub fn prefetch(&self, key: BlockKey, priority: f64) -> bool {
+        let s = &*self.shared;
+        s.m.prefetch_requests.fetch_add(1, Ordering::Relaxed);
+        if s.pool.contains(key) {
+            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let mut st = s.state.lock().unwrap();
+        if st.shutdown {
+            s.m.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // Re-check under the lock: completions insert into the pool while
+        // holding it, so the miss above may have landed just before we got
+        // in — re-enqueueing would read the key a second time.
+        if s.pool.contains(key) {
+            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        if st.inflight.contains_key(&key) {
+            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let gen = s.generation.load(Ordering::Relaxed);
+        if st.pending.contains_key(&key) {
+            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            st.seq += 1;
+            st.stamp += 1;
+            let (seq, stamp) = (st.seq, st.stamp);
+            let p = st.pending.get_mut(&key).unwrap();
+            // Re-requested now: wanted by the current generation even if it
+            // was first queued before a camera step.
+            p.gen = gen;
+            if !p.demand && priority > p.pri {
+                p.pri = priority;
+                p.stamp = stamp;
+                st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
+                drop(st);
+                s.work.notify_one();
+            }
+            return true;
+        }
+        if st.pending_prefetch >= s.cfg.queue_cap {
+            s.m.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        st.seq += 1;
+        st.stamp += 1;
+        let (seq, stamp) = (st.seq, st.stamp);
+        st.pending
+            .insert(key, Pending { demand: false, pri: priority, gen, stamp, waiters: Vec::new() });
+        st.pending_prefetch += 1;
+        st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
+        drop(st);
+        s.work.notify_one();
+        true
+    }
+
+    /// Demand-fetch `key`: resident blocks resolve immediately; otherwise
+    /// the request jumps every queued prefetch (upgrading one already
+    /// queued for this key) and the [`Ticket`] resolves when the read
+    /// lands. Demand fetches are never dropped or cancelled.
+    pub fn request(&self, key: BlockKey) -> Ticket {
+        let s = &*self.shared;
+        s.m.demand_requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = s.pool.get(key) {
+            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Ticket(TicketInner::Ready(Ok(p)));
+        }
+        let mut st = s.state.lock().unwrap();
+        // Re-check under the lock: completions insert into the pool while
+        // holding it, so a miss above may have landed just before we got in.
+        if let Some(p) = s.pool.get(key) {
+            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Ticket(TicketInner::Ready(Ok(p)));
+        }
+        if st.shutdown {
+            return Ticket(TicketInner::Ready(Err(shutdown_error())));
+        }
+        let (tx, rx) = channel();
+        if let Some(waiters) = st.inflight.get_mut(&key) {
+            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            waiters.push(tx);
+            return Ticket(TicketInner::Waiting(rx));
+        }
+        if st.pending.contains_key(&key) {
+            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            st.seq += 1;
+            st.stamp += 1;
+            let (seq, stamp) = (st.seq, st.stamp);
+            let p = st.pending.get_mut(&key).unwrap();
+            p.waiters.push(tx);
+            if !p.demand {
+                p.demand = true;
+                p.stamp = stamp;
+                let pri = p.pri;
+                st.pending_prefetch -= 1;
+                st.heap.push(HeapEntry { demand: true, pri, seq, stamp, key });
+                drop(st);
+                s.work.notify_one();
+            }
+            return Ticket(TicketInner::Waiting(rx));
+        }
+        let gen = s.generation.load(Ordering::Relaxed);
+        st.seq += 1;
+        st.stamp += 1;
+        let (seq, stamp) = (st.seq, st.stamp);
+        st.pending.insert(key, Pending { demand: true, pri: 0.0, gen, stamp, waiters: vec![tx] });
+        st.heap.push(HeapEntry { demand: true, pri: 0.0, seq, stamp, key });
+        drop(st);
+        s.work.notify_one();
+        Ticket(TicketInner::Waiting(rx))
+    }
+
+    /// Blocking demand fetch: `request(key).wait()`. Do not call in
+    /// deterministic mode (no worker will ever service it — use
+    /// [`Self::request`] + [`Self::run_until_idle`] there).
+    pub fn get(&self, key: BlockKey) -> FetchResult {
+        self.request(key).wait()
+    }
+
+    /// Advance the cancellation generation (call once per camera step).
+    /// Prefetches queued under earlier generations and not re-requested
+    /// since are dropped at dequeue. Returns the new generation.
+    pub fn bump_generation(&self) -> u64 {
+        self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current cancellation generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Relaxed)
+    }
+
+    /// Wait until every queued and in-flight request has been serviced,
+    /// cancelled, or dropped. In deterministic mode this steps the
+    /// scheduler to idle on the calling thread.
+    pub fn sync(&self) {
+        if self.shared.cfg.workers == 0 {
+            self.run_until_idle();
+            return;
+        }
+        let s = &*self.shared;
+        let mut st = s.state.lock().unwrap();
+        while !(st.pending.is_empty() && st.inflight.is_empty()) {
+            st = s.idle.wait(st).unwrap();
+        }
+    }
+
+    /// Deterministic mode: dequeue and service the single highest-priority
+    /// runnable request on the calling thread. Stale-generation prefetches
+    /// encountered on the way are cancelled (and not counted as serviced).
+    /// Returns the serviced key, or `None` when the queue is idle.
+    pub fn run_one(&self) -> Option<BlockKey> {
+        let s = &*self.shared;
+        let job = {
+            let mut st = s.state.lock().unwrap();
+            try_dequeue(s, &mut st)
+        }?;
+        let key = job.key;
+        service(s, job);
+        Some(key)
+    }
+
+    /// Deterministic mode: run until the queue drains; returns how many
+    /// requests were serviced (cancelled ones don't count).
+    pub fn run_until_idle(&self) -> usize {
+        let mut n = 0;
+        while self.run_one().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Requests currently queued (logical entries, not stale heap nodes).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().pending.len()
+    }
+
+    /// Snapshot the engine metrics.
+    pub fn metrics(&self) -> FetchMetrics {
+        let s = &*self.shared;
+        let (queue_depth, inflight) = {
+            let st = s.state.lock().unwrap();
+            (st.pending.len(), st.inflight.len())
+        };
+        let count = s.m.lat_count.load(Ordering::Relaxed);
+        let (min, mean, max) = if count == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                s.m.lat_min_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                s.m.lat_sum_ns.load(Ordering::Relaxed) as f64 * 1e-9 / count as f64,
+                s.m.lat_max_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            )
+        };
+        FetchMetrics {
+            demand_requests: s.m.demand_requests.load(Ordering::Relaxed),
+            prefetch_requests: s.m.prefetch_requests.load(Ordering::Relaxed),
+            coalesced: s.m.coalesced.load(Ordering::Relaxed),
+            dropped: s.m.dropped.load(Ordering::Relaxed),
+            cancelled: s.m.cancelled.load(Ordering::Relaxed),
+            completed: s.m.completed.load(Ordering::Relaxed),
+            demand_completed: s.m.demand_completed.load(Ordering::Relaxed),
+            prefetch_completed: s.m.prefetch_completed.load(Ordering::Relaxed),
+            errors: s.m.errors.load(Ordering::Relaxed),
+            queue_depth,
+            inflight,
+            generation: s.generation.load(Ordering::Relaxed),
+            latency_min_s: min,
+            latency_mean_s: mean,
+            latency_max_s: max,
+        }
+    }
+
+    /// Stop the workers (queued requests are abandoned; waiting tickets
+    /// resolve with an `Interrupted` error) and return final metrics.
+    /// Call [`Self::sync`] first to drain instead.
+    pub fn shutdown(mut self) -> FetchMetrics {
+        self.stop_workers();
+        self.metrics()
+    }
+
+    fn stop_workers(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown {
+                return;
+            }
+            st.shutdown = true;
+            // Abandoned demand waiters unblock via sender drop.
+            st.pending.clear();
+            st.pending_prefetch = 0;
+            st.heap.clear();
+        }
+        self.shared.work.notify_all();
+        self.shared.idle.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FetchEngine {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+impl fmt::Debug for FetchEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FetchEngine")
+            .field("cfg", &self.shared.cfg)
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+/// Pop the next runnable job, discarding stale heap nodes (superseded by a
+/// priority upgrade) and cancelling stale-generation prefetches.
+fn try_dequeue(s: &Shared, st: &mut MutexGuard<'_, State>) -> Option<Job> {
+    while let Some(e) = st.heap.pop() {
+        let live = st.pending.get(&e.key).is_some_and(|p| p.stamp == e.stamp);
+        if !live {
+            continue;
+        }
+        let p = st.pending.remove(&e.key).unwrap();
+        if !p.demand {
+            st.pending_prefetch -= 1;
+            if p.gen < s.generation.load(Ordering::Relaxed) {
+                // The camera moved on; this prediction is void. The source
+                // is never touched. Demand fetches never take this branch.
+                s.m.cancelled.fetch_add(1, Ordering::Relaxed);
+                notify_if_idle(s, st);
+                continue;
+            }
+        }
+        st.inflight.insert(e.key, p.waiters);
+        return Some(Job { key: e.key, demand: p.demand });
+    }
+    None
+}
+
+fn notify_if_idle(s: &Shared, st: &MutexGuard<'_, State>) {
+    if st.pending.is_empty() && st.inflight.is_empty() {
+        s.idle.notify_all();
+    }
+}
+
+/// Read one block and publish the outcome: pool insert + waiter fan-out
+/// happen under the state lock so a concurrent `request` either sees the
+/// in-flight entry or the resident block, never neither.
+fn service(s: &Shared, job: Job) {
+    let t0 = Instant::now();
+    let res = s.source.read_block(job.key);
+    let dt_ns = t0.elapsed().as_nanos() as u64;
+    let mut st = s.state.lock().unwrap();
+    let waiters = st.inflight.remove(&job.key).unwrap_or_default();
+    match res {
+        Ok(data) => {
+            let payload = Arc::new(data);
+            s.pool.insert_arc(job.key, payload.clone());
+            s.m.completed.fetch_add(1, Ordering::Relaxed);
+            if job.demand {
+                s.m.demand_completed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                s.m.prefetch_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            s.m.lat_sum_ns.fetch_add(dt_ns, Ordering::Relaxed);
+            s.m.lat_count.fetch_add(1, Ordering::Relaxed);
+            s.m.lat_max_ns.fetch_max(dt_ns, Ordering::Relaxed);
+            s.m.lat_min_ns.fetch_min(dt_ns, Ordering::Relaxed);
+            for w in waiters {
+                let _ = w.send(Ok(payload.clone()));
+            }
+        }
+        Err(e) => {
+            s.m.errors.fetch_add(1, Ordering::Relaxed);
+            let fe = FetchError::from(e);
+            for w in waiters {
+                let _ = w.send(Err(fe.clone()));
+            }
+        }
+    }
+    notify_if_idle(s, &st);
+}
+
+fn worker_loop(s: &Shared) {
+    let mut st = s.state.lock().unwrap();
+    loop {
+        if let Some(job) = try_dequeue(s, &mut st) {
+            drop(st);
+            service(s, job);
+            st = s.state.lock().unwrap();
+            continue;
+        }
+        if st.shutdown {
+            return;
+        }
+        st = s.work.wait(st).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_volume::{BlockId, MemBlockStore};
+
+    fn key(i: u32) -> BlockKey {
+        BlockKey::scalar(BlockId(i))
+    }
+
+    fn store_with(n: u32) -> Arc<MemBlockStore> {
+        let s = MemBlockStore::new();
+        for i in 0..n {
+            s.insert(key(i), vec![i as f32; 8]);
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn heap_orders_demand_then_priority_then_fifo() {
+        let mut h = BinaryHeap::new();
+        h.push(HeapEntry { demand: false, pri: 0.9, seq: 1, stamp: 1, key: key(1) });
+        h.push(HeapEntry { demand: false, pri: 0.2, seq: 2, stamp: 2, key: key(2) });
+        h.push(HeapEntry { demand: true, pri: 0.0, seq: 3, stamp: 3, key: key(3) });
+        h.push(HeapEntry { demand: false, pri: 0.9, seq: 4, stamp: 4, key: key(4) });
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop()).map(|e| e.key.block.0).collect();
+        assert_eq!(order, vec![3, 1, 4, 2]);
+    }
+
+    #[test]
+    fn threaded_prefetch_then_sync_makes_resident() {
+        let pool = Arc::new(BlockPool::new());
+        let eng = FetchEngine::spawn(store_with(32), pool.clone(), FetchConfig::default());
+        for i in 0..32 {
+            assert!(eng.prefetch(key(i), i as f64));
+        }
+        eng.sync();
+        assert_eq!(pool.len(), 32);
+        let m = eng.shutdown();
+        assert_eq!(m.completed, 32);
+        assert_eq!(m.errors, 0);
+        assert!(m.latency_max_s >= m.latency_min_s);
+    }
+
+    #[test]
+    fn demand_get_blocks_until_payload() {
+        let pool = Arc::new(BlockPool::new());
+        let eng = FetchEngine::spawn(store_with(4), pool.clone(), FetchConfig::default());
+        let p = eng.get(key(2)).unwrap();
+        assert_eq!(p.as_slice(), &[2.0f32; 8]);
+        // Second get hits the pool without a second read.
+        let p2 = eng.get(key(2)).unwrap();
+        assert!(Arc::ptr_eq(&p, &p2));
+        assert_eq!(eng.metrics().completed, 1);
+    }
+
+    #[test]
+    fn missing_block_reports_error_to_waiter_only() {
+        let pool = Arc::new(BlockPool::new());
+        let eng = FetchEngine::spawn(store_with(1), pool.clone(), FetchConfig::default());
+        assert!(eng.get(key(0)).is_ok());
+        let err = eng.get(key(99)).unwrap_err();
+        assert_eq!(err.kind, io::ErrorKind::NotFound);
+        let m = eng.metrics();
+        assert_eq!((m.completed, m.errors), (1, 1));
+    }
+
+    #[test]
+    fn shutdown_unblocks_waiting_tickets() {
+        let pool = Arc::new(BlockPool::new());
+        // Deterministic engine: nothing services the request.
+        let eng = FetchEngine::deterministic(store_with(1), pool);
+        let t = eng.request(key(0));
+        drop(eng);
+        let err = t.wait().unwrap_err();
+        assert_eq!(err.kind, io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn ticket_try_wait_round_trips() {
+        let pool = Arc::new(BlockPool::new());
+        let eng = FetchEngine::deterministic(store_with(2), pool);
+        let t = eng.request(key(1));
+        let t = t.try_wait().unwrap_err(); // not serviced yet
+        assert_eq!(eng.run_until_idle(), 1);
+        let got = t.try_wait().expect("resolved after stepping").unwrap();
+        assert_eq!(got.as_slice(), &[1.0f32; 8]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic-mode tests: with `workers = 0` the caller steps the
+//! scheduler, so service order, coalescing, and cancellation are exact,
+//! and the virtual clock makes Algorithm 1's overlap assertable.
+
+use std::sync::Arc;
+use viz_fetch::{BlockPool, FetchConfig, FetchEngine, VirtualClock, VirtualClockSource};
+use viz_volume::{BlockId, BlockKey, BlockSource, MemBlockStore};
+
+fn key(i: u32) -> BlockKey {
+    BlockKey::scalar(BlockId(i))
+}
+
+fn store_with(n: u32) -> Arc<MemBlockStore> {
+    let s = MemBlockStore::new();
+    for i in 0..n {
+        s.insert(key(i), vec![i as f32; 64]);
+    }
+    Arc::new(s)
+}
+
+struct Rig {
+    clock: Arc<VirtualClock>,
+    source: Arc<VirtualClockSource>,
+    pool: Arc<BlockPool>,
+    engine: FetchEngine,
+}
+
+fn rig(blocks: u32, latency_ticks: u64) -> Rig {
+    let clock = Arc::new(VirtualClock::new());
+    let source =
+        Arc::new(VirtualClockSource::uniform(store_with(blocks), clock.clone(), latency_ticks));
+    let pool = Arc::new(BlockPool::new());
+    let engine = FetchEngine::deterministic(source.clone() as Arc<dyn BlockSource>, pool.clone());
+    Rig { clock, source, pool, engine }
+}
+
+#[test]
+fn demand_outranks_prefetch_and_prefetch_orders_by_entropy() {
+    let r = rig(8, 1);
+    assert!(r.engine.prefetch(key(1), 0.2));
+    assert!(r.engine.prefetch(key(2), 0.9));
+    assert!(r.engine.prefetch(key(3), 0.5));
+    let ticket = r.engine.request(key(4)); // demand, issued last
+    assert_eq!(r.engine.run_until_idle(), 4);
+    // Demand first, then prefetches by descending entropy.
+    assert_eq!(r.source.read_order(), vec![key(4), key(2), key(3), key(1)]);
+    assert_eq!(ticket.wait().unwrap().as_slice(), &[4.0f32; 64]);
+}
+
+#[test]
+fn equal_priority_prefetches_service_fifo() {
+    let r = rig(4, 1);
+    for i in 0..4 {
+        r.engine.prefetch(key(i), 0.5);
+    }
+    r.engine.run_until_idle();
+    assert_eq!(r.source.read_order(), vec![key(0), key(1), key(2), key(3)]);
+}
+
+#[test]
+fn stale_generation_prefetch_cancelled_without_hitting_source() {
+    let r = rig(4, 1);
+    assert!(r.engine.prefetch(key(0), 0.7));
+    r.engine.bump_generation(); // camera moved; the prediction is void
+    assert_eq!(r.engine.run_until_idle(), 0);
+    assert_eq!(r.source.reads(), 0, "cancelled prefetch must never touch the source");
+    assert!(!r.pool.contains(key(0)));
+    let m = r.engine.metrics();
+    assert_eq!(m.cancelled, 1);
+    assert_eq!(m.completed, 0);
+    assert_eq!(m.queue_depth, 0);
+}
+
+#[test]
+fn demand_fetch_survives_generation_bump() {
+    let r = rig(4, 1);
+    let t = r.engine.request(key(1));
+    r.engine.bump_generation();
+    assert_eq!(r.engine.run_until_idle(), 1);
+    assert!(t.wait().is_ok());
+    assert!(r.pool.contains(key(1)));
+    assert_eq!(r.engine.metrics().cancelled, 0);
+}
+
+#[test]
+fn re_requested_prefetch_adopts_current_generation() {
+    let r = rig(4, 1);
+    r.engine.prefetch(key(0), 0.5);
+    r.engine.bump_generation();
+    // Re-requested after the camera step: wanted again, so not stale.
+    r.engine.prefetch(key(0), 0.5);
+    assert_eq!(r.engine.run_until_idle(), 1);
+    assert!(r.pool.contains(key(0)));
+    assert_eq!(r.engine.metrics().cancelled, 0);
+}
+
+#[test]
+fn prefetch_issued_before_render_is_resident_when_renderer_asks() {
+    // Algorithm 1 / §V-D: prefetch overlaps rendering, so the step costs
+    // max(prefetch, render), and the predicted block is resident when the
+    // next frame needs it. Fetch = 5 ticks, render = 12 ticks.
+    let r = rig(8, 5);
+    let t_issue = r.clock.now();
+    assert!(r.engine.prefetch(key(3), 0.9));
+    let render_done = t_issue + 12;
+
+    // The worker drains the queue while the frame renders.
+    assert_eq!(r.engine.run_until_idle(), 1);
+    let rec = r.source.records()[0];
+    assert_eq!(rec.key, key(3));
+    assert!(
+        rec.end <= render_done,
+        "fetch finished at t={} but the frame only completes at t={render_done}",
+        rec.end
+    );
+
+    // The renderer asks at the end of the frame: the block is resident and
+    // the step's wall time was max(prefetch, render) = render.
+    assert!(r.pool.contains(key(3)));
+    let step_total = rec.end.max(render_done) - t_issue;
+    assert_eq!(step_total, 12);
+}
+
+#[test]
+fn coalesced_demands_share_one_read_and_one_payload() {
+    let r = rig(4, 1);
+    let t1 = r.engine.request(key(2));
+    let t2 = r.engine.request(key(2));
+    let t3 = r.engine.request(key(2));
+    assert_eq!(r.engine.run_until_idle(), 1, "three requests must coalesce onto one read");
+    assert_eq!(r.source.reads(), 1);
+    let (p1, p2, p3) = (t1.wait().unwrap(), t2.wait().unwrap(), t3.wait().unwrap());
+    assert!(Arc::ptr_eq(&p1, &p2) && Arc::ptr_eq(&p2, &p3), "waiters share the pooled Arc");
+    assert_eq!(r.engine.metrics().coalesced, 2);
+}
+
+#[test]
+fn demand_upgrade_promotes_queued_prefetch() {
+    let r = rig(4, 1);
+    r.engine.prefetch(key(0), 0.1); // low priority...
+    r.engine.prefetch(key(1), 0.9);
+    let t = r.engine.request(key(0)); // ...until the renderer needs it now
+    r.engine.run_until_idle();
+    assert_eq!(r.source.read_order(), vec![key(0), key(1)]);
+    assert_eq!(r.source.reads(), 2, "upgrade must not duplicate the read");
+    assert!(t.wait().is_ok());
+}
+
+#[test]
+fn priority_raise_reorders_a_queued_prefetch() {
+    let r = rig(4, 1);
+    r.engine.prefetch(key(0), 0.1);
+    r.engine.prefetch(key(1), 0.5);
+    r.engine.prefetch(key(0), 0.8); // better entropy estimate arrives
+    r.engine.run_until_idle();
+    assert_eq!(r.source.read_order(), vec![key(0), key(1)]);
+    assert_eq!(r.source.reads(), 2);
+}
+
+#[test]
+fn queue_cap_drops_excess_prefetches_and_counts_them() {
+    let clock = Arc::new(VirtualClock::new());
+    let source = Arc::new(VirtualClockSource::uniform(store_with(8), clock, 1));
+    let pool = Arc::new(BlockPool::new());
+    let engine = FetchEngine::spawn(
+        source.clone() as Arc<dyn BlockSource>,
+        pool,
+        FetchConfig { workers: 0, queue_cap: 2 },
+    );
+    assert!(engine.prefetch(key(0), 0.5));
+    assert!(engine.prefetch(key(1), 0.5));
+    assert!(!engine.prefetch(key(2), 0.5), "third prefetch exceeds queue_cap=2");
+    let m = engine.metrics();
+    assert_eq!(m.dropped, 1);
+    assert_eq!(m.queue_depth, 2);
+    // Demand fetches are exempt from the cap.
+    let t = engine.request(key(3));
+    assert_eq!(engine.run_until_idle(), 3);
+    assert!(t.wait().is_ok());
+}
+
+#[test]
+fn resident_key_coalesces_instead_of_refetching() {
+    let r = rig(4, 1);
+    r.engine.prefetch(key(0), 0.5);
+    r.engine.run_until_idle();
+    assert_eq!(r.source.reads(), 1);
+    r.engine.prefetch(key(0), 0.9);
+    assert_eq!(r.engine.run_until_idle(), 0);
+    assert_eq!(r.source.reads(), 1, "resident key must not be refetched");
+    assert_eq!(r.engine.metrics().coalesced, 1);
+}
+
+#[test]
+fn error_fans_out_to_every_coalesced_waiter() {
+    let r = rig(1, 1);
+    let t1 = r.engine.request(key(9)); // not in the store
+    let t2 = r.engine.request(key(9));
+    assert_eq!(r.engine.run_until_idle(), 1);
+    assert!(t1.wait().is_err());
+    assert!(t2.wait().is_err());
+    let m = r.engine.metrics();
+    assert_eq!(m.errors, 1);
+    assert_eq!(m.completed, 0);
+}
+
+#[test]
+fn metrics_snapshot_is_consistent_after_mixed_run() {
+    let r = rig(16, 2);
+    for i in 0..8 {
+        r.engine.prefetch(key(i), i as f64 / 8.0);
+    }
+    r.engine.bump_generation();
+    for i in 4..8 {
+        r.engine.prefetch(key(i), 0.9); // re-request half in the new gen
+    }
+    let t = r.engine.request(key(12));
+    r.engine.run_until_idle();
+    assert!(t.wait().is_ok());
+    let m = r.engine.metrics();
+    assert_eq!(m.cancelled, 4, "keys 0..4 were stale");
+    assert_eq!(m.completed, 5, "keys 4..8 plus the demand fetch");
+    assert_eq!(m.demand_completed, 1);
+    assert_eq!(m.prefetch_completed, 4);
+    assert_eq!(m.generation, 1);
+    assert_eq!(m.queue_depth, 0);
+    assert_eq!(m.inflight, 0);
+    assert_eq!(r.source.reads(), 5);
+}

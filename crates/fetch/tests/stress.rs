@@ -1,0 +1,159 @@
+//! Multi-thread stress tests for the worker-pool engine. Run these in
+//! release (`cargo test --release -p viz-fetch`); the latency injection
+//! makes them timing-sensitive under an unoptimized build.
+
+use std::sync::Arc;
+use std::time::Duration;
+use viz_fetch::{BlockPool, FetchConfig, FetchEngine, InstrumentedSource, Ticket};
+use viz_volume::{BlockId, BlockKey, BlockSource, MemBlockStore};
+
+fn key(i: u32) -> BlockKey {
+    BlockKey::scalar(BlockId(i))
+}
+
+fn store_with(n: u32) -> Arc<MemBlockStore> {
+    let s = MemBlockStore::new();
+    for i in 0..n {
+        s.insert(key(i), vec![i as f32; 64]);
+    }
+    Arc::new(s)
+}
+
+/// Coalescing invariant under contention: many threads hammering a small
+/// key set must produce exactly one source read per distinct key, zero
+/// concurrent duplicate reads, and every ticket resolves exactly once
+/// with the right payload.
+#[test]
+fn coalescing_no_duplicate_reads_and_every_ticket_resolves() {
+    const KEYS: u32 = 32;
+    const THREADS: u32 = 8;
+    const OPS: u32 = 200;
+
+    let source = Arc::new(InstrumentedSource::new(store_with(KEYS), Duration::from_micros(200)));
+    let pool = Arc::new(BlockPool::new());
+    let engine = FetchEngine::spawn(
+        source.clone() as Arc<dyn BlockSource>,
+        pool.clone(),
+        FetchConfig { workers: 8, queue_cap: 10_000 },
+    );
+
+    let resolved: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let engine = &engine;
+                s.spawn(move || {
+                    let mut tickets: Vec<(u32, Ticket)> = Vec::new();
+                    for j in 0..OPS {
+                        let k = (t * 31 + j * 7) % KEYS;
+                        if j % 2 == 0 {
+                            tickets.push((k, engine.request(key(k))));
+                        } else {
+                            engine.prefetch(key(k), (k as f64) / KEYS as f64);
+                        }
+                    }
+                    let mut n = 0u64;
+                    for (k, ticket) in tickets {
+                        let payload = ticket.wait().expect("demand fetch failed");
+                        assert_eq!(payload[0], k as f32, "wrong payload for key {k}");
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    engine.sync();
+    assert_eq!(resolved, (THREADS * OPS / 2) as u64, "every ticket resolves exactly once");
+    assert_eq!(source.concurrent_dup_reads(), 0, "a key was read twice concurrently");
+    assert_eq!(source.reads(), KEYS as u64, "each distinct key must be read exactly once");
+    assert_eq!(pool.len(), KEYS as usize);
+    let m = engine.shutdown();
+    assert_eq!(m.completed, KEYS as u64);
+    assert_eq!(m.errors, 0);
+    // Everything beyond the first request per key merged onto it.
+    assert_eq!(m.coalesced, m.demand_requests + m.prefetch_requests - KEYS as u64 - m.dropped);
+}
+
+/// A demand fetch arriving behind a deep prefetch backlog must jump the
+/// queue: it completes while most of the backlog is still pending.
+#[test]
+fn demand_jumps_a_deep_prefetch_backlog() {
+    const BACKLOG: u32 = 100;
+    let source =
+        Arc::new(InstrumentedSource::new(store_with(BACKLOG + 1), Duration::from_millis(1)));
+    let pool = Arc::new(BlockPool::new());
+    let engine = FetchEngine::spawn(
+        source as Arc<dyn BlockSource>,
+        pool,
+        FetchConfig { workers: 4, queue_cap: 10_000 },
+    );
+    for i in 0..BACKLOG {
+        assert!(engine.prefetch(key(i), 0.5));
+    }
+    engine.get(key(BACKLOG)).expect("demand fetch failed");
+    let m = engine.metrics();
+    // Only prefetches already in flight when the demand arrived (≤ the
+    // worker count, plus scheduling slack) may finish first.
+    assert!(
+        m.prefetch_completed < 30,
+        "demand waited behind {} prefetches — priority inversion",
+        m.prefetch_completed
+    );
+    engine.sync();
+    assert_eq!(engine.shutdown().completed, (BACKLOG + 1) as u64);
+}
+
+/// Generation bumps cancel a queued backlog cheaply: the source only sees
+/// the handful of reads that were already in flight.
+#[test]
+fn generation_bump_cancels_queued_backlog() {
+    const BACKLOG: u64 = 500;
+    let source =
+        Arc::new(InstrumentedSource::new(store_with(BACKLOG as u32), Duration::from_millis(1)));
+    let pool = Arc::new(BlockPool::new());
+    let engine = FetchEngine::spawn(
+        source.clone() as Arc<dyn BlockSource>,
+        pool,
+        FetchConfig { workers: 4, queue_cap: 10_000 },
+    );
+    for i in 0..BACKLOG as u32 {
+        assert!(engine.prefetch(key(i), 0.5));
+    }
+    engine.bump_generation();
+    engine.sync();
+    let m = engine.shutdown();
+    assert_eq!(m.cancelled + m.completed, BACKLOG, "every request resolved one way");
+    assert!(
+        m.cancelled >= BACKLOG - 50,
+        "expected a near-total cancellation, got {} of {BACKLOG}",
+        m.cancelled
+    );
+    // The cancellation invariant: cancelled prefetches never reach the
+    // source, so reads == completions.
+    assert_eq!(source.reads(), m.completed);
+}
+
+/// The worker pool actually runs fetches in parallel.
+#[test]
+fn worker_pool_overlaps_reads() {
+    const N: u32 = 64;
+    let source = Arc::new(InstrumentedSource::new(store_with(N), Duration::from_millis(1)));
+    let pool = Arc::new(BlockPool::new());
+    let engine = FetchEngine::spawn(
+        source.clone() as Arc<dyn BlockSource>,
+        pool,
+        FetchConfig { workers: 4, queue_cap: 1024 },
+    );
+    for i in 0..N {
+        engine.prefetch(key(i), 0.0);
+    }
+    engine.sync();
+    assert!(
+        source.max_concurrency() >= 2,
+        "4 workers over a 1 ms source never overlapped (peak concurrency {})",
+        source.max_concurrency()
+    );
+    assert_eq!(engine.shutdown().completed, N as u64);
+}

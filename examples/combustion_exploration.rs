@@ -1,23 +1,26 @@
 //! Out-of-core exploration of the combustion dataset with *real* data
-//! movement: blocks live in an on-disk store, a background prefetcher
-//! (Algorithm 1's overlap, as an actual thread) pulls predicted blocks into
-//! a shared pool while the CPU ray caster renders, and frames are written
-//! as PPM images.
+//! movement: blocks live in an on-disk store, the `viz-fetch` engine pulls
+//! predicted blocks into a sharded resident pool with a 4-worker pool
+//! (Algorithm 1's overlap, as actual threads) while the CPU ray caster
+//! renders, and frames are written as PPM images.
+//!
+//! Demonstrates the full engine surface: entropy-priority prefetch,
+//! demand reads that jump the queue and coalesce with in-flight
+//! prefetches, generation bumps that cancel stale predictions when the
+//! camera moves on, and a byte-cap eviction sweep over the pool.
 //!
 //! Run with: `cargo run --release --example combustion_exploration`
 
+use std::collections::HashSet;
 use std::sync::Arc;
-use viz_appaware::core::{
-    BlockPool, ImportanceTable, Prefetcher, RadiusModel, RadiusRule, SamplingConfig, VisibleTable,
-};
+use viz_appaware::core::{ImportanceTable, RadiusModel, RadiusRule, SamplingConfig, VisibleTable};
+use viz_appaware::fetch::{BlockPool, FetchConfig, FetchEngine};
 use viz_appaware::geom::angle::deg_to_rad;
 use viz_appaware::geom::{CameraPath, ExplorationDomain, SphericalPath, Vec3};
 use viz_appaware::render::{
     frame_working_set, render, BrickedSource, RenderConfig, TransferFunction,
 };
-use viz_appaware::volume::{
-    BlockKey, BlockSource, BrickLayout, DatasetKind, DatasetSpec, DiskBlockStore,
-};
+use viz_appaware::volume::{BlockKey, BrickLayout, DatasetKind, DatasetSpec, DiskBlockStore};
 
 fn main() -> std::io::Result<()> {
     let out_dir = std::env::temp_dir().join("viz_combustion_example");
@@ -49,16 +52,29 @@ fn main() -> std::io::Result<()> {
     );
     let sigma = importance.sigma_for_fraction(0.5);
 
-    // Shared pool + background prefetcher (the real Algorithm 1 overlap).
+    // The fetch engine: sharded pool, 4 workers draining a priority queue.
     let pool = Arc::new(BlockPool::new());
-    let prefetcher = Prefetcher::spawn(store.clone() as Arc<dyn BlockSource>, pool.clone(), 256);
+    let engine = FetchEngine::spawn(
+        store.clone(),
+        pool.clone(),
+        FetchConfig { workers: 4, queue_cap: 1024 },
+    );
 
-    // Pre-load the important blocks (Algorithm 1 line 7).
+    // Keep at most half the dataset resident; evict coldest-entropy blocks
+    // outside the current working set when the pool grows past the cap.
+    let byte_cap = layout.nominal_block_bytes() * layout.num_blocks() / 2;
+
+    // Pre-load the important blocks (Algorithm 1 line 7), hottest first.
     for b in importance.above_threshold(sigma).take(layout.num_blocks() / 4) {
-        prefetcher.request(BlockKey::scalar(b));
+        engine.prefetch(BlockKey::scalar(b), importance.entropy(b));
     }
-    prefetcher.sync();
-    println!("pre-loaded {} important blocks", pool.len());
+    engine.sync();
+    println!(
+        "pre-loaded {} important blocks ({:.1} MiB resident, cap {:.1} MiB)",
+        pool.len(),
+        pool.bytes_resident() as f64 / (1024.0 * 1024.0),
+        byte_cap as f64 / (1024.0 * 1024.0),
+    );
 
     // Fly the camera, rendering frames while prefetching the next view.
     let domain = ExplorationDomain::new(Vec3::ZERO, 2.0, 3.2);
@@ -66,22 +82,49 @@ fn main() -> std::io::Result<()> {
     let tf = TransferFunction::heat(field.min_max());
     let rc = RenderConfig::preview(192, 192);
     let mut demand_loads = 0usize;
+    let mut evicted = 0usize;
 
     for (i, pose) in path.iter().enumerate() {
+        // The camera has moved: predictions queued for the previous view are
+        // stale. Bump the generation so unstarted ones are cancelled at
+        // dequeue instead of wasting disk bandwidth.
+        engine.bump_generation();
+
         // Demand-load whatever the frame needs that prefetch didn't cover.
-        for b in frame_working_set(pose, &layout) {
-            let key = BlockKey::scalar(b);
+        // Demand requests outrank every queued prefetch and coalesce with
+        // in-flight reads of the same block.
+        let working: HashSet<BlockKey> =
+            frame_working_set(pose, &layout).into_iter().map(BlockKey::scalar).collect();
+        for &key in &working {
             if !pool.contains(key) {
-                pool.insert(key, store.read_block(key)?);
+                engine.get(key).map_err(std::io::Error::from)?;
                 demand_loads += 1;
             }
         }
 
-        // Kick off prefetch for the predicted *next* view, then render this
-        // frame while the worker drains the queue.
+        // Enforce the residency cap: drop the lowest-entropy blocks that the
+        // current frame does not need.
+        if pool.bytes_resident() > byte_cap {
+            let mut victims: Vec<BlockKey> =
+                pool.keys().into_iter().filter(|k| !working.contains(k)).collect();
+            victims.sort_by(|a, b| {
+                importance.entropy(a.block).total_cmp(&importance.entropy(b.block))
+            });
+            for key in victims {
+                if pool.bytes_resident() <= byte_cap {
+                    break;
+                }
+                pool.remove(key);
+                evicted += 1;
+            }
+        }
+
+        // Kick off prefetch for the predicted *next* view, ordered by
+        // entropy, then render this frame while the workers drain the queue.
         for &b in t_visible.predict(pose) {
-            if importance.entropy(b) > sigma {
-                prefetcher.request(BlockKey::scalar(b));
+            let e = importance.entropy(b);
+            if e > sigma {
+                engine.prefetch(BlockKey::scalar(b), e);
             }
         }
         let lookup = |id: viz_appaware::volume::BlockId| pool.get(BlockKey::scalar(id));
@@ -90,18 +133,24 @@ fn main() -> std::io::Result<()> {
         let frame_path = out_dir.join(format!("frame_{i:02}.ppm"));
         img.save_ppm(&frame_path)?;
         println!(
-            "frame {i:02}: mean luminance {:.4}, pool = {} blocks -> {}",
+            "frame {i:02}: mean luminance {:.4}, pool = {} blocks / {:.1} MiB -> {}",
             img.mean_luminance(),
             pool.len(),
+            pool.bytes_resident() as f64 / (1024.0 * 1024.0),
             frame_path.display()
         );
     }
 
-    let fetched = prefetcher.shutdown();
+    let m = engine.shutdown();
     let (hits, misses) = pool.stats();
     println!(
-        "\nprefetcher loaded {fetched} blocks in the background; \
-         demand loads on the render path: {demand_loads}"
+        "\nengine: {} blocks loaded ({} on demand), {} coalesced, \
+         {} stale prefetches cancelled, {} dropped, {} errors",
+        m.completed, m.demand_completed, m.coalesced, m.cancelled, m.dropped, m.errors
+    );
+    println!(
+        "render-path demand loads: {demand_loads}; evicted {evicted} blocks at the {:.1} MiB cap",
+        byte_cap as f64 / (1024.0 * 1024.0)
     );
     println!("pool lookups: {hits} hits / {misses} misses");
     println!("frames written to {}", out_dir.display());

@@ -6,12 +6,15 @@
 //! - [`geom`] — vector math, cameras, frusta, camera paths.
 //! - [`volume`] — bricked volumes, synthetic datasets, entropy.
 //! - [`cache`] — replacement policies and the tiered-hierarchy simulator.
+//! - [`fetch`] — the concurrent block-fetch engine: sharded resident
+//!   pool, priority scheduling, request coalescing, cancellation.
 //! - [`core`] — the paper's contribution: `T_visible`, `T_important`,
 //!   the radius model, and the Algorithm 1 session engine.
 //! - [`render`] — CPU ray caster and data-dependent analytics.
 
 pub use viz_cache as cache;
 pub use viz_core as core;
+pub use viz_fetch as fetch;
 pub use viz_geom as geom;
 pub use viz_render as render;
 pub use viz_volume as volume;

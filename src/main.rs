@@ -21,9 +21,10 @@ use std::sync::Arc;
 
 use viz_appaware::cache::PolicyKind;
 use viz_appaware::core::{
-    load_tables, run_session, save_tables, AppAwareConfig, BlockPool, ImportanceTable, Prefetcher,
-    RadiusModel, RadiusRule, SamplingConfig, SessionConfig, Strategy, VisibleTable,
+    load_tables, run_session, save_tables, AppAwareConfig, ImportanceTable, RadiusModel,
+    RadiusRule, SamplingConfig, SessionConfig, Strategy, VisibleTable,
 };
+use viz_appaware::fetch::{BlockPool, FetchConfig, FetchEngine};
 use viz_appaware::geom::angle::deg_to_rad;
 use viz_appaware::geom::{CameraPath, ExplorationDomain, RandomWalkPath, SphericalPath, Vec3};
 use viz_appaware::render::{
@@ -269,11 +270,15 @@ fn cmd_render(flags: HashMap<String, String>) -> Result<(), String> {
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
 
     let pool = Arc::new(BlockPool::new());
-    let pf = Prefetcher::spawn(store.clone(), pool.clone(), 256);
+    let engine = FetchEngine::spawn(
+        store.clone(),
+        pool.clone(),
+        FetchConfig { workers: 4, queue_cap: 1024 },
+    );
     for b in ti.above_threshold(manifest.sigma).take(layout.num_blocks() / 4) {
-        pf.request(BlockKey::scalar(b));
+        engine.prefetch(BlockKey::scalar(b), ti.entropy(b));
     }
-    pf.sync();
+    engine.sync();
 
     let view_angle = deg_to_rad(VIEW_ANGLE_DEG);
     let domain = ExplorationDomain::new(Vec3::ZERO, D_MIN, D_MAX);
@@ -282,15 +287,21 @@ fn cmd_render(flags: HashMap<String, String>) -> Result<(), String> {
     let rc = RenderConfig::preview(size, size);
 
     for (i, pose) in poses.iter().enumerate() {
+        // The camera moved: cancel unstarted prefetches queued for the
+        // previous frame's prediction before issuing this frame's work.
+        engine.bump_generation();
         for b in frame_working_set(pose, &layout) {
             let key = BlockKey::scalar(b);
             if !pool.contains(key) {
-                pool.insert(key, store.read_block(key).map_err(|e| e.to_string())?);
+                // Demand read: outranks queued prefetches and coalesces
+                // with an in-flight read of the same block.
+                engine.get(key).map_err(|e| e.message)?;
             }
         }
         for &b in tv.predict(pose) {
-            if ti.entropy(b) > manifest.sigma {
-                pf.request(BlockKey::scalar(b));
+            let e = ti.entropy(b);
+            if e > manifest.sigma {
+                engine.prefetch(BlockKey::scalar(b), e);
             }
         }
         let lookup = |id: viz_appaware::volume::BlockId| pool.get(BlockKey::scalar(id));
@@ -300,8 +311,11 @@ fn cmd_render(flags: HashMap<String, String>) -> Result<(), String> {
         img.save_ppm(&path).map_err(|e| e.to_string())?;
         println!("wrote {}", path.display());
     }
-    let fetched = pf.shutdown();
-    println!("done ({fetched} blocks prefetched in the background)");
+    let m = engine.shutdown();
+    println!(
+        "done ({} blocks fetched: {} prefetch / {} demand; {} coalesced, {} cancelled)",
+        m.completed, m.prefetch_completed, m.demand_completed, m.coalesced, m.cancelled
+    );
     Ok(())
 }
 
