@@ -36,7 +36,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                 let engine = FetchEngine::spawn(
                     source as Arc<dyn BlockSource>,
                     pool,
-                    FetchConfig { workers: w, queue_cap: BLOCKS * 2 },
+                    FetchConfig { workers: w, queue_cap: BLOCKS * 2, ..FetchConfig::default() },
                 );
                 for i in 0..BLOCKS {
                     engine.prefetch(BlockKey::scalar(BlockId(i as u32)), i as f64);
@@ -57,7 +57,7 @@ fn bench_coalesced_demand(c: &mut Criterion) {
     let engine = FetchEngine::spawn(
         source as Arc<dyn BlockSource>,
         pool,
-        FetchConfig { workers: 2, queue_cap: 1024 },
+        FetchConfig { workers: 2, queue_cap: 1024, ..FetchConfig::default() },
     );
     let key = BlockKey::scalar(BlockId(0));
     engine.get(key).expect("warm the block");

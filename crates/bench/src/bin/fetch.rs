@@ -65,7 +65,7 @@ fn throughput_run(blocks: usize, block_len: usize, delay: Duration, workers: usi
     let engine = FetchEngine::spawn(
         source.clone() as Arc<dyn BlockSource>,
         pool.clone(),
-        FetchConfig { workers, queue_cap: blocks * 2 },
+        FetchConfig { workers, queue_cap: blocks * 2, ..FetchConfig::default() },
     );
     let t0 = Instant::now();
     for i in 0..blocks {
@@ -87,7 +87,7 @@ fn demand_latency_run(backlog: usize, delay: Duration, workers: usize) -> f64 {
     let engine = FetchEngine::spawn(
         source as Arc<dyn BlockSource>,
         pool,
-        FetchConfig { workers, queue_cap: blocks * 2 },
+        FetchConfig { workers, queue_cap: blocks * 2, ..FetchConfig::default() },
     );
     for i in 0..backlog {
         engine.prefetch(BlockKey::scalar(BlockId(i as u32)), 1.0);
@@ -141,7 +141,7 @@ fn main() {
     let engine = FetchEngine::spawn(
         source.clone() as Arc<dyn BlockSource>,
         pool,
-        FetchConfig { workers: 4, queue_cap: 4096 },
+        FetchConfig { workers: 4, queue_cap: 4096, ..FetchConfig::default() },
     );
     let t0 = Instant::now();
     std::thread::scope(|s| {
@@ -174,7 +174,7 @@ fn main() {
     let engine = FetchEngine::spawn(
         source.clone() as Arc<dyn BlockSource>,
         pool,
-        FetchConfig { workers: 4, queue_cap: blocks * 2 },
+        FetchConfig { workers: 4, queue_cap: blocks * 2, ..FetchConfig::default() },
     );
     for i in 0..blocks {
         engine.prefetch(BlockKey::scalar(BlockId(i as u32)), 1.0);

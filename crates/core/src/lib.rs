@@ -13,6 +13,9 @@
 //! - [`sampling`] — camera lattice, `T_visible` build, O(1) nearest lookup.
 //! - [`session`] — Algorithm 1 and the FIFO/LRU baselines over the
 //!   simulated hierarchy; per-step and aggregate metrics.
+//! - [`degraded`] — per-frame I/O budgets over the real fetch engine:
+//!   frames whose demand reads miss their deadline render with resident
+//!   blocks only instead of stalling.
 //! - [`overlap`] — compatibility wrapper over the `viz-fetch` engine: the
 //!   original single-worker [`Prefetcher`] API for disk-backed examples.
 //!   New code should use `viz_fetch` directly (worker pools,
@@ -65,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod degraded;
 pub mod distribution;
 pub mod eval;
 pub mod histable;
@@ -82,6 +86,7 @@ pub mod session;
 pub mod trace;
 
 pub use adaptive::{AdaptiveSigma, SigmaController};
+pub use degraded::{fetch_frame, FrameFetchReport};
 pub use distribution::{parallel_fetch_time, serial_fetch_time, DeviceId, Distribution};
 pub use eval::{across_seeds, RunningStats};
 pub use histable::BlockHistogramTable;

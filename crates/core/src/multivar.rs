@@ -259,6 +259,8 @@ pub fn run_multivar_session(
             prefetch_s: step_prefetch,
             lookup_s: 0.0,
             total_s,
+            skipped: 0,
+            degraded: false,
         });
     }
 

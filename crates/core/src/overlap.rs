@@ -49,7 +49,7 @@ impl Prefetcher {
             engine: FetchEngine::spawn(
                 source,
                 pool,
-                FetchConfig { workers: 1, queue_cap: queue_depth },
+                FetchConfig { workers: 1, queue_cap: queue_depth, ..FetchConfig::default() },
             ),
         }
     }

@@ -16,9 +16,14 @@ use std::path::Path;
 const VIS_MAGIC: &[u8; 4] = b"TVIS";
 const IMP_MAGIC: &[u8; 4] = b"TIMP";
 /// Current `T_visible` frame version: CSR payload, LEB128 varint
-/// delta-encoded per entry. Version 1 (fixed u32 runs) is still decoded.
-const VIS_VERSION: u16 = 2;
-const IMP_VERSION: u16 = 1;
+/// delta-encoded per entry, with a CRC-32 of the body right after the
+/// version field so bit-rot on disk is rejected at load instead of
+/// skewing predictions. Versions 1 (fixed u32 runs) and 2 (varint, no
+/// checksum) are still decoded.
+const VIS_VERSION: u16 = 3;
+/// Current `T_important` frame version: entropies + CRC-32 of the body.
+/// The seed's unchecksummed version 1 is still decoded.
+const IMP_VERSION: u16 = 2;
 
 fn err(m: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, m.into())
@@ -67,6 +72,8 @@ pub fn encode_visible_table(t: &VisibleTable) -> io::Result<Vec<u8>> {
     let mut buf = Vec::with_capacity(header.len() + t.approx_bytes() / 2 + 64);
     buf.put_slice(VIS_MAGIC);
     buf.put_u16_le(VIS_VERSION);
+    let crc_at = buf.len();
+    buf.put_u32_le(0); // crc placeholder, patched below
     buf.put_u32_le(header.len() as u32);
     buf.put_slice(&header);
     buf.put_u32_le(t.len() as u32);
@@ -80,6 +87,8 @@ pub fn encode_visible_table(t: &VisibleTable) -> io::Result<Vec<u8>> {
             prev = b.0;
         }
     }
+    let crc = viz_volume::crc32(&buf[crc_at + 4..]);
+    buf[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
     Ok(buf)
 }
 
@@ -95,8 +104,23 @@ pub fn decode_visible_table(mut buf: &[u8]) -> io::Result<VisibleTable> {
         return Err(err("bad T_visible magic"));
     }
     let version = buf.get_u16_le();
-    if version != 1 && version != VIS_VERSION {
+    if !(1..=VIS_VERSION).contains(&version) {
         return Err(err("unsupported T_visible version"));
+    }
+    if version >= 3 {
+        if buf.remaining() < 4 {
+            return Err(err("T_visible crc frame too short"));
+        }
+        let want = buf.get_u32_le();
+        let got = viz_volume::crc32(buf);
+        if got != want {
+            return Err(err(format!(
+                "T_visible checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+            )));
+        }
+    }
+    if buf.remaining() < 4 {
+        return Err(err("T_visible frame too short"));
     }
     let hlen = buf.get_u32_le() as usize;
     if buf.remaining() < hlen {
@@ -149,14 +173,18 @@ pub fn decode_visible_table(mut buf: &[u8]) -> io::Result<VisibleTable> {
 
 /// Serialize a `T_important` table (bin count + per-block entropies).
 pub fn encode_importance_table(t: &ImportanceTable) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(14 + t.len() * 8);
+    let mut buf = Vec::with_capacity(18 + t.len() * 8);
     buf.put_slice(IMP_MAGIC);
     buf.put_u16_le(IMP_VERSION);
+    let crc_at = buf.len();
+    buf.put_u32_le(0); // crc placeholder, patched below
     buf.put_u32_le(t.bins as u32);
     buf.put_u32_le(t.len() as u32);
     for i in 0..t.len() {
         buf.put_f64_le(t.entropy(viz_volume::BlockId(i as u32)));
     }
+    let crc = viz_volume::crc32(&buf[crc_at + 4..]);
+    buf[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
     buf
 }
 
@@ -170,8 +198,24 @@ pub fn decode_importance_table(mut buf: &[u8]) -> io::Result<ImportanceTable> {
     if &magic != IMP_MAGIC {
         return Err(err("bad T_important magic"));
     }
-    if buf.get_u16_le() != IMP_VERSION {
+    let version = buf.get_u16_le();
+    if !(1..=IMP_VERSION).contains(&version) {
         return Err(err("unsupported T_important version"));
+    }
+    if version >= 2 {
+        if buf.remaining() < 4 {
+            return Err(err("T_important crc frame too short"));
+        }
+        let want = buf.get_u32_le();
+        let got = viz_volume::crc32(buf);
+        if got != want {
+            return Err(err(format!(
+                "T_important checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+            )));
+        }
+    }
+    if buf.remaining() < 8 {
+        return Err(err("T_important frame too short"));
     }
     let bins = buf.get_u32_le() as usize;
     let n = buf.get_u32_le() as usize;
@@ -370,6 +414,74 @@ mod tests {
         let header = serde_json::to_vec(&(&tv.config, &tv.radius_rule)).unwrap();
         let v1_len = 10 + header.len() + 4 + tv.len() * 4 + tv.csr_ids().len() * 4;
         assert!(v2.len() < v1_len, "v2 {} bytes >= v1 {} bytes", v2.len(), v1_len);
+    }
+
+    /// A frame in the version-2 layout (varints, no checksum) must still
+    /// decode — pre-checksum tables on disk stay loadable.
+    #[test]
+    fn decodes_version_2_frames_without_checksum() {
+        let (tv, _) = sample_tables();
+        let header = serde_json::to_vec(&(&tv.config, &tv.radius_rule)).unwrap();
+        let mut buf = Vec::new();
+        buf.put_slice(VIS_MAGIC);
+        buf.put_u16_le(2);
+        buf.put_u32_le(header.len() as u32);
+        buf.put_slice(&header);
+        buf.put_u32_le(tv.len() as u32);
+        for i in 0..tv.len() {
+            let entry = tv.entry(i);
+            put_varint_u32(&mut buf, entry.len() as u32);
+            let mut prev = 0u32;
+            for (j, b) in entry.iter().enumerate() {
+                put_varint_u32(&mut buf, if j == 0 { b.0 } else { b.0.wrapping_sub(prev) });
+                prev = b.0;
+            }
+        }
+        let back = decode_visible_table(&buf).unwrap();
+        assert_eq!(back.csr_offsets(), tv.csr_offsets());
+        assert_eq!(back.csr_ids(), tv.csr_ids());
+    }
+
+    #[test]
+    fn bit_rot_in_visible_table_rejected_by_checksum() {
+        let (tv, _) = sample_tables();
+        let buf = encode_visible_table(&tv).unwrap();
+        // Flip a single payload bit past the header region: without the
+        // checksum this would silently skew a prediction entry.
+        let mut rotted = buf.clone();
+        let at = buf.len() - 2;
+        rotted[at] ^= 0x10;
+        let err = decode_visible_table(&rotted).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn bit_rot_in_importance_table_rejected_by_checksum() {
+        let (_, imp) = sample_tables();
+        let buf = encode_importance_table(&imp);
+        let mut rotted = buf.clone();
+        let at = buf.len() - 3; // middle of an f64 entropy
+        rotted[at] ^= 0x01;
+        let err = decode_importance_table(&rotted).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+    }
+
+    /// A version-1 importance frame (no checksum) must still decode.
+    #[test]
+    fn decodes_version_1_importance_frames() {
+        let (_, imp) = sample_tables();
+        let mut buf = Vec::new();
+        buf.put_slice(IMP_MAGIC);
+        buf.put_u16_le(1);
+        buf.put_u32_le(imp.bins as u32);
+        buf.put_u32_le(imp.len() as u32);
+        for i in 0..imp.len() {
+            buf.put_f64_le(imp.entropy(viz_volume::BlockId(i as u32)));
+        }
+        let back = decode_importance_table(&buf).unwrap();
+        assert_eq!(back, imp);
     }
 
     #[test]

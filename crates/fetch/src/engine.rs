@@ -1,4 +1,5 @@
-//! The fetch engine: priority scheduling, coalescing, cancellation.
+//! The fetch engine: priority scheduling, coalescing, cancellation, and
+//! fault tolerance.
 //!
 //! A [`FetchEngine`] owns a binary heap of requests drained by a pool of
 //! worker threads (or stepped inline in deterministic mode). Scheduling
@@ -7,17 +8,38 @@
 //! FIFO among equals. Concurrent requests for one key coalesce onto a
 //! single read; queued prefetches whose generation predates the current
 //! camera step are cancelled at dequeue without touching the source.
+//!
+//! The fault-tolerance layer (this PR's `retry`/`fault` modules) keeps a
+//! misbehaving source from stalling the render loop:
+//!
+//! - transient read errors are retried with bounded exponential backoff
+//!   and jitter ([`RetryPolicy`]); permanent ones fail fast;
+//! - a hung read is abandoned after [`FetchConfig::source_timeout`]
+//!   without losing the worker (the read finishes on a side thread and
+//!   its payload still lands in the pool as a *late arrival*);
+//! - a [`CircuitBreaker`] trips after consecutive request failures,
+//!   fails prefetches fast while open, and half-opens on the next demand
+//!   read so recovery needs no timers;
+//! - workers are supervised: a panic is converted into a [`FetchError`]
+//!   for the in-flight waiters and the worker re-enters its loop, and all
+//!   engine locks are poison-tolerant so one bad block can never wedge
+//!   the engine;
+//! - waiters can bound their stall with [`FetchEngine::get_deadline`] /
+//!   [`Ticket::wait_timeout`] and render degraded instead of blocking.
 
 use crate::pool::BlockPool;
+use crate::retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use std::any::Any;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use viz_volume::{BlockKey, BlockSource};
 
 /// Engine tuning knobs.
@@ -31,11 +53,36 @@ pub struct FetchConfig {
     /// dropped (counted in [`FetchMetrics::dropped`]). Demand fetches are
     /// never dropped.
     pub queue_cap: usize,
+    /// Retry policy for transient source errors. In deterministic mode
+    /// retries happen inline with no backoff sleep.
+    pub retry: RetryPolicy,
+    /// Abandon a single source read after this long (the worker moves on;
+    /// the read finishes on a side thread and its payload still lands in
+    /// the pool). `None` trusts the source to return. Each read dispatches
+    /// through a short-lived I/O thread when set.
+    pub source_timeout: Option<Duration>,
+    /// Circuit-breaker tuning (see [`CircuitBreaker`]). Set
+    /// `failure_threshold` to `u32::MAX` to effectively disable it.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for FetchConfig {
     fn default() -> Self {
-        FetchConfig { workers: 4, queue_cap: 4096 }
+        FetchConfig {
+            workers: 4,
+            queue_cap: 4096,
+            retry: RetryPolicy::default(),
+            source_timeout: None,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl FetchConfig {
+    /// The configuration [`FetchEngine::deterministic`] uses: no workers,
+    /// effectively unbounded queue, inline zero-delay retries.
+    pub fn deterministic() -> Self {
+        FetchConfig { workers: 0, queue_cap: usize::MAX >> 1, ..Default::default() }
     }
 }
 
@@ -47,6 +94,14 @@ pub struct FetchError {
     pub kind: io::ErrorKind,
     /// Human-readable context.
     pub message: String,
+}
+
+impl FetchError {
+    /// Would the engine's retry layer consider this error transient?
+    /// (See [`crate::retry::is_transient`].)
+    pub fn is_transient(&self) -> bool {
+        crate::retry::is_transient(self.kind)
+    }
 }
 
 impl fmt::Display for FetchError {
@@ -73,11 +128,20 @@ fn shutdown_error() -> FetchError {
     FetchError { kind: io::ErrorKind::Interrupted, message: "fetch engine shut down".into() }
 }
 
+fn panic_error(p: &(dyn Any + Send)) -> FetchError {
+    let msg = p
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into());
+    FetchError { kind: io::ErrorKind::Other, message: format!("panic during block read: {msg}") }
+}
+
 type Payload = Arc<Vec<f32>>;
 type FetchResult = Result<Payload, FetchError>;
 
-/// Handle to one demand fetch. Resolves exactly once, via [`Ticket::wait`]
-/// or a successful [`Ticket::try_wait`].
+/// Handle to one demand fetch. Resolves exactly once, via [`Ticket::wait`],
+/// a successful [`Ticket::try_wait`], or a resolved [`Ticket::wait_timeout`].
 #[derive(Debug)]
 pub struct Ticket(TicketInner);
 
@@ -107,6 +171,21 @@ impl Ticket {
                 Ok(r) => Ok(r),
                 Err(TryRecvError::Disconnected) => Ok(Err(shutdown_error())),
                 Err(TryRecvError::Empty) => Err(Ticket(TicketInner::Waiting(rx))),
+            },
+        }
+    }
+
+    /// Wait up to `timeout`: `Ok(result)` once resolved, `Err(self)` on
+    /// deadline expiry — the fetch stays in flight and the ticket can keep
+    /// waiting, or be dropped to render degraded (the payload still lands
+    /// in the pool when the read completes).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<FetchResult, Ticket> {
+        match self.0 {
+            TicketInner::Ready(r) => Ok(r),
+            TicketInner::Waiting(rx) => match rx.recv_timeout(timeout) {
+                Ok(r) => Ok(r),
+                Err(RecvTimeoutError::Disconnected) => Ok(Err(shutdown_error())),
+                Err(RecvTimeoutError::Timeout) => Err(Ticket(TicketInner::Waiting(rx))),
             },
         }
     }
@@ -176,8 +255,14 @@ struct Counters {
     demand_completed: AtomicU64,
     prefetch_completed: AtomicU64,
     errors: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    deadline_misses: AtomicU64,
+    worker_panics: AtomicU64,
+    late_arrivals: AtomicU64,
     lat_sum_ns: AtomicU64,
-    /// `u64::MAX` until the first read completes.
+    /// Starts at `u64::MAX` so `fetch_min` records the true minimum;
+    /// `lat_count == 0` means "no reads yet".
     lat_min_ns: AtomicU64,
     lat_max_ns: AtomicU64,
     lat_count: AtomicU64,
@@ -195,6 +280,11 @@ impl Default for Counters {
             demand_completed: AtomicU64::new(0),
             prefetch_completed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            late_arrivals: AtomicU64::new(0),
             lat_sum_ns: AtomicU64::new(0),
             lat_min_ns: AtomicU64::new(u64::MAX),
             lat_max_ns: AtomicU64::new(0),
@@ -210,8 +300,16 @@ struct Shared {
     source: Arc<dyn BlockSource>,
     pool: Arc<BlockPool>,
     generation: AtomicU64,
+    breaker: CircuitBreaker,
     cfg: FetchConfig,
     m: Counters,
+}
+
+/// Poison-tolerant state lock: a panicking worker must never wedge the
+/// engine, so a poisoned mutex is entered anyway (the supervisor repairs
+/// any half-done job via the inflight map).
+fn lock_state(s: &Shared) -> MutexGuard<'_, State> {
+    s.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Point-in-time engine statistics.
@@ -234,8 +332,28 @@ pub struct FetchMetrics {
     pub demand_completed: u64,
     /// Of `completed`, how many were prefetches.
     pub prefetch_completed: u64,
-    /// Reads that failed at the source.
+    /// Requests that failed after retries were exhausted (or fail-fast).
     pub errors: u64,
+    /// Transient-error retry attempts issued.
+    pub retries: u64,
+    /// Source reads abandoned at [`FetchConfig::source_timeout`].
+    pub timeouts: u64,
+    /// [`FetchEngine::get_deadline`] calls that expired unresolved.
+    pub deadline_misses: u64,
+    /// Worker panics caught and converted to waiter errors.
+    pub worker_panics: u64,
+    /// Abandoned reads whose payload later landed in the pool anyway.
+    pub late_arrivals: u64,
+    /// Circuit-breaker state at snapshot time.
+    pub breaker_state: BreakerState,
+    /// Closed/half-open → open transitions.
+    pub breaker_opens: u64,
+    /// Open → half-open probe dispatches.
+    pub breaker_half_opens: u64,
+    /// Open/half-open → closed recoveries.
+    pub breaker_closes: u64,
+    /// Prefetches failed fast while the breaker was open.
+    pub breaker_rejected: u64,
     /// Requests currently queued (gauge).
     pub queue_depth: usize,
     /// Reads currently in flight (gauge).
@@ -281,6 +399,7 @@ impl FetchEngine {
             source,
             pool,
             generation: AtomicU64::new(0),
+            breaker: CircuitBreaker::new(),
             cfg,
             m: Counters::default(),
         });
@@ -289,7 +408,7 @@ impl FetchEngine {
                 let s = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("viz-fetch-{i}"))
-                    .spawn(move || worker_loop(&s))
+                    .spawn(move || supervised_worker(&s))
                     .expect("failed to spawn fetch worker")
             })
             .collect();
@@ -298,7 +417,7 @@ impl FetchEngine {
 
     /// Deterministic single-stepped engine (no threads, unbounded queue).
     pub fn deterministic(source: Arc<dyn BlockSource>, pool: Arc<BlockPool>) -> Self {
-        Self::spawn(source, pool, FetchConfig { workers: 0, queue_cap: usize::MAX >> 1 })
+        Self::spawn(source, pool, FetchConfig::deterministic())
     }
 
     /// The resident pool this engine fills.
@@ -308,9 +427,9 @@ impl FetchEngine {
 
     /// Queue a background load of `key` at `priority` (higher = sooner;
     /// callers pass `T_important` entropy). Returns `false` only when the
-    /// request was dropped: queue at capacity, or engine shutting down.
-    /// Requests for resident, queued, or in-flight keys coalesce and
-    /// return `true`.
+    /// request was dropped: queue at capacity, circuit breaker open, or
+    /// engine shutting down. Requests for resident, queued, or in-flight
+    /// keys coalesce and return `true`.
     pub fn prefetch(&self, key: BlockKey, priority: f64) -> bool {
         let s = &*self.shared;
         s.m.prefetch_requests.fetch_add(1, Ordering::Relaxed);
@@ -318,7 +437,7 @@ impl FetchEngine {
             s.m.coalesced.fetch_add(1, Ordering::Relaxed);
             return true;
         }
-        let mut st = s.state.lock().unwrap();
+        let mut st = lock_state(s);
         if st.shutdown {
             s.m.dropped.fetch_add(1, Ordering::Relaxed);
             return false;
@@ -353,6 +472,11 @@ impl FetchEngine {
             }
             return true;
         }
+        // Source presumed down: speculative reads would only feed the
+        // failure run. Demand reads still pass (they carry the probe).
+        if !s.breaker.admit_prefetch() {
+            return false;
+        }
         if st.pending_prefetch >= s.cfg.queue_cap {
             s.m.dropped.fetch_add(1, Ordering::Relaxed);
             return false;
@@ -380,7 +504,7 @@ impl FetchEngine {
             s.m.coalesced.fetch_add(1, Ordering::Relaxed);
             return Ticket(TicketInner::Ready(Ok(p)));
         }
-        let mut st = s.state.lock().unwrap();
+        let mut st = lock_state(s);
         // Re-check under the lock: completions insert into the pool while
         // holding it, so a miss above may have landed just before we got in.
         if let Some(p) = s.pool.get(key) {
@@ -432,6 +556,25 @@ impl FetchEngine {
         self.request(key).wait()
     }
 
+    /// Demand fetch with a per-request deadline. On expiry returns a
+    /// [`io::ErrorKind::TimedOut`]-kinded error and counts a
+    /// [`FetchMetrics::deadline_misses`]; the read itself stays in flight,
+    /// so the payload lands in the pool for the next frame (degraded
+    /// rendering now, recovery later). Not meaningful in deterministic
+    /// mode, where nothing services requests while the caller blocks.
+    pub fn get_deadline(&self, key: BlockKey, deadline: Duration) -> FetchResult {
+        match self.request(key).wait_timeout(deadline) {
+            Ok(r) => r,
+            Err(_ticket) => {
+                self.shared.m.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                Err(FetchError {
+                    kind: io::ErrorKind::TimedOut,
+                    message: format!("demand read of {key:?} missed {deadline:?} deadline"),
+                })
+            }
+        }
+    }
+
     /// Advance the cancellation generation (call once per camera step).
     /// Prefetches queued under earlier generations and not re-requested
     /// since are dropped at dequeue. Returns the new generation.
@@ -444,6 +587,11 @@ impl FetchEngine {
         self.shared.generation.load(Ordering::Relaxed)
     }
 
+    /// Current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.shared.breaker.state()
+    }
+
     /// Wait until every queued and in-flight request has been serviced,
     /// cancelled, or dropped. In deterministic mode this steps the
     /// scheduler to idle on the calling thread.
@@ -453,24 +601,29 @@ impl FetchEngine {
             return;
         }
         let s = &*self.shared;
-        let mut st = s.state.lock().unwrap();
+        let mut st = lock_state(s);
         while !(st.pending.is_empty() && st.inflight.is_empty()) {
-            st = s.idle.wait(st).unwrap();
+            st = s.idle.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Deterministic mode: dequeue and service the single highest-priority
     /// runnable request on the calling thread. Stale-generation prefetches
     /// encountered on the way are cancelled (and not counted as serviced).
+    /// A panicking source is caught here, surfaced to waiters as a
+    /// [`FetchError`], and does not propagate to the caller.
     /// Returns the serviced key, or `None` when the queue is idle.
     pub fn run_one(&self) -> Option<BlockKey> {
-        let s = &*self.shared;
+        let s = &self.shared;
         let job = {
-            let mut st = s.state.lock().unwrap();
+            let mut st = lock_state(s);
             try_dequeue(s, &mut st)
         }?;
         let key = job.key;
-        service(s, job);
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| service(s, job))) {
+            s.m.worker_panics.fetch_add(1, Ordering::Relaxed);
+            fail_job_after_panic(s, key, p.as_ref());
+        }
         Some(key)
     }
 
@@ -486,14 +639,14 @@ impl FetchEngine {
 
     /// Requests currently queued (logical entries, not stale heap nodes).
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().unwrap().pending.len()
+        lock_state(&self.shared).pending.len()
     }
 
     /// Snapshot the engine metrics.
     pub fn metrics(&self) -> FetchMetrics {
         let s = &*self.shared;
         let (queue_depth, inflight) = {
-            let st = s.state.lock().unwrap();
+            let st = lock_state(s);
             (st.pending.len(), st.inflight.len())
         };
         let count = s.m.lat_count.load(Ordering::Relaxed);
@@ -506,6 +659,8 @@ impl FetchEngine {
                 s.m.lat_max_ns.load(Ordering::Relaxed) as f64 * 1e-9,
             )
         };
+        let (breaker_opens, breaker_half_opens, breaker_closes, breaker_rejected) =
+            s.breaker.counters();
         FetchMetrics {
             demand_requests: s.m.demand_requests.load(Ordering::Relaxed),
             prefetch_requests: s.m.prefetch_requests.load(Ordering::Relaxed),
@@ -516,6 +671,16 @@ impl FetchEngine {
             demand_completed: s.m.demand_completed.load(Ordering::Relaxed),
             prefetch_completed: s.m.prefetch_completed.load(Ordering::Relaxed),
             errors: s.m.errors.load(Ordering::Relaxed),
+            retries: s.m.retries.load(Ordering::Relaxed),
+            timeouts: s.m.timeouts.load(Ordering::Relaxed),
+            deadline_misses: s.m.deadline_misses.load(Ordering::Relaxed),
+            worker_panics: s.m.worker_panics.load(Ordering::Relaxed),
+            late_arrivals: s.m.late_arrivals.load(Ordering::Relaxed),
+            breaker_state: s.breaker.state(),
+            breaker_opens,
+            breaker_half_opens,
+            breaker_closes,
+            breaker_rejected,
             queue_depth,
             inflight,
             generation: s.generation.load(Ordering::Relaxed),
@@ -535,7 +700,7 @@ impl FetchEngine {
 
     fn stop_workers(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_state(&self.shared);
             if st.shutdown {
                 return;
             }
@@ -569,7 +734,9 @@ impl fmt::Debug for FetchEngine {
 }
 
 /// Pop the next runnable job, discarding stale heap nodes (superseded by a
-/// priority upgrade) and cancelling stale-generation prefetches.
+/// priority upgrade), cancelling stale-generation prefetches, and failing
+/// prefetches fast while the breaker is not closed. Demand dequeues while
+/// the breaker is open become its half-open probe.
 fn try_dequeue(s: &Shared, st: &mut MutexGuard<'_, State>) -> Option<Job> {
     while let Some(e) = st.heap.pop() {
         let live = st.pending.get(&e.key).is_some_and(|p| p.stamp == e.stamp);
@@ -586,6 +753,14 @@ fn try_dequeue(s: &Shared, st: &mut MutexGuard<'_, State>) -> Option<Job> {
                 notify_if_idle(s, st);
                 continue;
             }
+            if !s.breaker.admit_prefetch() {
+                // Queued before the breaker opened: fail fast rather than
+                // burn a read on a source presumed down.
+                notify_if_idle(s, st);
+                continue;
+            }
+        } else {
+            s.breaker.on_demand_dispatch();
         }
         st.inflight.insert(e.key, p.waiters);
         return Some(Job { key: e.key, demand: p.demand });
@@ -599,17 +774,102 @@ fn notify_if_idle(s: &Shared, st: &MutexGuard<'_, State>) {
     }
 }
 
-/// Read one block and publish the outcome: pool insert + waiter fan-out
-/// happen under the state lock so a concurrent `request` either sees the
-/// in-flight entry or the resident block, never neither.
-fn service(s: &Shared, job: Job) {
+/// Stable per-key salt decorrelating backoff jitter between hot keys.
+fn key_salt(key: BlockKey) -> u64 {
+    (u64::from(key.var) << 48) ^ (u64::from(key.time) << 32) ^ u64::from(key.block.0)
+}
+
+/// One source read attempt, honoring `cfg.source_timeout`. With a timeout
+/// the read runs on a short-lived I/O thread: if it outlasts the deadline
+/// the worker abandons it (returning `TimedOut`), and the orphaned thread
+/// parks a successful late result straight into the pool so the block is
+/// not lost — only late.
+fn read_source(s: &Arc<Shared>, key: BlockKey) -> Result<Vec<f32>, FetchError> {
+    let Some(limit) = s.cfg.source_timeout else {
+        // No timeout: read inline. A panicking source propagates to the
+        // worker supervisor / `run_one`, which fails the job's waiters.
+        return s.source.read_block(key).map_err(FetchError::from);
+    };
+    let (tx, rx) = channel::<Result<Vec<f32>, FetchError>>();
+    let io_shared = s.clone();
+    std::thread::Builder::new()
+        .name("viz-fetch-io".into())
+        .spawn(move || {
+            let res = catch_unwind(AssertUnwindSafe(|| io_shared.source.read_block(key)));
+            let out = match res {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(e)) => Err(FetchError::from(e)),
+                Err(p) => Err(panic_error(p.as_ref())),
+            };
+            if let Err(unsent) = tx.send(out) {
+                // The worker timed out and dropped the receiver. Land the
+                // payload anyway: the next frame hits the pool instead of
+                // re-reading a block we already paid for.
+                if let Ok(data) = unsent.0 {
+                    let _st = lock_state(&io_shared);
+                    io_shared.pool.insert_arc(key, Arc::new(data));
+                    io_shared.m.late_arrivals.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+        .expect("failed to spawn fetch io thread");
+    match rx.recv_timeout(limit) {
+        Ok(out) => out,
+        Err(RecvTimeoutError::Timeout) => {
+            // A result that raced the timeout decision is still a result.
+            if let Ok(out) = rx.try_recv() {
+                return out;
+            }
+            drop(rx); // further sends fail; the io thread self-handles
+            s.m.timeouts.fetch_add(1, Ordering::Relaxed);
+            Err(FetchError {
+                kind: io::ErrorKind::TimedOut,
+                message: format!("source read of {key:?} exceeded {limit:?}; abandoned"),
+            })
+        }
+        Err(RecvTimeoutError::Disconnected) => Err(FetchError {
+            kind: io::ErrorKind::Other,
+            message: "fetch io thread died without reporting".into(),
+        }),
+    }
+}
+
+fn engine_shutting_down(s: &Shared) -> bool {
+    lock_state(s).shutdown
+}
+
+/// Read one block — retrying transient failures per `cfg.retry` — and
+/// publish the outcome: pool insert + waiter fan-out happen under the
+/// state lock so a concurrent `request` either sees the in-flight entry
+/// or the resident block, never neither.
+fn service(s: &Arc<Shared>, job: Job) {
     let t0 = Instant::now();
-    let res = s.source.read_block(job.key);
+    let salt = key_salt(job.key);
+    let mut attempt = 0u32;
+    let res = loop {
+        let r = read_source(s, job.key);
+        let kind = match &r {
+            Ok(_) => break r,
+            Err(e) => e.kind,
+        };
+        if !s.cfg.retry.should_retry(kind, attempt) || engine_shutting_down(s) {
+            break r;
+        }
+        s.m.retries.fetch_add(1, Ordering::Relaxed);
+        if s.cfg.workers > 0 {
+            let d = s.cfg.retry.backoff(attempt, salt);
+            if !d.is_zero() {
+                std::thread::sleep(d);
+            }
+        }
+        attempt += 1;
+    };
     let dt_ns = t0.elapsed().as_nanos() as u64;
-    let mut st = s.state.lock().unwrap();
+    let mut st = lock_state(s);
     let waiters = st.inflight.remove(&job.key).unwrap_or_default();
     match res {
         Ok(data) => {
+            s.breaker.on_success();
             let payload = Arc::new(data);
             s.pool.insert_arc(job.key, payload.clone());
             s.m.completed.fetch_add(1, Ordering::Relaxed);
@@ -628,28 +888,64 @@ fn service(s: &Shared, job: Job) {
         }
         Err(e) => {
             s.m.errors.fetch_add(1, Ordering::Relaxed);
-            let fe = FetchError::from(e);
+            s.breaker.on_failure(s.cfg.breaker.failure_threshold);
             for w in waiters {
-                let _ = w.send(Err(fe.clone()));
+                let _ = w.send(Err(e.clone()));
             }
         }
     }
     notify_if_idle(s, &st);
 }
 
-fn worker_loop(s: &Shared) {
-    let mut st = s.state.lock().unwrap();
+/// Fail the waiters of a job whose service panicked, counting the panic
+/// as a request failure for the breaker.
+fn fail_job_after_panic(s: &Arc<Shared>, key: BlockKey, p: &(dyn Any + Send)) {
+    let e = panic_error(p);
+    let mut st = lock_state(s);
+    let waiters = st.inflight.remove(&key).unwrap_or_default();
+    s.m.errors.fetch_add(1, Ordering::Relaxed);
+    s.breaker.on_failure(s.cfg.breaker.failure_threshold);
+    for w in waiters {
+        let _ = w.send(Err(e.clone()));
+    }
+    notify_if_idle(s, &st);
+}
+
+fn worker_loop(s: &Arc<Shared>, active: &Mutex<Option<BlockKey>>) {
+    let mut st = lock_state(s);
     loop {
         if let Some(job) = try_dequeue(s, &mut st) {
             drop(st);
+            *active.lock().unwrap_or_else(PoisonError::into_inner) = Some(job.key);
             service(s, job);
-            st = s.state.lock().unwrap();
+            *active.lock().unwrap_or_else(PoisonError::into_inner) = None;
+            st = lock_state(s);
             continue;
         }
         if st.shutdown {
             return;
         }
-        st = s.work.wait(st).unwrap();
+        st = s.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Worker supervision: catch a panic anywhere in the worker's loop, fail
+/// the in-flight job it was holding (so waiters see a [`FetchError`], not
+/// a hang), and re-enter the loop — the worker respawns in place and the
+/// pool never shrinks.
+fn supervised_worker(s: &Arc<Shared>) {
+    let active: Mutex<Option<BlockKey>> = Mutex::new(None);
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(s, &active))) {
+            Ok(()) => return, // clean shutdown
+            Err(p) => {
+                s.m.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let key = active.lock().unwrap_or_else(PoisonError::into_inner).take();
+                if let Some(key) = key {
+                    fail_job_after_panic(s, key, p.as_ref());
+                }
+            }
+        }
     }
 }
 
@@ -693,6 +989,7 @@ mod tests {
         let m = eng.shutdown();
         assert_eq!(m.completed, 32);
         assert_eq!(m.errors, 0);
+        assert_eq!(m.breaker_state, BreakerState::Closed);
         assert!(m.latency_max_s >= m.latency_min_s);
     }
 
@@ -715,8 +1012,10 @@ mod tests {
         assert!(eng.get(key(0)).is_ok());
         let err = eng.get(key(99)).unwrap_err();
         assert_eq!(err.kind, io::ErrorKind::NotFound);
+        assert!(!err.is_transient());
         let m = eng.metrics();
         assert_eq!((m.completed, m.errors), (1, 1));
+        assert_eq!(m.retries, 0, "NotFound must fail fast, never retry");
     }
 
     #[test]
@@ -739,5 +1038,29 @@ mod tests {
         assert_eq!(eng.run_until_idle(), 1);
         let got = t.try_wait().expect("resolved after stepping").unwrap();
         assert_eq!(got.as_slice(), &[1.0f32; 8]);
+    }
+
+    #[test]
+    fn ticket_wait_timeout_returns_ticket_on_expiry() {
+        let pool = Arc::new(BlockPool::new());
+        let eng = FetchEngine::deterministic(store_with(1), pool);
+        let t = eng.request(key(0));
+        let t = t.wait_timeout(Duration::from_millis(5)).unwrap_err();
+        eng.run_until_idle();
+        let got = t.wait_timeout(Duration::from_millis(5)).expect("resolved").unwrap();
+        assert_eq!(got.as_slice(), &[0.0f32; 8]);
+    }
+
+    #[test]
+    fn get_deadline_times_out_and_counts_a_miss() {
+        let pool = Arc::new(BlockPool::new());
+        // Deterministic: nothing will service the read within the deadline.
+        let eng = FetchEngine::deterministic(store_with(1), pool);
+        let err = eng.get_deadline(key(0), Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err.kind, io::ErrorKind::TimedOut);
+        assert_eq!(eng.metrics().deadline_misses, 1);
+        // The abandoned read is still queued; servicing it lands the block.
+        assert_eq!(eng.run_until_idle(), 1);
+        assert!(eng.pool().contains(key(0)));
     }
 }

@@ -1,0 +1,329 @@
+//! Deterministic fault injection for the fetch path.
+//!
+//! [`FaultInjectingSource`] wraps any [`BlockSource`] and perturbs reads
+//! three ways, all reproducible from a seed:
+//!
+//! - **Random faults** — each read rolls a seeded RNG against
+//!   [`FaultConfig::error_rate`] (fail with a kind drawn from the
+//!   weighted [`FaultConfig::kinds`] mix) and
+//!   [`FaultConfig::spike_rate`] (sleep [`FaultConfig::spike`] before
+//!   succeeding, modeling a latency spike on a loaded tier).
+//! - **Per-key scripts** — [`script_fail`](FaultInjectingSource::script_fail)
+//!   queues "fail N times with this kind, then succeed" (the classic
+//!   retry-to-success scenario); [`script_delay`](FaultInjectingSource::script_delay)
+//!   queues one slow read (for hung-read/timeout tests). Scripted faults
+//!   take precedence over the random roll and are consumed in order.
+//! - **Outage** — [`set_outage`](FaultInjectingSource::set_outage) fails
+//!   *every* read with one kind until cleared, driving circuit-breaker
+//!   open/half-open/closed transitions deterministically.
+//!
+//! The RNG is one [`splitmix64`](crate::retry) stream stepped per read,
+//! so with a single consumer (deterministic engine mode, or one worker)
+//! the fault sequence is exactly reproducible; with many workers the
+//! *set* of faults stays seed-determined even though interleaving varies.
+
+use crate::retry::splitmix64;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+use viz_volume::{BlockKey, BlockSource};
+
+/// Randomized fault mix applied to every read (scripts override it).
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// RNG seed; same seed, same fault sequence.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a read fails.
+    pub error_rate: f64,
+    /// Weighted error-kind mix drawn from on an injected failure.
+    pub kinds: Vec<(io::ErrorKind, f64)>,
+    /// Probability in `[0, 1]` that a read sleeps `spike` first.
+    pub spike_rate: f64,
+    /// Latency-spike duration.
+    pub spike: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0x000F_A017,
+            error_rate: 0.0,
+            kinds: vec![
+                (io::ErrorKind::Interrupted, 0.5),
+                (io::ErrorKind::TimedOut, 0.3),
+                (io::ErrorKind::WouldBlock, 0.2),
+            ],
+            spike_rate: 0.0,
+            spike: Duration::ZERO,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The acceptance-criteria fault storm: 10% transient errors (default
+    /// kind mix) and 5% latency spikes of 500 µs.
+    pub fn storm(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            error_rate: 0.10,
+            spike_rate: 0.05,
+            spike: Duration::from_micros(500),
+            ..Default::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    Error(io::ErrorKind),
+    Delay(Duration),
+}
+
+/// A [`BlockSource`] wrapper injecting seeded faults; see module docs.
+pub struct FaultInjectingSource {
+    inner: Arc<dyn BlockSource>,
+    cfg: FaultConfig,
+    rng: Mutex<u64>,
+    scripts: Mutex<HashMap<BlockKey, VecDeque<Fault>>>,
+    outage: Mutex<Option<io::ErrorKind>>,
+    reads: AtomicU64,
+    injected_errors: AtomicU64,
+    injected_spikes: AtomicU64,
+}
+
+impl FaultInjectingSource {
+    /// Wrap `inner` with the given fault mix.
+    pub fn new(inner: Arc<dyn BlockSource>, cfg: FaultConfig) -> Self {
+        let rng = Mutex::new(splitmix64(cfg.seed));
+        FaultInjectingSource {
+            inner,
+            cfg,
+            rng,
+            scripts: Mutex::new(HashMap::new()),
+            outage: Mutex::new(None),
+            reads: AtomicU64::new(0),
+            injected_errors: AtomicU64::new(0),
+            injected_spikes: AtomicU64::new(0),
+        }
+    }
+
+    /// Wrap `inner` with no random faults (scripts and outages only).
+    pub fn healthy(inner: Arc<dyn BlockSource>) -> Self {
+        Self::new(inner, FaultConfig::default())
+    }
+
+    /// Script the next `n` reads of `key` to fail with `kind`, after which
+    /// reads pass through (N-then-succeed).
+    pub fn script_fail(&self, key: BlockKey, n: u32, kind: io::ErrorKind) {
+        let mut scripts = self.scripts.lock().unwrap_or_else(PoisonError::into_inner);
+        let q = scripts.entry(key).or_default();
+        for _ in 0..n {
+            q.push_back(Fault::Error(kind));
+        }
+    }
+
+    /// Script the next read of `key` to sleep `delay` before succeeding
+    /// (a hung read, for source-timeout tests).
+    pub fn script_delay(&self, key: BlockKey, delay: Duration) {
+        self.scripts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_default()
+            .push_back(Fault::Delay(delay));
+    }
+
+    /// Fail every read with `kind` until cleared with `set_outage(None)`.
+    /// Drives breaker transitions deterministically.
+    pub fn set_outage(&self, kind: Option<io::ErrorKind>) {
+        *self.outage.lock().unwrap_or_else(PoisonError::into_inner) = kind;
+    }
+
+    /// Total reads attempted against this source.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Reads failed by injection (scripted, outage, or random).
+    pub fn injected_errors(&self) -> u64 {
+        self.injected_errors.load(Ordering::Relaxed)
+    }
+
+    /// Latency spikes injected (scripted delays or random spikes).
+    pub fn injected_spikes(&self) -> u64 {
+        self.injected_spikes.load(Ordering::Relaxed)
+    }
+
+    /// Next uniform draw in `[0, 1)` from the seeded stream.
+    fn next01(&self) -> f64 {
+        let mut g = self.rng.lock().unwrap_or_else(PoisonError::into_inner);
+        *g = splitmix64(*g);
+        (*g >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draw an error kind from the weighted mix.
+    fn pick_kind(&self, u: f64) -> io::ErrorKind {
+        let total: f64 = self.cfg.kinds.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return io::ErrorKind::Interrupted;
+        }
+        let mut acc = 0.0;
+        for &(kind, w) in &self.cfg.kinds {
+            acc += w / total;
+            if u < acc {
+                return kind;
+            }
+        }
+        self.cfg.kinds.last().map(|&(k, _)| k).unwrap_or(io::ErrorKind::Interrupted)
+    }
+
+    fn injected(&self, kind: io::ErrorKind, why: &str, key: BlockKey) -> io::Error {
+        self.injected_errors.fetch_add(1, Ordering::Relaxed);
+        io::Error::new(kind, format!("injected {why} fault reading {key:?}"))
+    }
+}
+
+impl BlockSource for FaultInjectingSource {
+    fn read_block(&self, key: BlockKey) -> io::Result<Vec<f32>> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+
+        // Scripted faults first, consumed in order.
+        let scripted = {
+            let mut scripts = self.scripts.lock().unwrap_or_else(PoisonError::into_inner);
+            match scripts.get_mut(&key) {
+                Some(q) => {
+                    let f = q.pop_front();
+                    if q.is_empty() {
+                        scripts.remove(&key);
+                    }
+                    f
+                }
+                None => None,
+            }
+        };
+        match scripted {
+            Some(Fault::Error(kind)) => return Err(self.injected(kind, "scripted", key)),
+            Some(Fault::Delay(d)) => {
+                self.injected_spikes.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+            }
+            None => {
+                if let Some(kind) = *self.outage.lock().unwrap_or_else(PoisonError::into_inner) {
+                    return Err(self.injected(kind, "outage", key));
+                }
+                if self.cfg.spike_rate > 0.0 && self.next01() < self.cfg.spike_rate {
+                    self.injected_spikes.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.cfg.spike);
+                }
+                if self.cfg.error_rate > 0.0 && self.next01() < self.cfg.error_rate {
+                    let kind = self.pick_kind(self.next01());
+                    return Err(self.injected(kind, "random", key));
+                }
+            }
+        }
+        self.inner.read_block(key)
+    }
+
+    fn block_bytes(&self, key: BlockKey) -> io::Result<usize> {
+        self.inner.block_bytes(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_volume::{BlockId, MemBlockStore};
+
+    fn key(i: u32) -> BlockKey {
+        BlockKey::scalar(BlockId(i))
+    }
+
+    fn backing(n: u32) -> Arc<MemBlockStore> {
+        let s = MemBlockStore::new();
+        for i in 0..n {
+            s.insert(key(i), vec![i as f32; 4]);
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn healthy_source_is_a_passthrough() {
+        let src = FaultInjectingSource::healthy(backing(2));
+        assert_eq!(src.read_block(key(1)).unwrap(), vec![1.0; 4]);
+        assert_eq!(src.block_bytes(key(1)).unwrap(), 16);
+        assert_eq!((src.reads(), src.injected_errors(), src.injected_spikes()), (1, 0, 0));
+    }
+
+    #[test]
+    fn script_fails_n_times_then_succeeds() {
+        let src = FaultInjectingSource::healthy(backing(1));
+        src.script_fail(key(0), 2, io::ErrorKind::Interrupted);
+        assert_eq!(src.read_block(key(0)).unwrap_err().kind(), io::ErrorKind::Interrupted);
+        assert_eq!(src.read_block(key(0)).unwrap_err().kind(), io::ErrorKind::Interrupted);
+        assert_eq!(src.read_block(key(0)).unwrap(), vec![0.0; 4]);
+        assert_eq!(src.injected_errors(), 2);
+        // Other keys are untouched by the script.
+        let src2 = FaultInjectingSource::healthy(backing(2));
+        src2.script_fail(key(0), 1, io::ErrorKind::TimedOut);
+        assert!(src2.read_block(key(1)).is_ok());
+    }
+
+    #[test]
+    fn scripted_delay_sleeps_then_succeeds() {
+        let src = FaultInjectingSource::healthy(backing(1));
+        src.script_delay(key(0), Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        assert!(src.read_block(key(0)).is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_eq!(src.injected_spikes(), 1);
+        // Script consumed: next read is fast.
+        let t0 = std::time::Instant::now();
+        assert!(src.read_block(key(0)).is_ok());
+        assert!(t0.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn outage_fails_everything_until_cleared() {
+        let src = FaultInjectingSource::healthy(backing(2));
+        src.set_outage(Some(io::ErrorKind::TimedOut));
+        assert_eq!(src.read_block(key(0)).unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(src.read_block(key(1)).unwrap_err().kind(), io::ErrorKind::TimedOut);
+        src.set_outage(None);
+        assert!(src.read_block(key(0)).is_ok());
+        assert_eq!(src.injected_errors(), 2);
+    }
+
+    #[test]
+    fn random_faults_are_seed_deterministic_and_near_rate() {
+        let run = |seed| {
+            let cfg = FaultConfig { seed, error_rate: 0.1, ..Default::default() };
+            let src = FaultInjectingSource::new(backing(1), cfg);
+            let outcomes: Vec<bool> = (0..2000).map(|_| src.read_block(key(0)).is_ok()).collect();
+            (outcomes, src.injected_errors())
+        };
+        let (a, errs_a) = run(7);
+        let (b, errs_b) = run(7);
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert_eq!(errs_a, errs_b);
+        let rate = errs_a as f64 / 2000.0;
+        assert!((0.05..0.20).contains(&rate), "≈10% injected, got {rate}");
+        let (c, _) = run(8);
+        assert_ne!(a, c, "different seed, different sequence");
+    }
+
+    #[test]
+    fn injected_kinds_follow_the_mix() {
+        let cfg = FaultConfig {
+            seed: 3,
+            error_rate: 1.0,
+            kinds: vec![(io::ErrorKind::WouldBlock, 1.0)],
+            ..Default::default()
+        };
+        let src = FaultInjectingSource::new(backing(1), cfg);
+        for _ in 0..16 {
+            assert_eq!(src.read_block(key(0)).unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        }
+    }
+}

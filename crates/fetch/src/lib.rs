@@ -22,6 +22,15 @@
 //!   [`FetchEngine::run_one`], and [`VirtualClockSource`] injects per-tier
 //!   latency on a logical clock, so scheduling order, coalescing and
 //!   cancellation are reproducibly testable.
+//! - **Fault tolerance** — transient source errors retry with bounded
+//!   exponential backoff + jitter ([`RetryPolicy`]); permanent ones fail
+//!   fast. A [`CircuitBreaker`] sheds prefetch load off a failing source
+//!   and recovers via demand-read probes. Hung reads are abandoned at
+//!   [`FetchConfig::source_timeout`] without losing the worker; waiters
+//!   can bound their stall via [`FetchEngine::get_deadline`]. Workers are
+//!   supervised (panics become [`FetchError`]s, locks are
+//!   poison-tolerant), and [`FaultInjectingSource`] injects seeded
+//!   deterministic fault storms to prove all of it in tests and benches.
 //!
 //! [`BlockKey`]: viz_volume::BlockKey
 //!
@@ -40,7 +49,7 @@
 //! let engine = FetchEngine::spawn(
 //!     Arc::new(store),
 //!     pool.clone(),
-//!     FetchConfig { workers: 2, queue_cap: 64 },
+//!     FetchConfig { workers: 2, queue_cap: 64, ..Default::default() },
 //! );
 //! // Prefetch by importance; demand-fetch what the frame needs now.
 //! engine.prefetch(BlockKey::scalar(BlockId(3)), 0.9);
@@ -55,11 +64,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod pool;
+pub mod retry;
 pub mod virt;
 
 pub use engine::{FetchConfig, FetchEngine, FetchError, FetchMetrics, Ticket};
+pub use fault::{FaultConfig, FaultInjectingSource};
 pub use pool::BlockPool;
+pub use retry::{is_transient, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use virt::{
     InstrumentedSource, ReadRecord, Tier, TierLatency, VirtualClock, VirtualClockSource,
 };

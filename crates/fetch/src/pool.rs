@@ -13,10 +13,21 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use viz_volume::BlockKey;
 
-type Shard = RwLock<HashMap<BlockKey, Arc<Vec<f32>>>>;
+type Map = HashMap<BlockKey, Arc<Vec<f32>>>;
+type Shard = RwLock<Map>;
+
+/// Poison-tolerant shard locks: a panicking fetch worker must never make
+/// the resident set unreadable for the renderer.
+fn rd(shard: &Shard) -> RwLockReadGuard<'_, Map> {
+    shard.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wr(shard: &Shard) -> RwLockWriteGuard<'_, Map> {
+    shard.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Shared pool of resident block payloads, sharded by key hash.
 #[derive(Debug)]
@@ -65,7 +76,7 @@ impl BlockPool {
 
     /// Look up a resident block, counting hit/miss statistics.
     pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<f32>>> {
-        let got = self.shard(&key).read().unwrap().get(&key).cloned();
+        let got = rd(self.shard(&key)).get(&key).cloned();
         match got {
             Some(b) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -80,7 +91,7 @@ impl BlockPool {
 
     /// Residency check without statistics side effects.
     pub fn contains(&self, key: BlockKey) -> bool {
-        self.shard(&key).read().unwrap().contains_key(&key)
+        rd(self.shard(&key)).contains_key(&key)
     }
 
     /// Insert a payload.
@@ -92,7 +103,7 @@ impl BlockPool {
     /// coalesced waiters is the same `Arc` it parks here).
     pub fn insert_arc(&self, key: BlockKey, data: Arc<Vec<f32>>) {
         let added = data.len() * 4;
-        let old = self.shard(&key).write().unwrap().insert(key, data);
+        let old = wr(self.shard(&key)).insert(key, data);
         if let Some(old) = old {
             self.bytes.fetch_sub(old.len() * 4, Ordering::Relaxed);
         }
@@ -101,7 +112,7 @@ impl BlockPool {
 
     /// Drop a block (eviction decided by the cache layer).
     pub fn remove(&self, key: BlockKey) {
-        if let Some(old) = self.shard(&key).write().unwrap().remove(&key) {
+        if let Some(old) = wr(self.shard(&key)).remove(&key) {
             self.bytes.fetch_sub(old.len() * 4, Ordering::Relaxed);
         }
     }
@@ -109,7 +120,7 @@ impl BlockPool {
     /// Drop every resident block (dataset/timestep switch).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            let mut map = shard.write().unwrap();
+            let mut map = wr(shard);
             let freed: usize = map.values().map(|v| v.len() * 4).sum();
             map.clear();
             self.bytes.fetch_sub(freed, Ordering::Relaxed);
@@ -118,12 +129,12 @@ impl BlockPool {
 
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+        self.shards.iter().map(|s| rd(s).len()).sum()
     }
 
     /// `true` when nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().unwrap().is_empty())
+        self.shards.iter().all(|s| rd(s).is_empty())
     }
 
     /// Resident payload bytes (f32 payloads only, not map overhead). Lets
@@ -137,7 +148,7 @@ impl BlockPool {
     pub fn keys(&self) -> Vec<BlockKey> {
         let mut out = Vec::with_capacity(self.len());
         for shard in self.shards.iter() {
-            out.extend(shard.read().unwrap().keys().copied());
+            out.extend(rd(shard).keys().copied());
         }
         out
     }

@@ -1,0 +1,367 @@
+//! Retry policy and circuit breaker for the fetch path.
+//!
+//! The slow-memory tiers the engine reads from (SSD, HDD, network object
+//! stores) fail in two distinct ways that demand opposite reactions:
+//!
+//! - **Transient** faults — an interrupted syscall, a timed-out read, a
+//!   tier that momentarily pushes back — succeed if simply tried again.
+//!   [`is_transient`] classifies them; [`RetryPolicy`] retries them with
+//!   bounded exponential backoff plus deterministic jitter.
+//! - **Permanent** faults — a missing block file, a corrupt frame — will
+//!   fail identically forever. Retrying them only burns I/O bandwidth the
+//!   renderer needs, so they fail fast.
+//!
+//! When the source itself goes down (every read failing), per-request
+//! retries amplify the outage instead of riding it out. The
+//! [`CircuitBreaker`] counts *consecutive* request failures; past a
+//! threshold it opens and the engine fails prefetches fast without
+//! touching the source. Demand reads are never blocked — the first demand
+//! read dequeued while the breaker is open becomes the half-open *probe*
+//! whose outcome decides whether the breaker closes (source recovered) or
+//! re-opens (still down). Probing on demand reads means recovery needs no
+//! timers and no background poller: the renderer's own traffic heals the
+//! circuit, deterministically.
+
+use std::io;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Is an error kind worth retrying? `Interrupted`, `TimedOut` and
+/// `WouldBlock` are momentary conditions of a healthy source;
+/// `NotFound`, `InvalidData`, permission errors and everything else are
+/// properties of the request and fail identically on every attempt.
+pub fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Attempt `n` (0-based) backs off `base_delay * 2^n`, capped at
+/// `max_delay`, plus up to `jitter * delay` of extra wait drawn from a
+/// seeded hash of `(seed, salt, attempt)` — so two workers retrying the
+/// same hot key at the same moment do not hammer the source in lockstep,
+/// yet every delay is reproducible for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter as a fraction of the computed delay, in `[0, 1]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_micros(500),
+            max_delay: Duration::from_millis(10),
+            jitter: 0.5,
+            seed: 0x5EED_F17C,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (errors surface on first failure).
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..Default::default() }
+    }
+
+    /// A policy with `max_retries` retries and zero delay — deterministic
+    /// tests step retries without sleeping.
+    pub fn immediate(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            ..Default::default()
+        }
+    }
+
+    /// Should a read that failed with `kind` on 0-based attempt `attempt`
+    /// be tried again?
+    pub fn should_retry(&self, kind: io::ErrorKind, attempt: u32) -> bool {
+        attempt < self.max_retries && is_transient(kind)
+    }
+
+    /// Backoff before 0-based retry `attempt`. `salt` individualizes the
+    /// jitter stream (callers pass a key hash).
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(20));
+        let capped = exp.min(self.max_delay);
+        if self.jitter <= 0.0 || capped.is_zero() {
+            return capped;
+        }
+        let unit = splitmix64(self.seed ^ salt.rotate_left(17) ^ u64::from(attempt)) as f64
+            / u64::MAX as f64;
+        let extra = capped.as_secs_f64() * self.jitter.min(1.0) * unit;
+        capped + Duration::from_secs_f64(extra)
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer — one multiply-xor-shift
+/// chain, full avalanche, no state.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Circuit-breaker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive request failures (after retries) that open the breaker.
+    pub failure_threshold: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 8 }
+    }
+}
+
+/// Breaker state, exposed in [`crate::FetchMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Healthy: all traffic flows.
+    #[default]
+    Closed,
+    /// Source presumed down: prefetches fail fast, demand reads probe.
+    Open,
+    /// A demand probe is in flight; its outcome closes or re-opens.
+    HalfOpen,
+}
+
+const ST_CLOSED: u8 = 0;
+const ST_OPEN: u8 = 1;
+const ST_HALF_OPEN: u8 = 2;
+
+/// Consecutive-failure circuit breaker (see module docs for the
+/// demand-probe recovery protocol). Lock-free: state transitions are a
+/// CAS loop over one atomic, so it can sit on the dequeue hot path.
+#[derive(Debug, Default)]
+pub struct CircuitBreaker {
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    opens: AtomicU64,
+    half_opens: AtomicU64,
+    closes: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            ST_OPEN => BreakerState::Open,
+            ST_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// `(opens, half_opens, closes, rejected)` transition counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.opens.load(Ordering::Relaxed),
+            self.half_opens.load(Ordering::Relaxed),
+            self.closes.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+
+    /// May a *prefetch* touch the source right now? `false` while open or
+    /// half-open (the probe decides first); rejections are counted.
+    pub fn admit_prefetch(&self) -> bool {
+        if self.state.load(Ordering::Acquire) == ST_CLOSED {
+            true
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// A demand read is about to run. While open it becomes the half-open
+    /// probe. Demand is never rejected.
+    pub fn on_demand_dispatch(&self) {
+        if self
+            .state
+            .compare_exchange(ST_OPEN, ST_HALF_OPEN, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.half_opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A request completed successfully: reset the failure run and close
+    /// the breaker if it was open or probing.
+    pub fn on_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        let prev = self.state.swap(ST_CLOSED, Ordering::AcqRel);
+        if prev != ST_CLOSED {
+            self.closes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A request failed (after retries). Opens the breaker when the
+    /// consecutive-failure run reaches `threshold`, and re-opens it when a
+    /// half-open probe fails.
+    pub fn on_failure(&self, threshold: u32) {
+        let run = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let cur = self.state.load(Ordering::Acquire);
+        let should_open = match cur {
+            ST_HALF_OPEN => true,          // the probe failed: back to open
+            ST_CLOSED => run >= threshold, // failure run crossed the line
+            _ => false,
+        };
+        if should_open
+            && self
+                .state
+                .compare_exchange(cur, ST_OPEN, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification_matches_contract() {
+        assert!(is_transient(io::ErrorKind::Interrupted));
+        assert!(is_transient(io::ErrorKind::TimedOut));
+        assert!(is_transient(io::ErrorKind::WouldBlock));
+        assert!(!is_transient(io::ErrorKind::NotFound));
+        assert!(!is_transient(io::ErrorKind::InvalidData));
+        assert!(!is_transient(io::ErrorKind::PermissionDenied));
+        assert!(!is_transient(io::ErrorKind::Other));
+    }
+
+    #[test]
+    fn should_retry_respects_budget_and_kind() {
+        let p = RetryPolicy { max_retries: 2, ..Default::default() };
+        assert!(p.should_retry(io::ErrorKind::Interrupted, 0));
+        assert!(p.should_retry(io::ErrorKind::TimedOut, 1));
+        assert!(!p.should_retry(io::ErrorKind::Interrupted, 2), "budget exhausted");
+        assert!(!p.should_retry(io::ErrorKind::NotFound, 0), "permanent errors never retry");
+        assert!(!RetryPolicy::none().should_retry(io::ErrorKind::Interrupted, 0));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            jitter: 0.0,
+            seed: 1,
+        };
+        assert_eq!(p.backoff(0, 0), Duration::from_millis(1));
+        assert_eq!(p.backoff(1, 0), Duration::from_millis(2));
+        assert_eq!(p.backoff(2, 0), Duration::from_millis(4));
+        assert_eq!(p.backoff(3, 0), Duration::from_millis(4), "capped");
+        assert_eq!(p.backoff(31, 0), Duration::from_millis(4), "huge attempts don't overflow");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(16),
+            jitter: 0.5,
+            seed: 42,
+        };
+        for attempt in 0..4 {
+            for salt in [0u64, 7, 0xDEAD_BEEF] {
+                let base = Duration::from_millis(2) * (1 << attempt);
+                let d = p.backoff(attempt, salt);
+                assert!(d >= base, "jitter must only add");
+                assert!(d <= base + base.mul_f64(0.5) + Duration::from_nanos(1));
+                assert_eq!(d, p.backoff(attempt, salt), "same inputs, same delay");
+            }
+        }
+        // Different salts decorrelate the jitter.
+        assert_ne!(p.backoff(0, 1), p.backoff(0, 2));
+    }
+
+    #[test]
+    fn immediate_policy_has_zero_delay() {
+        let p = RetryPolicy::immediate(3);
+        assert_eq!(p.backoff(0, 9), Duration::ZERO);
+        assert_eq!(p.backoff(2, 9), Duration::ZERO);
+        assert!(p.should_retry(io::ErrorKind::Interrupted, 2));
+        assert!(!p.should_retry(io::ErrorKind::Interrupted, 3));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new();
+        for _ in 0..2 {
+            b.on_failure(3);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        b.on_failure(3);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.counters().0, 1, "one open transition");
+        assert!(!b.admit_prefetch());
+        assert_eq!(b.counters().3, 1, "rejection counted");
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let b = CircuitBreaker::new();
+        b.on_failure(3);
+        b.on_failure(3);
+        b.on_success();
+        b.on_failure(3);
+        b.on_failure(3);
+        assert_eq!(b.state(), BreakerState::Closed, "run was reset by the success");
+    }
+
+    #[test]
+    fn demand_probe_closes_on_success_reopens_on_failure() {
+        let b = CircuitBreaker::new();
+        for _ in 0..3 {
+            b.on_failure(3);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // Probe fails: back to open.
+        b.on_demand_dispatch();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit_prefetch(), "prefetches stay out during the probe");
+        b.on_failure(3);
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // Probe succeeds: closed, traffic flows again.
+        b.on_demand_dispatch();
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit_prefetch());
+        let (opens, half_opens, closes, _) = b.counters();
+        assert_eq!((opens, half_opens, closes), (2, 2, 1));
+    }
+
+    #[test]
+    fn demand_dispatch_is_a_noop_while_closed() {
+        let b = CircuitBreaker::new();
+        b.on_demand_dispatch();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.counters().1, 0);
+    }
+}

@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 use viz_volume::{BlockKey, BlockSource};
 
@@ -131,17 +131,17 @@ impl VirtualClockSource {
 
     /// Keys in service order.
     pub fn read_order(&self) -> Vec<BlockKey> {
-        self.log.lock().unwrap().iter().map(|r| r.key).collect()
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).iter().map(|r| r.key).collect()
     }
 
     /// Full `(key, start, end)` log.
     pub fn records(&self) -> Vec<ReadRecord> {
-        self.log.lock().unwrap().clone()
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Total reads issued to the inner source.
     pub fn reads(&self) -> usize {
-        self.log.lock().unwrap().len()
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 }
 
@@ -149,7 +149,11 @@ impl BlockSource for VirtualClockSource {
     fn read_block(&self, key: BlockKey) -> io::Result<Vec<f32>> {
         let ticks = (self.latency)(key);
         let end = self.clock.advance(ticks);
-        self.log.lock().unwrap().push(ReadRecord { key, start: end - ticks, end });
+        self.log.lock().unwrap_or_else(PoisonError::into_inner).push(ReadRecord {
+            key,
+            start: end - ticks,
+            end,
+        });
         self.inner.read_block(key)
     }
 
@@ -207,7 +211,7 @@ impl BlockSource for InstrumentedSource {
     fn read_block(&self, key: BlockKey) -> io::Result<Vec<f32>> {
         self.reads.fetch_add(1, Ordering::Relaxed);
         {
-            let mut active = self.active.lock().unwrap();
+            let mut active = self.active.lock().unwrap_or_else(PoisonError::into_inner);
             if !active.insert(key) {
                 self.concurrent_dups.fetch_add(1, Ordering::Relaxed);
             }
@@ -217,7 +221,7 @@ impl BlockSource for InstrumentedSource {
             std::thread::sleep(d);
         }
         let res = self.inner.read_block(key);
-        self.active.lock().unwrap().remove(&key);
+        self.active.lock().unwrap_or_else(PoisonError::into_inner).remove(&key);
         res
     }
 

@@ -165,7 +165,7 @@ fn queue_cap_drops_excess_prefetches_and_counts_them() {
     let engine = FetchEngine::spawn(
         source.clone() as Arc<dyn BlockSource>,
         pool,
-        FetchConfig { workers: 0, queue_cap: 2 },
+        FetchConfig { workers: 0, queue_cap: 2, ..FetchConfig::default() },
     );
     assert!(engine.prefetch(key(0), 0.5));
     assert!(engine.prefetch(key(1), 0.5));

@@ -34,7 +34,7 @@ fn coalescing_no_duplicate_reads_and_every_ticket_resolves() {
     let engine = FetchEngine::spawn(
         source.clone() as Arc<dyn BlockSource>,
         pool.clone(),
-        FetchConfig { workers: 8, queue_cap: 10_000 },
+        FetchConfig { workers: 8, queue_cap: 10_000, ..FetchConfig::default() },
     );
 
     let resolved: u64 = std::thread::scope(|s| {
@@ -87,7 +87,7 @@ fn demand_jumps_a_deep_prefetch_backlog() {
     let engine = FetchEngine::spawn(
         source as Arc<dyn BlockSource>,
         pool,
-        FetchConfig { workers: 4, queue_cap: 10_000 },
+        FetchConfig { workers: 4, queue_cap: 10_000, ..FetchConfig::default() },
     );
     for i in 0..BACKLOG {
         assert!(engine.prefetch(key(i), 0.5));
@@ -116,7 +116,7 @@ fn generation_bump_cancels_queued_backlog() {
     let engine = FetchEngine::spawn(
         source.clone() as Arc<dyn BlockSource>,
         pool,
-        FetchConfig { workers: 4, queue_cap: 10_000 },
+        FetchConfig { workers: 4, queue_cap: 10_000, ..FetchConfig::default() },
     );
     for i in 0..BACKLOG as u32 {
         assert!(engine.prefetch(key(i), 0.5));
@@ -144,7 +144,7 @@ fn worker_pool_overlaps_reads() {
     let engine = FetchEngine::spawn(
         source.clone() as Arc<dyn BlockSource>,
         pool,
-        FetchConfig { workers: 4, queue_cap: 1024 },
+        FetchConfig { workers: 4, queue_cap: 1024, ..FetchConfig::default() },
     );
     for i in 0..N {
         engine.prefetch(key(i), 0.0);

@@ -8,6 +8,7 @@
 //! irrelevant to cache behaviour, which is what the examples demonstrate.
 
 use crate::raycast::SampleSource;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use viz_volume::{BlockId, BrickLayout};
 
@@ -24,6 +25,56 @@ where
 {
     fn lookup(&self, id: BlockId) -> Option<Arc<Vec<f32>>> {
         self(id)
+    }
+}
+
+/// A [`BlockLookup`] decorator counting lookups and misses, so a renderer
+/// can tell after the fact whether a frame was *degraded* — drawn while
+/// some of its blocks were not resident (e.g. their demand reads missed
+/// the frame deadline).
+pub struct CountingLookup<L> {
+    inner: L,
+    lookups: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<L: BlockLookup> CountingLookup<L> {
+    /// Wrap a lookup.
+    pub fn new(inner: L) -> Self {
+        CountingLookup { inner, lookups: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    /// `(lookups, misses)` since construction or the last [`Self::reset`].
+    pub fn counts(&self) -> (u64, u64) {
+        (self.lookups.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// `true` when any lookup since the last reset failed — the rendered
+    /// output is missing data.
+    pub fn degraded(&self) -> bool {
+        self.misses.load(Ordering::Relaxed) > 0
+    }
+
+    /// Zero the counters (call between frames).
+    pub fn reset(&self) {
+        self.lookups.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped lookup.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+}
+
+impl<L: BlockLookup> BlockLookup for CountingLookup<L> {
+    fn lookup(&self, id: BlockId) -> Option<Arc<Vec<f32>>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let got = self.inner.lookup(id);
+        if got.is_none() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
     }
 }
 
@@ -183,6 +234,39 @@ mod tests {
         let hi = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         // One voxel of seam tolerance.
         assert!(v >= lo - 1.0 && v <= hi + 1.0);
+    }
+
+    #[test]
+    fn counting_lookup_flags_degraded_frames() {
+        let (field, layout, map) = setup();
+        // Load only half the volume (bx == 0).
+        for id in layout.block_ids() {
+            let (bx, _, _) = layout.block_coords(id);
+            if bx == 0 {
+                map.0.write().insert(id, Arc::new(field.extract_block(&layout, id)));
+            }
+        }
+        let counting = CountingLookup::new(map);
+        let src = BrickedSource::new(&layout, &counting);
+
+        // A sample entirely inside the resident half: no degradation.
+        assert!(src.sample(3.0, 3.0, 3.0).is_some());
+        assert!(!counting.degraded());
+        let (lookups, misses) = counting.counts();
+        assert!(lookups > 0);
+        assert_eq!(misses, 0);
+
+        // A sample in the missing half fails its home lookup.
+        counting.reset();
+        assert!(src.sample(12.0, 3.0, 3.0).is_none());
+        assert!(counting.degraded());
+        let (_, misses) = counting.counts();
+        assert!(misses >= 1);
+
+        // Reset clears the verdict between frames.
+        counting.reset();
+        assert_eq!(counting.counts(), (0, 0));
+        assert!(!counting.degraded());
     }
 
     #[test]

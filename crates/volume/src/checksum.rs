@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) for block and
+//! table frames.
+//!
+//! The store's frames travel HDD → SSD → DRAM and sit on disk for the
+//! lifetime of a dataset; silent bit-rot there would otherwise surface as
+//! NaN voxels or skewed entropy tables far downstream. Framing every
+//! payload with a CRC turns corruption into an `InvalidData` error at
+//! decode time, where the fetch path's fail-fast classification handles
+//! it. Table-driven, one table built on first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (IEEE, as used by zlib/PNG/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0..=255).collect();
+        let good = crc32(&data);
+        for i in [0usize, 17, 128, 255] {
+            let mut bad = data.clone();
+            bad[i] ^= 0x01;
+            assert_ne!(crc32(&bad), good, "flip at byte {i} must change the crc");
+        }
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod bvh;
+pub mod checksum;
 pub mod codec;
 pub mod combinators;
 pub mod datasets;
@@ -49,6 +50,7 @@ pub mod store;
 pub mod timevarying;
 
 pub use bvh::BlockBvh;
+pub use checksum::crc32;
 pub use codec::Codec;
 pub use datasets::{DatasetKind, DatasetSpec};
 pub use dims::Dims3;

@@ -2,9 +2,11 @@
 //!
 //! The paper streams blocks from HDD → SSD → DRAM. This module provides the
 //! "resident on storage" end of that pipeline: each block is a framed binary
-//! file (magic + dims + f32 payload), written once during pre-processing and
-//! random-accessed during visualization. An in-memory implementation backs
-//! tests and pure simulations.
+//! file (magic + dims + CRC-32 + f32 payload), written once during
+//! pre-processing and random-accessed during visualization. The checksum
+//! turns on-disk bit-rot into an `InvalidData` error at decode time instead
+//! of NaN frames downstream; pre-checksum v1/v2 frames still decode. An
+//! in-memory implementation backs tests and pure simulations.
 
 use crate::dims::Dims3;
 use crate::field::VolumeField;
@@ -54,35 +56,45 @@ pub trait BlockSource: Send + Sync {
 const MAGIC: &[u8; 4] = b"VBLK";
 const VERSION: u16 = 1;
 const VERSION_CODEC: u16 = 2;
+const VERSION_CRC: u16 = 3;
+const VERSION_CODEC_CRC: u16 = 4;
 
-/// Serialize one block payload with its self-describing frame (v1: raw).
+/// Serialize one block payload with its self-describing frame (v3: raw +
+/// CRC-32 of the payload, so bit-rot surfaces as `InvalidData` at decode
+/// instead of NaN frames downstream).
 pub fn encode_block(dims: Dims3, data: &[f32]) -> Vec<u8> {
     assert_eq!(dims.count(), data.len(), "dims/payload mismatch");
-    let mut buf = Vec::with_capacity(4 + 2 + 12 + data.len() * 4);
+    let mut buf = Vec::with_capacity(4 + 2 + 12 + 4 + data.len() * 4);
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(VERSION_CRC);
     buf.put_u32_le(dims.nx as u32);
     buf.put_u32_le(dims.ny as u32);
     buf.put_u32_le(dims.nz as u32);
+    let crc_at = buf.len();
+    buf.put_u32_le(0); // crc placeholder
     for &v in data {
         buf.put_f32_le(v);
     }
+    let crc = crate::checksum::crc32(&buf[crc_at + 4..]);
+    buf[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
     buf
 }
 
-/// Serialize with an explicit codec (v2 frame: codec tag + length-prefixed
-/// compressed payload). [`decode_block`] reads both frame versions.
+/// Serialize with an explicit codec (v4 frame: codec tag + length-prefixed
+/// compressed payload + CRC-32 of the compressed bytes). [`decode_block`]
+/// reads every frame version, including the pre-checksum v1/v2.
 pub fn encode_block_with(codec: crate::codec::Codec, dims: Dims3, data: &[f32]) -> Vec<u8> {
     assert_eq!(dims.count(), data.len(), "dims/payload mismatch");
     let payload = codec.compress(data);
-    let mut buf = Vec::with_capacity(4 + 2 + 1 + 12 + 4 + payload.len());
+    let mut buf = Vec::with_capacity(4 + 2 + 1 + 12 + 4 + 4 + payload.len());
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION_CODEC);
+    buf.put_u16_le(VERSION_CODEC_CRC);
     buf.put_u8(codec.tag());
     buf.put_u32_le(dims.nx as u32);
     buf.put_u32_le(dims.ny as u32);
     buf.put_u32_le(dims.nz as u32);
     buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crate::checksum::crc32(&payload));
     buf.put_slice(&payload);
     buf
 }
@@ -100,12 +112,24 @@ pub fn decode_block(mut buf: &[u8]) -> io::Result<(Dims3, Vec<f32>)> {
     }
     let version = buf.get_u16_le();
     match version {
-        VERSION => {
+        VERSION | VERSION_CRC => {
             let dims = Dims3::new(
                 buf.get_u32_le() as usize,
                 buf.get_u32_le() as usize,
                 buf.get_u32_le() as usize,
             );
+            if version == VERSION_CRC {
+                if buf.remaining() < 4 {
+                    return Err(err("crc frame too short".into()));
+                }
+                let want = buf.get_u32_le();
+                let got = crate::checksum::crc32(buf);
+                if got != want {
+                    return Err(err(format!(
+                        "block payload checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+                    )));
+                }
+            }
             let n = dims.count();
             if buf.remaining() != n * 4 {
                 return Err(err("payload length mismatch".into()));
@@ -116,8 +140,9 @@ pub fn decode_block(mut buf: &[u8]) -> io::Result<(Dims3, Vec<f32>)> {
             }
             Ok((dims, data))
         }
-        VERSION_CODEC => {
-            if buf.remaining() < 1 + 12 + 4 {
+        VERSION_CODEC | VERSION_CODEC_CRC => {
+            let crc_len = if version == VERSION_CODEC_CRC { 4 } else { 0 };
+            if buf.remaining() < 1 + 12 + 4 + crc_len {
                 return Err(err("codec frame too short".into()));
             }
             let codec = crate::codec::Codec::from_tag(buf.get_u8())
@@ -128,8 +153,17 @@ pub fn decode_block(mut buf: &[u8]) -> io::Result<(Dims3, Vec<f32>)> {
                 buf.get_u32_le() as usize,
             );
             let len = buf.get_u32_le() as usize;
+            let want = (version == VERSION_CODEC_CRC).then(|| buf.get_u32_le());
             if buf.remaining() != len {
                 return Err(err("compressed payload length mismatch".into()));
+            }
+            if let Some(want) = want {
+                let got = crate::checksum::crc32(&buf[..len]);
+                if got != want {
+                    return Err(err(format!(
+                        "block payload checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+                    )));
+                }
             }
             let data = codec.decompress(&buf[..len], dims.count()).map_err(err)?;
             Ok((dims, data))
@@ -208,11 +242,11 @@ impl BlockSource for DiskBlockStore {
 
     fn block_bytes(&self, key: BlockKey) -> io::Result<usize> {
         // On-disk payload size (what a fetch actually moves); headers are
-        // 18 bytes (v1) or 27 bytes (v2).
+        // 22 bytes (v3 raw + crc) or 31 bytes (v4 codec + crc).
         let meta = fs::metadata(self.path_of(key))?;
         let header = match self.codec {
-            crate::codec::Codec::Raw => 18,
-            _ => 27,
+            crate::codec::Codec::Raw => 22,
+            _ => 31,
         };
         Ok((meta.len() as usize).saturating_sub(header))
     }
@@ -407,6 +441,55 @@ mod tests {
         let mut bad = buf.clone();
         bad[6] = 99;
         assert!(decode_block(&bad).is_err());
+    }
+
+    #[test]
+    fn bit_rot_in_raw_frame_surfaces_as_invalid_data() {
+        let dims = Dims3::new(4, 2, 1);
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let buf = encode_block(dims, &data);
+        assert!(decode_block(&buf).is_ok());
+        // Flip one payload bit: dims and length stay plausible, only the
+        // checksum can catch it.
+        let mut rotted = buf.clone();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0x40;
+        let err = decode_block(&rotted).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn bit_rot_in_codec_frame_surfaces_as_invalid_data() {
+        use crate::codec::Codec;
+        let dims = Dims3::cube(8);
+        let data = vec![1.0f32; dims.count()];
+        let buf = encode_block_with(Codec::PlaneRle, dims, &data);
+        assert!(decode_block(&buf).is_ok());
+        let mut rotted = buf.clone();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0x01;
+        let err = decode_block(&rotted).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn pre_checksum_v1_frames_still_decode() {
+        // Hand-build a v1 frame (no crc) the way old stores wrote it.
+        let data = [1.5f32, -2.0, 3.25];
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u32_le(3);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        for &v in &data {
+            buf.put_f32_le(v);
+        }
+        let (dims, got) = decode_block(&buf).unwrap();
+        assert_eq!(dims, Dims3::new(3, 1, 1));
+        assert_eq!(got, data);
     }
 
     #[test]

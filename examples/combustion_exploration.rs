@@ -9,18 +9,32 @@
 //! prefetches, generation bumps that cancel stale predictions when the
 //! camera moves on, and a byte-cap eviction sweep over the pool.
 //!
+//! The disk store is wrapped in a seeded [`FaultInjectingSource`] storm
+//! (10% transient errors, 5% latency spikes), so the run also exercises
+//! the fault path end to end: retries absorb the injected errors, each
+//! frame's demand reads run under a deadline via [`fetch_frame`], and a
+//! frame whose reads miss the budget renders *degraded* — resident blocks
+//! only — instead of stalling, recovering on a later frame.
+//!
 //! Run with: `cargo run --release --example combustion_exploration`
 
 use std::collections::HashSet;
 use std::sync::Arc;
-use viz_appaware::core::{ImportanceTable, RadiusModel, RadiusRule, SamplingConfig, VisibleTable};
-use viz_appaware::fetch::{BlockPool, FetchConfig, FetchEngine};
+use std::time::Duration;
+use viz_appaware::core::{
+    fetch_frame, ImportanceTable, RadiusModel, RadiusRule, SamplingConfig, VisibleTable,
+};
+use viz_appaware::fetch::{BlockPool, FaultConfig, FaultInjectingSource, FetchConfig, FetchEngine};
 use viz_appaware::geom::angle::deg_to_rad;
 use viz_appaware::geom::{CameraPath, ExplorationDomain, SphericalPath, Vec3};
 use viz_appaware::render::{
-    frame_working_set, render, BrickedSource, RenderConfig, TransferFunction,
+    frame_working_set, render, BrickedSource, CountingLookup, RenderConfig, TransferFunction,
 };
 use viz_appaware::volume::{BlockKey, BrickLayout, DatasetKind, DatasetSpec, DiskBlockStore};
+
+/// Per-frame wall-clock budget for demand reads; past it the frame
+/// renders with whatever is resident.
+const FRAME_BUDGET: Duration = Duration::from_millis(100);
 
 fn main() -> std::io::Result<()> {
     let out_dir = std::env::temp_dir().join("viz_combustion_example");
@@ -52,12 +66,20 @@ fn main() -> std::io::Result<()> {
     );
     let sigma = importance.sigma_for_fraction(0.5);
 
-    // The fetch engine: sharded pool, 4 workers draining a priority queue.
+    // The fetch engine: sharded pool, 4 workers draining a priority queue,
+    // reading through a seeded fault storm so the retry/deadline machinery
+    // is visibly in play (a healthy run would look identical, just quieter).
+    let faulty = Arc::new(FaultInjectingSource::new(store.clone(), FaultConfig::storm(7)));
     let pool = Arc::new(BlockPool::new());
     let engine = FetchEngine::spawn(
-        store.clone(),
+        faulty.clone(),
         pool.clone(),
-        FetchConfig { workers: 4, queue_cap: 1024 },
+        FetchConfig {
+            workers: 4,
+            queue_cap: 1024,
+            source_timeout: Some(Duration::from_millis(250)),
+            ..FetchConfig::default()
+        },
     );
 
     // Keep at most half the dataset resident; evict coldest-entropy blocks
@@ -83,6 +105,7 @@ fn main() -> std::io::Result<()> {
     let rc = RenderConfig::preview(192, 192);
     let mut demand_loads = 0usize;
     let mut evicted = 0usize;
+    let mut degraded_frames = 0usize;
 
     for (i, pose) in path.iter().enumerate() {
         // The camera has moved: predictions queued for the previous view are
@@ -90,17 +113,19 @@ fn main() -> std::io::Result<()> {
         // dequeue instead of wasting disk bandwidth.
         engine.bump_generation();
 
-        // Demand-load whatever the frame needs that prefetch didn't cover.
-        // Demand requests outrank every queued prefetch and coalesce with
-        // in-flight reads of the same block.
+        // Demand-load whatever the frame needs that prefetch didn't cover,
+        // under the frame budget. Demand requests outrank every queued
+        // prefetch and coalesce with in-flight reads; blocks that miss the
+        // deadline (or exhaust their retries) are reported back and the
+        // frame renders without them — their reads stay in flight and land
+        // for a later frame.
         let working: HashSet<BlockKey> =
             frame_working_set(pose, &layout).into_iter().map(BlockKey::scalar).collect();
-        for &key in &working {
-            if !pool.contains(key) {
-                engine.get(key).map_err(std::io::Error::from)?;
-                demand_loads += 1;
-            }
-        }
+        let missing: Vec<BlockKey> =
+            working.iter().copied().filter(|&k| !pool.contains(k)).collect();
+        let frame = fetch_frame(&engine, &missing, FRAME_BUDGET);
+        demand_loads += frame.loaded;
+        degraded_frames += usize::from(frame.degraded);
 
         // Enforce the residency cap: drop the lowest-entropy blocks that the
         // current frame does not need.
@@ -127,16 +152,26 @@ fn main() -> std::io::Result<()> {
                 engine.prefetch(BlockKey::scalar(b), e);
             }
         }
-        let lookup = |id: viz_appaware::volume::BlockId| pool.get(BlockKey::scalar(id));
+        let lookup =
+            CountingLookup::new(|id: viz_appaware::volume::BlockId| pool.get(BlockKey::scalar(id)));
         let src = BrickedSource::new(&layout, &lookup);
         let img = render(&src, pose, &tf, &rc);
         let frame_path = out_dir.join(format!("frame_{i:02}.ppm"));
         img.save_ppm(&frame_path)?;
+        let (_, render_misses) = lookup.counts();
         println!(
-            "frame {i:02}: mean luminance {:.4}, pool = {} blocks / {:.1} MiB -> {}",
+            "frame {i:02}: mean luminance {:.4}, pool = {} blocks / {:.1} MiB{} -> {}",
             img.mean_luminance(),
             pool.len(),
             pool.bytes_resident() as f64 / (1024.0 * 1024.0),
+            if frame.degraded {
+                format!(
+                    " [DEGRADED: {} blocks late, {render_misses} render misses]",
+                    frame.missed.len()
+                )
+            } else {
+                String::new()
+            },
             frame_path.display()
         );
     }
@@ -147,6 +182,20 @@ fn main() -> std::io::Result<()> {
         "\nengine: {} blocks loaded ({} on demand), {} coalesced, \
          {} stale prefetches cancelled, {} dropped, {} errors",
         m.completed, m.demand_completed, m.coalesced, m.cancelled, m.dropped, m.errors
+    );
+    println!(
+        "faults: {} injected errors / {} spikes over {} reads; {} retries, \
+         {} source timeouts, {} deadline misses, {} late arrivals; \
+         breaker {:?} ({} opens), {degraded_frames} degraded frames",
+        faulty.injected_errors(),
+        faulty.injected_spikes(),
+        faulty.reads(),
+        m.retries,
+        m.timeouts,
+        m.deadline_misses,
+        m.late_arrivals,
+        m.breaker_state,
+        m.breaker_opens,
     );
     println!(
         "render-path demand loads: {demand_loads}; evicted {evicted} blocks at the {:.1} MiB cap",

@@ -273,7 +273,7 @@ fn cmd_render(flags: HashMap<String, String>) -> Result<(), String> {
     let engine = FetchEngine::spawn(
         store.clone(),
         pool.clone(),
-        FetchConfig { workers: 4, queue_cap: 1024 },
+        FetchConfig { workers: 4, queue_cap: 1024, ..FetchConfig::default() },
     );
     for b in ti.above_threshold(manifest.sigma).take(layout.num_blocks() / 4) {
         engine.prefetch(BlockKey::scalar(b), ti.entropy(b));
