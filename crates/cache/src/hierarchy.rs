@@ -13,7 +13,16 @@ use crate::cost::TierCost;
 use crate::policy::PolicyKind;
 use crate::stats::{AccessClass, HierarchyStats};
 use serde::{Deserialize, Serialize};
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use viz_telemetry::EventKind as Ev;
+
+/// Telemetry subject key for an arbitrary cache key (hashed — telemetry
+/// events carry `u64`s, not generic keys).
+fn tel_key<K: Hash>(k: &K) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
 
 /// Configuration of one cache tier.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -189,6 +198,17 @@ impl<K: Copy + Eq + Hash> Hierarchy<K> {
         }
         let level = found.unwrap_or(n);
         let fast_hit = level == 0;
+        if viz_telemetry::enabled() {
+            if level < n {
+                viz_telemetry::instant(Ev::CacheHit, tel_key(&key), level as u64);
+            } else {
+                viz_telemetry::instant(
+                    Ev::CacheMiss,
+                    tel_key(&key),
+                    u64::from(class == AccessClass::Prefetch),
+                );
+            }
+        }
         if !fast_hit {
             match class {
                 AccessClass::Demand => self.stats.demand_fast_misses += 1,
@@ -223,6 +243,12 @@ impl<K: Copy + Eq + Hash> Hierarchy<K> {
             if i == 0 {
                 self.stats.fast_evictions += evicted.len() as u64;
             }
+            if viz_telemetry::enabled() {
+                let arg = ((i as u64) << 8) | u64::from(self.tiers[i].spec.policy.code());
+                for ek in &evicted {
+                    viz_telemetry::instant(Ev::CacheEvict, tel_key(ek), arg);
+                }
+            }
         }
 
         FetchOutcome { level, time_s: cost, fast_hit }
@@ -236,6 +262,12 @@ impl<K: Copy + Eq + Hash> Hierarchy<K> {
             let evicted = self.tiers[i].cache.insert(key);
             if i == 0 {
                 self.stats.fast_evictions += evicted.len() as u64;
+            }
+            if viz_telemetry::enabled() {
+                let arg = ((i as u64) << 8) | u64::from(self.tiers[i].spec.policy.code());
+                for ek in &evicted {
+                    viz_telemetry::instant(Ev::CacheEvict, tel_key(ek), arg);
+                }
             }
         }
     }
@@ -411,6 +443,31 @@ mod tests {
         assert_eq!(h.stats().demand_accesses, 0);
         let o = h.fetch(1, AccessClass::Demand);
         assert!(o.fast_hit, "residency must survive a stats reset");
+    }
+
+    #[test]
+    fn telemetry_attributes_evictions_to_tier_and_policy() {
+        viz_telemetry::set_enabled(true);
+        let mut h = small();
+        // DRAM holds 2 blocks: the third fetch must evict one via LRU.
+        for k in 0..6u32 {
+            h.fetch(k, AccessClass::Demand);
+        }
+        let trace = viz_telemetry::drain();
+        viz_telemetry::set_enabled(false);
+        let lru_code = u64::from(PolicyKind::Lru.code());
+        let dram_evicts =
+            trace.events.iter().filter(|e| e.kind == Ev::CacheEvict && e.arg == lru_code).count();
+        let ssd_evicts = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == Ev::CacheEvict && e.arg == ((1 << 8) | lru_code))
+            .count();
+        // 6 fetches through a 2-block DRAM: at least 4 fast evictions, and
+        // the 4-block SSD overflowed at least twice.
+        assert!(dram_evicts >= 4, "got {dram_evicts} DRAM evictions");
+        assert!(ssd_evicts >= 2, "got {ssd_evicts} SSD evictions");
+        assert!(trace.count(Ev::CacheMiss) >= 6);
     }
 
     #[test]

@@ -202,7 +202,7 @@ impl<K: Copy + Eq + Hash + Send> ReplacementPolicy<K> for LirsPolicy<K> {
     fn choose_victim(&mut self, is_evictable: &mut dyn FnMut(&K) -> bool) -> Option<K> {
         // Evict from the HIR queue front; leave a ghost in the stack if the
         // block is still on it.
-        if let Some(pos) = self.queue.iter().position(|k| is_evictable(k)) {
+        if let Some(pos) = self.queue.iter().position(&mut *is_evictable) {
             let key = self.queue.remove(pos).unwrap();
             if self.stack.iter().any(|k| *k == key) {
                 self.state.insert(key, State::HirGhost);

@@ -86,6 +86,38 @@ impl PolicyKind {
         }
     }
 
+    /// Stable small numeric code, used for telemetry eviction attribution
+    /// (the `arg` of `cache_evict` events). Never reuse or renumber.
+    pub fn code(&self) -> u8 {
+        match self {
+            PolicyKind::Fifo => 0,
+            PolicyKind::Lru => 1,
+            PolicyKind::Clock => 2,
+            PolicyKind::Lfu => 3,
+            PolicyKind::Arc => 4,
+            PolicyKind::TwoQ => 5,
+            PolicyKind::Mru => 6,
+            PolicyKind::Lirs => 7,
+            PolicyKind::Slru => 8,
+        }
+    }
+
+    /// Inverse of [`PolicyKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<PolicyKind> {
+        match code {
+            0 => Some(PolicyKind::Fifo),
+            1 => Some(PolicyKind::Lru),
+            2 => Some(PolicyKind::Clock),
+            3 => Some(PolicyKind::Lfu),
+            4 => Some(PolicyKind::Arc),
+            5 => Some(PolicyKind::TwoQ),
+            6 => Some(PolicyKind::Mru),
+            7 => Some(PolicyKind::Lirs),
+            8 => Some(PolicyKind::Slru),
+            _ => None,
+        }
+    }
+
     /// Report label.
     pub fn label(&self) -> &'static str {
         match self {
@@ -99,6 +131,39 @@ impl PolicyKind {
             PolicyKind::Lirs => "LIRS",
             PolicyKind::Slru => "SLRU",
         }
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            PolicyKind::Fifo,
+            PolicyKind::Lru,
+            PolicyKind::Clock,
+            PolicyKind::Lfu,
+            PolicyKind::Arc,
+            PolicyKind::TwoQ,
+            PolicyKind::Mru,
+            PolicyKind::Lirs,
+            PolicyKind::Slru,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in all {
+            assert!(seen.insert(k.code()), "duplicate code for {:?}", k);
+        }
+        // Locked-in values: telemetry traces persist across versions.
+        assert_eq!(PolicyKind::Fifo.code(), 0);
+        assert_eq!(PolicyKind::Lru.code(), 1);
+        assert_eq!(PolicyKind::Slru.code(), 8);
+        // from_code is the exact inverse.
+        for k in all {
+            assert_eq!(PolicyKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(PolicyKind::from_code(200), None);
     }
 }
 

@@ -115,12 +115,12 @@ impl<K: Copy + Eq + Hash + Send> ReplacementPolicy<K> for TwoQPolicy<K> {
                     index: &mut HashMap<K, Residence>,
                     f: &mut dyn FnMut(&K) -> bool|
          -> Option<K> {
-            let pos = queue.iter().position(|k| f(k))?;
+            let pos = queue.iter().position(&mut *f)?;
             let key = queue.remove(pos).unwrap();
             index.remove(&key);
             Some(key)
         };
-        let victim = if prefer_a1 {
+        if prefer_a1 {
             take(&mut self.a1in, &mut self.index, is_evictable)
                 .inspect(|&v| self.ghost_push(v))
                 .or_else(|| take(&mut self.am, &mut self.index, is_evictable))
@@ -128,8 +128,7 @@ impl<K: Copy + Eq + Hash + Send> ReplacementPolicy<K> for TwoQPolicy<K> {
             take(&mut self.am, &mut self.index, is_evictable).or_else(|| {
                 take(&mut self.a1in, &mut self.index, is_evictable).inspect(|&v| self.ghost_push(v))
             })
-        };
-        victim
+        }
     }
 
     fn on_remove(&mut self, key: &K) {

@@ -10,9 +10,15 @@
 //! resident blocks only — degraded now, recovered on a later frame when
 //! the in-flight reads land in the pool.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use viz_fetch::FetchEngine;
+use viz_telemetry::EventKind as Ev;
 use viz_volume::BlockKey;
+
+/// Monotone frame counter used as the telemetry span key — one sequence
+/// shared by every engine in the process so frames sort globally.
+static FRAME_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Outcome of fetching one frame's demand set under a budget.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +55,7 @@ impl FrameFetchReport {
 /// requested (zero wait) so their reads stay in flight, but the frame
 /// proceeds without them.
 pub fn fetch_frame(engine: &FetchEngine, keys: &[BlockKey], budget: Duration) -> FrameFetchReport {
+    let ft = viz_telemetry::start();
     let start = Instant::now();
     let mut loaded = 0usize;
     let mut missed = Vec::new();
@@ -58,6 +65,11 @@ pub fn fetch_frame(engine: &FetchEngine, keys: &[BlockKey], budget: Duration) ->
             Ok(_) => loaded += 1,
             Err(_) => missed.push(key),
         }
+    }
+    if viz_telemetry::enabled() {
+        let frame = FRAME_SEQ.fetch_add(1, Ordering::Relaxed);
+        let arg = ((missed.len() as u64) << 8) | u64::from(!missed.is_empty());
+        viz_telemetry::span(Ev::Frame, frame, arg, ft);
     }
     FrameFetchReport {
         requested: keys.len(),

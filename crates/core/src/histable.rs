@@ -47,6 +47,28 @@ impl BlockHistogramTable {
         BlockHistogramTable { histograms, range: (lo, hi), bins }
     }
 
+    /// Reassemble a table from its parts (the decode path of
+    /// [`crate::persist::decode_histogram_table`]). Every histogram must
+    /// share `range` and `bins`; errors otherwise.
+    pub fn from_parts(
+        histograms: Vec<Histogram>,
+        range: (f32, f32),
+        bins: usize,
+    ) -> Result<Self, String> {
+        if bins == 0 {
+            return Err("need at least one bin".into());
+        }
+        for (i, h) in histograms.iter().enumerate() {
+            if h.counts.len() != bins {
+                return Err(format!("block {i}: {} bins, expected {bins}", h.counts.len()));
+            }
+            if (h.lo, h.hi) != range {
+                return Err(format!("block {i}: range mismatch"));
+            }
+        }
+        Ok(BlockHistogramTable { histograms, range, bins })
+    }
+
     /// Number of blocks covered.
     pub fn len(&self) -> usize {
         self.histograms.len()
@@ -183,7 +205,26 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn binary_roundtrip() {
+        let (_, _, table) = setup();
+        let buf = crate::persist::encode_histogram_table(&table);
+        let back = crate::persist::decode_histogram_table(&buf).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_histograms() {
+        let (_, _, table) = setup();
+        let mut odd = vec![table.histogram(BlockId(0)).clone()];
+        odd.push(viz_volume::Histogram::new(0.0, 1.0, 7)); // wrong bin count
+        assert!(BlockHistogramTable::from_parts(odd, table.range, table.bins).is_err());
+        assert!(BlockHistogramTable::from_parts(Vec::new(), (0.0, 1.0), 0).is_err());
+    }
+
+    /// JSON snapshot of the same table (skipped by the offline harness,
+    /// which has no real serde_json).
+    #[test]
+    fn json_serde_roundtrip() {
         let (_, _, table) = setup();
         let json = serde_json::to_string(&table).unwrap();
         let back: BlockHistogramTable = serde_json::from_str(&json).unwrap();

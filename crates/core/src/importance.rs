@@ -286,7 +286,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn binary_roundtrip() {
+        let t = table();
+        let buf = crate::persist::encode_importance_table(&t);
+        let back = crate::persist::decode_importance_table(&buf).unwrap();
+        assert_eq!(t, back);
+    }
+
+    /// JSON snapshot (skipped by the offline harness, which has no real
+    /// serde_json).
+    #[test]
+    fn json_serde_roundtrip() {
         let t = table();
         let json = serde_json::to_string(&t).unwrap();
         let back: ImportanceTable = serde_json::from_str(&json).unwrap();

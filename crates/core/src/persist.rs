@@ -6,21 +6,29 @@
 //! provided: a compact framed binary (fast, for the tables themselves) and
 //! JSON (for configs and reports, human-inspectable).
 
+use crate::histable::BlockHistogramTable;
 use crate::importance::ImportanceTable;
-use crate::sampling::VisibleTable;
+use crate::radius::RadiusModel;
+use crate::sampling::{RadiusRule, SamplingConfig, VisibleTable};
 use bytes::{Buf, BufMut};
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
+use viz_volume::Histogram;
 
 const VIS_MAGIC: &[u8; 4] = b"TVIS";
 const IMP_MAGIC: &[u8; 4] = b"TIMP";
+const THB_MAGIC: &[u8; 4] = b"THBT";
 /// Current `T_visible` frame version: CSR payload, LEB128 varint
 /// delta-encoded per entry, with a CRC-32 of the body right after the
 /// version field so bit-rot on disk is rejected at load instead of
-/// skewing predictions. Versions 1 (fixed u32 runs) and 2 (varint, no
-/// checksum) are still decoded.
-const VIS_VERSION: u16 = 3;
+/// skewing predictions, and a self-describing *binary* header (version 4)
+/// so encode/decode has no JSON dependency. Versions 1 (fixed u32 runs,
+/// JSON header), 2 (varint, JSON header, no checksum) and 3 (varint, JSON
+/// header, checksum) are still decoded.
+const VIS_VERSION: u16 = 4;
+/// Current per-block histogram-table frame version.
+const THB_VERSION: u16 = 1;
 /// Current `T_important` frame version: entropies + CRC-32 of the body.
 /// The seed's unchecksummed version 1 is still decoded.
 const IMP_VERSION: u16 = 2;
@@ -30,7 +38,7 @@ fn err(m: impl Into<String>) -> io::Error {
 }
 
 /// Append `v` as an LEB128 varint (1–5 bytes).
-fn put_varint_u32(buf: &mut Vec<u8>, mut v: u32) {
+pub(crate) fn put_varint_u32(buf: &mut Vec<u8>, mut v: u32) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -43,7 +51,7 @@ fn put_varint_u32(buf: &mut Vec<u8>, mut v: u32) {
 }
 
 /// Read one LEB128 varint from the front of `buf`.
-fn get_varint_u32(buf: &mut &[u8]) -> io::Result<u32> {
+pub(crate) fn get_varint_u32(buf: &mut &[u8]) -> io::Result<u32> {
     let mut v: u32 = 0;
     for shift in [0u32, 7, 14, 21, 28] {
         if !buf.has_remaining() {
@@ -62,13 +70,82 @@ fn get_varint_u32(buf: &mut &[u8]) -> io::Result<u32> {
     Err(err("varint longer than 5 bytes"))
 }
 
-/// Serialize a `T_visible` table: a small JSON header (config + radius
-/// rule, via serde) followed by the CSR payload — per entry a varint
-/// length, then the first block id and successive (wrapping) deltas as
-/// varints. Entries are sorted ascending, so deltas are small and most ids
-/// persist in 1–2 bytes instead of the 4 of the version-1 format.
+/// Serialize the `T_visible` header (sampling config + radius rule) in
+/// the self-describing binary layout of frame version 4: fixed-width
+/// little-endian fields plus a one-byte radius-rule tag. No JSON involved,
+/// so tables encode/decode in environments without `serde_json`.
+fn encode_sampling_header(config: &SamplingConfig, rule: &RadiusRule) -> Vec<u8> {
+    let mut h = Vec::with_capacity(64);
+    h.put_u32_le(config.n_theta as u32);
+    h.put_u32_le(config.n_phi as u32);
+    h.put_u32_le(config.n_dist as u32);
+    h.put_u32_le(config.vicinal_points as u32);
+    h.put_f64_le(config.d_min);
+    h.put_f64_le(config.d_max);
+    h.put_f64_le(config.view_angle);
+    h.put_u64_le(config.seed);
+    match rule {
+        RadiusRule::Fixed(r) => {
+            h.put_u8(0);
+            h.put_f64_le(*r);
+        }
+        RadiusRule::Optimal(m) => {
+            h.put_u8(1);
+            h.put_f64_le(m.cache_ratio);
+            h.put_f64_le(m.view_angle);
+            h.put_f64_le(m.min_radius);
+        }
+    }
+    h
+}
+
+/// Parse a header produced by [`encode_sampling_header`].
+fn decode_sampling_header(mut buf: &[u8]) -> io::Result<(SamplingConfig, RadiusRule)> {
+    if buf.remaining() < 4 * 4 + 8 * 4 + 1 {
+        return Err(err("truncated T_visible binary header"));
+    }
+    let config = SamplingConfig {
+        n_theta: buf.get_u32_le() as usize,
+        n_phi: buf.get_u32_le() as usize,
+        n_dist: buf.get_u32_le() as usize,
+        vicinal_points: buf.get_u32_le() as usize,
+        d_min: buf.get_f64_le(),
+        d_max: buf.get_f64_le(),
+        view_angle: buf.get_f64_le(),
+        seed: buf.get_u64_le(),
+    };
+    let rule = match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 8 {
+                return Err(err("truncated fixed-radius rule"));
+            }
+            RadiusRule::Fixed(buf.get_f64_le())
+        }
+        1 => {
+            if buf.remaining() < 24 {
+                return Err(err("truncated radius model"));
+            }
+            RadiusRule::Optimal(RadiusModel {
+                cache_ratio: buf.get_f64_le(),
+                view_angle: buf.get_f64_le(),
+                min_radius: buf.get_f64_le(),
+            })
+        }
+        t => return Err(err(format!("unknown radius-rule tag {t}"))),
+    };
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after T_visible binary header"));
+    }
+    Ok((config, rule))
+}
+
+/// Serialize a `T_visible` table: a small binary header (config + radius
+/// rule) followed by the CSR payload — per entry a varint length, then the
+/// first block id and successive (wrapping) deltas as varints. Entries are
+/// sorted ascending, so deltas are small and most ids persist in 1–2 bytes
+/// instead of the 4 of the version-1 format.
 pub fn encode_visible_table(t: &VisibleTable) -> io::Result<Vec<u8>> {
-    let header = serde_json::to_vec(&(&t.config, &t.radius_rule)).map_err(io::Error::other)?;
+    let header = encode_sampling_header(&t.config, &t.radius_rule);
     let mut buf = Vec::with_capacity(header.len() + t.approx_bytes() / 2 + 64);
     buf.put_slice(VIS_MAGIC);
     buf.put_u16_le(VIS_VERSION);
@@ -93,7 +170,8 @@ pub fn encode_visible_table(t: &VisibleTable) -> io::Result<Vec<u8>> {
 }
 
 /// Parse a buffer produced by [`encode_visible_table`] — the current
-/// varint-delta version 2 or the seed's fixed-width version 1.
+/// binary-header version 4 or any of the earlier JSON-header layouts
+/// (versions 1–3).
 pub fn decode_visible_table(mut buf: &[u8]) -> io::Result<VisibleTable> {
     if buf.remaining() < 10 {
         return Err(err("T_visible frame too short"));
@@ -126,8 +204,12 @@ pub fn decode_visible_table(mut buf: &[u8]) -> io::Result<VisibleTable> {
     if buf.remaining() < hlen {
         return Err(err("truncated T_visible header"));
     }
-    let (config, radius_rule) =
-        serde_json::from_slice(&buf[..hlen]).map_err(|e| err(format!("bad header: {e}")))?;
+    let (config, radius_rule) = if version >= 4 {
+        decode_sampling_header(&buf[..hlen])?
+    } else {
+        // Versions 1–3 carried the header as JSON.
+        serde_json::from_slice(&buf[..hlen]).map_err(|e| err(format!("bad header: {e}")))?
+    };
     buf.advance(hlen);
     if buf.remaining() < 4 {
         return Err(err("missing entry count"));
@@ -227,6 +309,79 @@ pub fn decode_importance_table(mut buf: &[u8]) -> io::Result<ImportanceTable> {
         by_block.push(buf.get_f64_le());
     }
     Ok(ImportanceTable::from_entropies(by_block, bins))
+}
+
+/// Serialize a per-block histogram table: shared range + bin count, then
+/// per block the varint bin counts (most bins are empty or small, so
+/// varints beat fixed u64s by a wide margin). Checksummed like the other
+/// table frames.
+pub fn encode_histogram_table(t: &BlockHistogramTable) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(22 + t.len() * t.bins);
+    buf.put_slice(THB_MAGIC);
+    buf.put_u16_le(THB_VERSION);
+    let crc_at = buf.len();
+    buf.put_u32_le(0); // crc placeholder, patched below
+    buf.put_f32_le(t.range.0);
+    buf.put_f32_le(t.range.1);
+    buf.put_u32_le(t.bins as u32);
+    buf.put_u32_le(t.len() as u32);
+    for i in 0..t.len() {
+        let h = t.histogram(viz_volume::BlockId(i as u32));
+        for &c in &h.counts {
+            // A bin count is bounded by one block's voxel count, far below
+            // 2^32; assert rather than silently truncate if that changes.
+            assert!(c <= u64::from(u32::MAX), "bin count {c} overflows u32 varint");
+            put_varint_u32(&mut buf, c as u32);
+        }
+    }
+    let crc = viz_volume::crc32(&buf[crc_at + 4..]);
+    buf[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Parse a buffer produced by [`encode_histogram_table`].
+pub fn decode_histogram_table(mut buf: &[u8]) -> io::Result<BlockHistogramTable> {
+    if buf.remaining() < 26 {
+        return Err(err("histogram-table frame too short"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != THB_MAGIC {
+        return Err(err("bad histogram-table magic"));
+    }
+    let version = buf.get_u16_le();
+    if version != THB_VERSION {
+        return Err(err("unsupported histogram-table version"));
+    }
+    let want = buf.get_u32_le();
+    let got = viz_volume::crc32(buf);
+    if got != want {
+        return Err(err(format!(
+            "histogram-table checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+        )));
+    }
+    let lo = buf.get_f32_le();
+    let hi = buf.get_f32_le();
+    let bins = buf.get_u32_le() as usize;
+    let n = buf.get_u32_le() as usize;
+    if bins == 0 {
+        return Err(err("histogram-table with zero bins"));
+    }
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut h = Histogram::new(lo, hi, bins);
+        let mut total = 0u64;
+        for c in h.counts.iter_mut() {
+            *c = u64::from(get_varint_u32(&mut buf)?);
+            total += *c;
+        }
+        h.total = total;
+        histograms.push(h);
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after histogram payload"));
+    }
+    BlockHistogramTable::from_parts(histograms, (lo, hi), bins).map_err(err)
 }
 
 /// Write both tables next to each other under `dir`
@@ -382,10 +537,11 @@ mod tests {
         assert!(get_varint_u32(&mut s).is_err());
     }
 
-    /// A frame in the seed's version-1 layout (fixed u32 lengths and ids)
-    /// must still decode to the same table.
+    /// A frame in the seed's version-1 layout (fixed u32 lengths and ids,
+    /// JSON header) must still decode to the same table. Named `json`: the
+    /// offline harness skips it (no real serde_json there).
     #[test]
-    fn decodes_version_1_frames() {
+    fn decodes_version_1_json_header_frames() {
         let (tv, _) = sample_tables();
         let header = serde_json::to_vec(&(&tv.config, &tv.radius_rule)).unwrap();
         let mut buf = Vec::new();
@@ -407,19 +563,26 @@ mod tests {
     }
 
     #[test]
-    fn version_2_is_smaller_than_version_1() {
+    fn varint_payload_is_smaller_than_fixed_width() {
         let (tv, _) = sample_tables();
-        let v2 = encode_visible_table(&tv).unwrap();
-        // Version-1 payload cost: 4 bytes per id plus 4 per entry length.
-        let header = serde_json::to_vec(&(&tv.config, &tv.radius_rule)).unwrap();
-        let v1_len = 10 + header.len() + 4 + tv.len() * 4 + tv.csr_ids().len() * 4;
-        assert!(v2.len() < v1_len, "v2 {} bytes >= v1 {} bytes", v2.len(), v1_len);
+        let v4 = encode_visible_table(&tv).unwrap();
+        // Strip the fixed prefix (magic + version + crc + hlen + header +
+        // count) to isolate the varint-delta payload, then compare with
+        // the version-1 fixed-width cost of the same CSR data.
+        let hlen = u32::from_le_bytes(v4[10..14].try_into().unwrap()) as usize;
+        let varint_payload = v4.len() - (14 + hlen + 4);
+        let fixed_payload = tv.len() * 4 + tv.csr_ids().len() * 4;
+        assert!(
+            varint_payload < fixed_payload,
+            "varint {varint_payload} bytes >= fixed {fixed_payload} bytes"
+        );
     }
 
-    /// A frame in the version-2 layout (varints, no checksum) must still
-    /// decode — pre-checksum tables on disk stay loadable.
+    /// A frame in the version-2 layout (varints, JSON header, no checksum)
+    /// must still decode — pre-checksum tables on disk stay loadable.
+    /// Named `json`: the offline harness skips it.
     #[test]
-    fn decodes_version_2_frames_without_checksum() {
+    fn decodes_version_2_json_header_frames() {
         let (tv, _) = sample_tables();
         let header = serde_json::to_vec(&(&tv.config, &tv.radius_rule)).unwrap();
         let mut buf = Vec::new();
@@ -440,6 +603,97 @@ mod tests {
         let back = decode_visible_table(&buf).unwrap();
         assert_eq!(back.csr_offsets(), tv.csr_offsets());
         assert_eq!(back.csr_ids(), tv.csr_ids());
+    }
+
+    /// A frame in the version-3 layout (varints + checksum, JSON header)
+    /// must still decode. Named `json`: the offline harness skips it.
+    #[test]
+    fn decodes_version_3_json_header_frames() {
+        let (tv, _) = sample_tables();
+        let header = serde_json::to_vec(&(&tv.config, &tv.radius_rule)).unwrap();
+        let mut buf = Vec::new();
+        buf.put_slice(VIS_MAGIC);
+        buf.put_u16_le(3);
+        let crc_at = buf.len();
+        buf.put_u32_le(0);
+        buf.put_u32_le(header.len() as u32);
+        buf.put_slice(&header);
+        buf.put_u32_le(tv.len() as u32);
+        for i in 0..tv.len() {
+            let entry = tv.entry(i);
+            put_varint_u32(&mut buf, entry.len() as u32);
+            let mut prev = 0u32;
+            for (j, b) in entry.iter().enumerate() {
+                put_varint_u32(&mut buf, if j == 0 { b.0 } else { b.0.wrapping_sub(prev) });
+                prev = b.0;
+            }
+        }
+        let crc = viz_volume::crc32(&buf[crc_at + 4..]);
+        buf[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+        let back = decode_visible_table(&buf).unwrap();
+        assert_eq!(back.csr_offsets(), tv.csr_offsets());
+        assert_eq!(back.csr_ids(), tv.csr_ids());
+    }
+
+    #[test]
+    fn fixed_radius_rule_survives_binary_header() {
+        let layout = BrickLayout::new(Dims3::cube(32), Dims3::cube(8));
+        let cfg = SamplingConfig {
+            n_theta: 3,
+            n_phi: 6,
+            n_dist: 2,
+            d_min: 2.0,
+            d_max: 3.0,
+            vicinal_points: 2,
+            view_angle: deg_to_rad(25.0),
+            seed: 9,
+        };
+        let tv = VisibleTable::build(cfg, &layout, RadiusRule::Fixed(0.075), None);
+        let back = decode_visible_table(&encode_visible_table(&tv).unwrap()).unwrap();
+        assert_eq!(back.config, tv.config);
+        assert_eq!(back.radius_rule, tv.radius_rule);
+    }
+
+    #[test]
+    fn histogram_table_binary_roundtrip() {
+        use viz_volume::{DatasetKind, DatasetSpec};
+        let spec = DatasetSpec::new(DatasetKind::Ball3d, 8, 5); // 32³
+        let field = spec.materialize(0, 0.0);
+        let layout = BrickLayout::new(field.dims, Dims3::cube(8));
+        let table = BlockHistogramTable::from_field(&layout, &field, 32);
+        let buf = encode_histogram_table(&table);
+        let back = decode_histogram_table(&buf).unwrap();
+        assert_eq!(back, table);
+        // Varints keep the frame well under the fixed-u64 cost.
+        assert!(buf.len() < 22 + table.len() * table.bins * 8);
+    }
+
+    #[test]
+    fn histogram_table_corruption_rejected() {
+        use viz_volume::{DatasetKind, DatasetSpec};
+        let spec = DatasetSpec::new(DatasetKind::Ball3d, 8, 5);
+        let field = spec.materialize(0, 0.0);
+        let layout = BrickLayout::new(field.dims, Dims3::cube(8));
+        let table = BlockHistogramTable::from_field(&layout, &field, 16);
+        let buf = encode_histogram_table(&table);
+        // Magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(decode_histogram_table(&bad).is_err());
+        // Bit rot in the payload trips the checksum.
+        let mut rotted = buf.clone();
+        let at = buf.len() - 2;
+        rotted[at] ^= 0x04;
+        let e = decode_histogram_table(&rotted).unwrap_err();
+        assert!(e.to_string().contains("checksum"), "got: {e}");
+        // Truncation at every depth class.
+        for cut in [3usize, 9, 20, buf.len() / 2, buf.len() - 1] {
+            assert!(decode_histogram_table(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.extend_from_slice(&[1, 2, 3]);
+        assert!(decode_histogram_table(&long).is_err());
     }
 
     #[test]

@@ -5,10 +5,76 @@
 //! it; [`compare`] diffs two entries metric-by-metric with a tolerance so
 //! CI (or a human) can spot regressions without eyeballing logs.
 
-use crate::session::{SessionConfig, SessionReport, Strategy};
+use crate::adaptive::AdaptiveSigma;
+use crate::session::{
+    AppAwareConfig, PredictorKind, RenderModel, SessionConfig, SessionReport, StepMetrics, Strategy,
+};
+use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
+use viz_cache::{PolicyKind, TierCost};
+
+const JRN_MAGIC: &[u8; 4] = b"VJRN";
+const JRN_VERSION: u16 = 1;
+
+fn jerr(m: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, m.into())
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> io::Result<String> {
+    if buf.remaining() < 4 {
+        return Err(jerr("truncated string length"));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(jerr("truncated string payload"));
+    }
+    let s = std::str::from_utf8(&buf[..n]).map_err(|e| jerr(format!("bad utf8: {e}")))?.to_string();
+    buf.advance(n);
+    Ok(s)
+}
+
+fn get_f64(buf: &mut &[u8]) -> io::Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(jerr("truncated f64"));
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> io::Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(jerr("truncated u64"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_u32(buf: &mut &[u8]) -> io::Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(jerr("truncated u32"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u8(buf: &mut &[u8]) -> io::Result<u8> {
+    if !buf.has_remaining() {
+        return Err(jerr("truncated u8"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_bool(buf: &mut &[u8]) -> io::Result<bool> {
+    match get_u8(buf)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(jerr(format!("bad bool byte {b}"))),
+    }
+}
 
 /// A frozen experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +103,218 @@ impl JournalEntry {
             strategy: strategy.clone(),
             report,
         }
+    }
+
+    /// Serialize to the framed binary journal format (magic `VJRN`,
+    /// version, CRC-32 of the body). Unlike [`JournalEntry::save`]'s JSON,
+    /// this round-trips bit-exactly (floats are stored as raw IEEE bits)
+    /// and has no JSON dependency.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256 + self.report.per_step.len() * 64);
+        buf.put_slice(JRN_MAGIC);
+        buf.put_u16_le(JRN_VERSION);
+        let crc_at = buf.len();
+        buf.put_u32_le(0); // crc placeholder, patched below
+        put_str(&mut buf, &self.label);
+        // SessionConfig.
+        let c = &self.config;
+        buf.put_f64_le(c.cache_ratio);
+        buf.put_u64_le(c.block_bytes as u64);
+        buf.put_f64_le(c.render.base_s);
+        buf.put_f64_le(c.render.per_block_s);
+        buf.put_f64_le(c.lookup_s_per_entry);
+        for t in &c.tier_costs {
+            buf.put_f64_le(t.latency_s);
+            buf.put_f64_le(t.bandwidth_bps);
+        }
+        match c.frame_deadline_s {
+            Some(d) => {
+                buf.put_u8(1);
+                buf.put_f64_le(d);
+            }
+            None => buf.put_u8(0),
+        }
+        // Strategy.
+        match &self.strategy {
+            Strategy::Baseline(k) => {
+                buf.put_u8(0);
+                buf.put_u8(k.code());
+            }
+            Strategy::AppAware(a) => {
+                buf.put_u8(1);
+                buf.put_f64_le(a.sigma);
+                buf.put_u8(u8::from(a.preload));
+                buf.put_u8(u8::from(a.prefetch));
+                buf.put_u8(u8::from(a.overlap));
+                match &a.adaptive {
+                    Some(ad) => {
+                        buf.put_u8(1);
+                        buf.put_f64_le(ad.gain);
+                        buf.put_f64_le(ad.min_sigma);
+                        buf.put_f64_le(ad.max_sigma);
+                        buf.put_f64_le(ad.target_ratio);
+                    }
+                    None => buf.put_u8(0),
+                }
+                buf.put_u8(match a.predictor {
+                    PredictorKind::Table => 0,
+                    PredictorKind::DeadReckoning => 1,
+                });
+            }
+        }
+        // SessionReport.
+        let r = &self.report;
+        put_str(&mut buf, &r.strategy);
+        buf.put_u64_le(r.steps as u64);
+        buf.put_u64_le(r.accesses);
+        buf.put_u64_le(r.misses);
+        buf.put_f64_le(r.miss_rate);
+        buf.put_f64_le(r.io_s);
+        buf.put_f64_le(r.render_s);
+        buf.put_f64_le(r.prefetch_s);
+        buf.put_f64_le(r.lookup_s);
+        buf.put_f64_le(r.total_s);
+        buf.put_u64_le(r.degraded_steps as u64);
+        buf.put_u32_le(r.per_step.len() as u32);
+        for s in &r.per_step {
+            buf.put_u32_le(s.visible as u32);
+            buf.put_u32_le(s.misses as u32);
+            buf.put_f64_le(s.io_s);
+            buf.put_f64_le(s.render_s);
+            buf.put_f64_le(s.prefetch_s);
+            buf.put_f64_le(s.lookup_s);
+            buf.put_f64_le(s.total_s);
+            buf.put_u32_le(s.skipped as u32);
+            buf.put_u8(u8::from(s.degraded));
+        }
+        let crc = viz_volume::crc32(&buf[crc_at + 4..]);
+        buf[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parse a buffer produced by [`JournalEntry::to_bytes`].
+    pub fn from_bytes(mut buf: &[u8]) -> io::Result<JournalEntry> {
+        if buf.remaining() < 10 {
+            return Err(jerr("journal frame too short"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != JRN_MAGIC {
+            return Err(jerr("bad journal magic"));
+        }
+        let version = buf.get_u16_le();
+        if version != JRN_VERSION {
+            return Err(jerr("unsupported journal version"));
+        }
+        let want = buf.get_u32_le();
+        let got = viz_volume::crc32(buf);
+        if got != want {
+            return Err(jerr(format!(
+                "journal checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+            )));
+        }
+        let label = get_str(&mut buf)?;
+        let cache_ratio = get_f64(&mut buf)?;
+        let block_bytes = get_u64(&mut buf)? as usize;
+        let render = RenderModel { base_s: get_f64(&mut buf)?, per_block_s: get_f64(&mut buf)? };
+        let lookup_s_per_entry = get_f64(&mut buf)?;
+        let mut tier_costs = [TierCost { latency_s: 0.0, bandwidth_bps: 1.0 }; 3];
+        for t in &mut tier_costs {
+            t.latency_s = get_f64(&mut buf)?;
+            t.bandwidth_bps = get_f64(&mut buf)?;
+        }
+        let frame_deadline_s = if get_bool(&mut buf)? { Some(get_f64(&mut buf)?) } else { None };
+        let config = SessionConfig {
+            cache_ratio,
+            block_bytes,
+            render,
+            lookup_s_per_entry,
+            tier_costs,
+            frame_deadline_s,
+        };
+        let strategy = match get_u8(&mut buf)? {
+            0 => {
+                let code = get_u8(&mut buf)?;
+                Strategy::Baseline(
+                    PolicyKind::from_code(code)
+                        .ok_or_else(|| jerr(format!("unknown policy code {code}")))?,
+                )
+            }
+            1 => {
+                let sigma = get_f64(&mut buf)?;
+                let preload = get_bool(&mut buf)?;
+                let prefetch = get_bool(&mut buf)?;
+                let overlap = get_bool(&mut buf)?;
+                let adaptive = if get_bool(&mut buf)? {
+                    Some(AdaptiveSigma {
+                        gain: get_f64(&mut buf)?,
+                        min_sigma: get_f64(&mut buf)?,
+                        max_sigma: get_f64(&mut buf)?,
+                        target_ratio: get_f64(&mut buf)?,
+                    })
+                } else {
+                    None
+                };
+                let predictor = match get_u8(&mut buf)? {
+                    0 => PredictorKind::Table,
+                    1 => PredictorKind::DeadReckoning,
+                    t => return Err(jerr(format!("unknown predictor tag {t}"))),
+                };
+                Strategy::AppAware(AppAwareConfig {
+                    sigma,
+                    preload,
+                    prefetch,
+                    overlap,
+                    adaptive,
+                    predictor,
+                })
+            }
+            t => return Err(jerr(format!("unknown strategy tag {t}"))),
+        };
+        let strategy_label = get_str(&mut buf)?;
+        let steps = get_u64(&mut buf)? as usize;
+        let accesses = get_u64(&mut buf)?;
+        let misses = get_u64(&mut buf)?;
+        let miss_rate = get_f64(&mut buf)?;
+        let io_s = get_f64(&mut buf)?;
+        let render_s = get_f64(&mut buf)?;
+        let prefetch_s = get_f64(&mut buf)?;
+        let lookup_s = get_f64(&mut buf)?;
+        let total_s = get_f64(&mut buf)?;
+        let degraded_steps = get_u64(&mut buf)? as usize;
+        let n = get_u32(&mut buf)? as usize;
+        let mut per_step = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_step.push(StepMetrics {
+                visible: get_u32(&mut buf)? as usize,
+                misses: get_u32(&mut buf)? as usize,
+                io_s: get_f64(&mut buf)?,
+                render_s: get_f64(&mut buf)?,
+                prefetch_s: get_f64(&mut buf)?,
+                lookup_s: get_f64(&mut buf)?,
+                total_s: get_f64(&mut buf)?,
+                skipped: get_u32(&mut buf)? as usize,
+                degraded: get_bool(&mut buf)?,
+            });
+        }
+        if buf.has_remaining() {
+            return Err(jerr("trailing bytes after journal payload"));
+        }
+        let report = SessionReport {
+            strategy: strategy_label,
+            steps,
+            accesses,
+            misses,
+            miss_rate,
+            io_s,
+            render_s,
+            prefetch_s,
+            lookup_s,
+            total_s,
+            degraded_steps,
+            per_step,
+        };
+        Ok(JournalEntry { label, config, strategy, report })
     }
 
     /// Write as pretty JSON.
@@ -82,11 +360,14 @@ impl Comparison {
     }
 }
 
+/// Headline-metric accessor used by [`compare`]'s metric table.
+type MetricFn = fn(&SessionReport) -> f64;
+
 /// Compare `candidate` against `baseline` with a relative tolerance
 /// (e.g. 0.05 = 5%). Lower is better for every headline metric.
 pub fn compare(baseline: &JournalEntry, candidate: &JournalEntry, tolerance: f64) -> Comparison {
     assert!(tolerance >= 0.0, "tolerance must be non-negative");
-    let metrics: [(&str, fn(&SessionReport) -> f64); 5] = [
+    let metrics: [(&str, MetricFn); 5] = [
         ("miss_rate", |r| r.miss_rate),
         ("io_s", |r| r.io_s),
         ("prefetch_s", |r| r.prefetch_s),
@@ -127,8 +408,10 @@ mod tests {
         JournalEntry::new(&format!("test/{deg}deg"), &cfg, &strategy, report)
     }
 
+    /// JSON file roundtrip (skipped by the offline harness, which has no
+    /// real serde_json).
     #[test]
-    fn save_load_roundtrip() {
+    fn json_save_load_roundtrip() {
         let dir = std::env::temp_dir().join(format!("viz_journal_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let entry = run_once(5.0);
@@ -137,6 +420,64 @@ mod tests {
         let back = JournalEntry::load(&path).unwrap();
         assert_eq!(back, entry);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_exact() {
+        let entry = run_once(5.0);
+        let back = JournalEntry::from_bytes(&entry.to_bytes()).unwrap();
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn binary_roundtrip_covers_appaware_strategy() {
+        use crate::adaptive::AdaptiveSigma;
+        use crate::session::{AppAwareConfig, PredictorKind, Strategy};
+        let mut entry = run_once(5.0);
+        entry.strategy = Strategy::AppAware(AppAwareConfig {
+            sigma: 1.5,
+            preload: true,
+            prefetch: true,
+            overlap: false,
+            adaptive: Some(AdaptiveSigma {
+                gain: 0.25,
+                min_sigma: 0.0,
+                max_sigma: 6.0,
+                target_ratio: 0.9,
+            }),
+            predictor: PredictorKind::DeadReckoning,
+        });
+        entry.config.frame_deadline_s = Some(0.02);
+        let back = JournalEntry::from_bytes(&entry.to_bytes()).unwrap();
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn binary_corruption_rejected() {
+        let entry = run_once(5.0);
+        let buf = entry.to_bytes();
+        // Magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(JournalEntry::from_bytes(&bad).is_err());
+        // Version.
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(JournalEntry::from_bytes(&bad).is_err());
+        // Bit rot anywhere in the body trips the checksum.
+        let mut rotted = buf.clone();
+        let at = buf.len() / 2;
+        rotted[at] ^= 0x40;
+        let e = JournalEntry::from_bytes(&rotted).unwrap_err();
+        assert!(e.to_string().contains("checksum"), "got: {e}");
+        // Truncation.
+        for cut in [2usize, 9, 40, buf.len() - 1] {
+            assert!(JournalEntry::from_bytes(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+        // Trailing garbage.
+        let mut long = buf;
+        long.push(0);
+        assert!(JournalEntry::from_bytes(&long).is_err());
     }
 
     #[test]

@@ -213,7 +213,7 @@ impl VisibleTable {
                 );
                 let mut visible = vec![false; num_blocks];
                 let mut scratch: Vec<u32> = Vec::new();
-                let mut mark = |v_prime: Vec3, visible: &mut [bool], scratch: &mut Vec<u32>| {
+                let mark = |v_prime: Vec3, visible: &mut [bool], scratch: &mut Vec<u32>| {
                     let cone = cone_at(v_prime, config.view_angle);
                     match (bvh, &bounds) {
                         (Some(bvh), _) => {
@@ -622,7 +622,20 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn binary_roundtrip() {
+        let t = VisibleTable::build(small_config(), &layout(), RadiusRule::Fixed(0.1), None);
+        let buf = crate::persist::encode_visible_table(&t).unwrap();
+        let back = crate::persist::decode_visible_table(&buf).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.entry(7), t.entry(7));
+        assert_eq!(back.config, t.config);
+        assert_eq!(back.radius_rule, t.radius_rule);
+    }
+
+    /// JSON snapshot (skipped by the offline harness, which has no real
+    /// serde_json).
+    #[test]
+    fn json_serde_roundtrip() {
         let t = VisibleTable::build(small_config(), &layout(), RadiusRule::Fixed(0.1), None);
         let json = serde_json::to_string(&t).unwrap();
         let back: VisibleTable = serde_json::from_str(&json).unwrap();

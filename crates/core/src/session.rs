@@ -23,6 +23,7 @@ use crate::sampling::{visible_blocks, VisibleTable};
 use serde::{Deserialize, Serialize};
 use viz_cache::{AccessClass, Hierarchy, PolicyKind};
 use viz_geom::CameraPose;
+use viz_telemetry::EventKind as Ev;
 use viz_volume::{BlockId, BrickLayout};
 
 /// Analytic render-time model: `base + per_block × |visible|` seconds.
@@ -344,7 +345,8 @@ pub fn run_session_precomputed(
     let mut degraded_steps = 0usize;
     let mut prev_pose: Option<CameraPose> = None;
 
-    for (pose, visible) in poses.iter().zip(visible_sets) {
+    for (step_index, (pose, visible)) in poses.iter().zip(visible_sets).enumerate() {
+        let ft = viz_telemetry::start();
         // Pin the current working set in app-aware mode: Algorithm 1 only
         // evicts blocks whose last-use time predates the current step.
         if app.is_some() {
@@ -424,6 +426,12 @@ pub fn run_session_precomputed(
         lookup_total += step_lookup;
         wall_total += total_s;
         degraded_steps += usize::from(step_degraded);
+        viz_telemetry::span(
+            Ev::Frame,
+            step_index as u64,
+            ((step_skipped as u64) << 8) | u64::from(step_degraded),
+            ft,
+        );
         per_step.push(StepMetrics {
             visible: visible.len(),
             misses: step_misses,
@@ -520,6 +528,29 @@ mod tests {
         assert!((io_sum - r.io_s).abs() < 1e-9);
         let miss_sum: usize = r.per_step.iter().map(|s| s.misses).sum();
         assert_eq!(miss_sum as u64, r.misses);
+    }
+
+    #[test]
+    fn telemetry_emits_one_frame_span_per_step() {
+        // Other tests may run concurrently and also emit while the global
+        // gate is open, so assertions are >= and keyed by step index.
+        let l = layout();
+        viz_telemetry::set_enabled(true);
+        let r = run_session(
+            &SessionConfig::paper(0.5, 4096),
+            &l,
+            &Strategy::Baseline(PolicyKind::Lru),
+            &poses(10.0, 12),
+            None,
+        );
+        let trace = viz_telemetry::drain();
+        viz_telemetry::set_enabled(false);
+        assert_eq!(r.steps, 12);
+        let frames: Vec<_> = trace.events.iter().filter(|e| e.kind == Ev::Frame).collect();
+        assert!(frames.len() >= 12, "expected >=12 frame spans, got {}", frames.len());
+        for step in 0..12u64 {
+            assert!(frames.iter().any(|e| e.key == step), "no frame span for step {step}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cache-ratio choices of §V-A/Fig. 13 can be made from a trace alone.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::hash::Hash;
 
 /// Reuse-distance profile of a trace.
@@ -33,11 +33,14 @@ impl ReuseProfile {
     pub fn compute<K: Copy + Eq + Hash>(trace: &[K]) -> Self {
         // LRU stack: most recent at the end.
         let mut stack: Vec<K> = Vec::new();
-        let mut position: HashMap<K, ()> = HashMap::new();
+        let mut seen: HashSet<K> = HashSet::new();
         let mut counts: Vec<u64> = Vec::new();
         let mut cold = 0u64;
         for &k in trace {
-            if position.contains_key(&k) {
+            if seen.insert(k) {
+                cold += 1;
+                stack.push(k);
+            } else {
                 // Distance = number of distinct keys above k in the stack.
                 let idx = stack.iter().rposition(|&s| s == k).expect("stack desync");
                 let dist = stack.len() - 1 - idx;
@@ -46,10 +49,6 @@ impl ReuseProfile {
                 }
                 counts[dist] += 1;
                 stack.remove(idx);
-                stack.push(k);
-            } else {
-                cold += 1;
-                position.insert(k, ());
                 stack.push(k);
             }
         }

@@ -40,6 +40,7 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError}
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use viz_telemetry::{Counter, EventKind as Ev};
 use viz_volume::{BlockKey, BlockSource};
 
 /// Engine tuning knobs.
@@ -232,6 +233,9 @@ struct Pending {
     pri: f64,
     gen: u64,
     stamp: u64,
+    /// Enqueue time when telemetry was enabled at admission (closes the
+    /// `QueueWait` span at dispatch).
+    enq: Option<Instant>,
     waiters: Vec<Sender<FetchResult>>,
 }
 
@@ -245,51 +249,88 @@ struct State {
     shutdown: bool,
 }
 
+/// Engine counters: named [`viz_telemetry::Counter`]s so the same values
+/// feed [`FetchMetrics`] and Prometheus exposition without a mapping
+/// table.
 struct Counters {
-    demand_requests: AtomicU64,
-    prefetch_requests: AtomicU64,
-    coalesced: AtomicU64,
-    dropped: AtomicU64,
-    cancelled: AtomicU64,
-    completed: AtomicU64,
-    demand_completed: AtomicU64,
-    prefetch_completed: AtomicU64,
-    errors: AtomicU64,
-    retries: AtomicU64,
-    timeouts: AtomicU64,
-    deadline_misses: AtomicU64,
-    worker_panics: AtomicU64,
-    late_arrivals: AtomicU64,
-    lat_sum_ns: AtomicU64,
-    /// Starts at `u64::MAX` so `fetch_min` records the true minimum;
+    demand_requests: Counter,
+    prefetch_requests: Counter,
+    coalesced: Counter,
+    dropped: Counter,
+    cancelled: Counter,
+    completed: Counter,
+    demand_completed: Counter,
+    prefetch_completed: Counter,
+    errors: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    deadline_misses: Counter,
+    worker_panics: Counter,
+    late_arrivals: Counter,
+    breaker_rejected_admission: Counter,
+    breaker_rejected_dequeue: Counter,
+    lat_sum_ns: Counter,
+    /// Starts at `u64::MAX` so `min_of` records the true minimum;
     /// `lat_count == 0` means "no reads yet".
-    lat_min_ns: AtomicU64,
-    lat_max_ns: AtomicU64,
-    lat_count: AtomicU64,
+    lat_min_ns: Counter,
+    lat_max_ns: Counter,
+    lat_count: Counter,
 }
 
 impl Default for Counters {
     fn default() -> Self {
         Counters {
-            demand_requests: AtomicU64::new(0),
-            prefetch_requests: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            demand_completed: AtomicU64::new(0),
-            prefetch_completed: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            deadline_misses: AtomicU64::new(0),
-            worker_panics: AtomicU64::new(0),
-            late_arrivals: AtomicU64::new(0),
-            lat_sum_ns: AtomicU64::new(0),
-            lat_min_ns: AtomicU64::new(u64::MAX),
-            lat_max_ns: AtomicU64::new(0),
-            lat_count: AtomicU64::new(0),
+            demand_requests: Counter::new("demand_requests"),
+            prefetch_requests: Counter::new("prefetch_requests"),
+            coalesced: Counter::new("coalesced"),
+            dropped: Counter::new("dropped"),
+            cancelled: Counter::new("cancelled"),
+            completed: Counter::new("completed"),
+            demand_completed: Counter::new("demand_completed"),
+            prefetch_completed: Counter::new("prefetch_completed"),
+            errors: Counter::new("errors"),
+            retries: Counter::new("retries"),
+            timeouts: Counter::new("timeouts"),
+            deadline_misses: Counter::new("deadline_misses"),
+            worker_panics: Counter::new("worker_panics"),
+            late_arrivals: Counter::new("late_arrivals"),
+            breaker_rejected_admission: Counter::new("breaker_rejected_admission"),
+            breaker_rejected_dequeue: Counter::new("breaker_rejected_dequeue"),
+            lat_sum_ns: Counter::new("lat_sum_ns"),
+            lat_min_ns: Counter::with_initial("lat_min_ns", u64::MAX),
+            lat_max_ns: Counter::new("lat_max_ns"),
+            lat_count: Counter::new("lat_count"),
         }
+    }
+}
+
+impl Counters {
+    /// `(name, value)` pairs for every counter, in declaration order —
+    /// the `extra` input of [`viz_telemetry::Trace::prometheus_text`].
+    fn pairs(&self) -> Vec<(&'static str, u64)> {
+        let all = [
+            &self.demand_requests,
+            &self.prefetch_requests,
+            &self.coalesced,
+            &self.dropped,
+            &self.cancelled,
+            &self.completed,
+            &self.demand_completed,
+            &self.prefetch_completed,
+            &self.errors,
+            &self.retries,
+            &self.timeouts,
+            &self.deadline_misses,
+            &self.worker_panics,
+            &self.late_arrivals,
+            &self.breaker_rejected_admission,
+            &self.breaker_rejected_dequeue,
+            &self.lat_sum_ns,
+            &self.lat_min_ns,
+            &self.lat_max_ns,
+            &self.lat_count,
+        ];
+        all.iter().map(|c| (c.name(), c.get())).collect()
     }
 }
 
@@ -352,8 +393,14 @@ pub struct FetchMetrics {
     pub breaker_half_opens: u64,
     /// Open/half-open → closed recoveries.
     pub breaker_closes: u64,
-    /// Prefetches failed fast while the breaker was open.
+    /// Prefetches failed fast while the breaker was open (admission +
+    /// dequeue; `breaker_rejected_admission + breaker_rejected_dequeue`).
     pub breaker_rejected: u64,
+    /// Of `breaker_rejected`, how many were turned away at admission.
+    pub breaker_rejected_admission: u64,
+    /// Of `breaker_rejected`, how many were queued prefetches discarded
+    /// at dequeue after the breaker opened.
+    pub breaker_rejected_dequeue: u64,
     /// Requests currently queued (gauge).
     pub queue_depth: usize,
     /// Reads currently in flight (gauge).
@@ -432,30 +479,35 @@ impl FetchEngine {
     /// keys coalesce and return `true`.
     pub fn prefetch(&self, key: BlockKey, priority: f64) -> bool {
         let s = &*self.shared;
-        s.m.prefetch_requests.fetch_add(1, Ordering::Relaxed);
+        s.m.prefetch_requests.inc();
         if s.pool.contains(key) {
-            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            s.m.coalesced.inc();
+            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 0);
             return true;
         }
         let mut st = lock_state(s);
         if st.shutdown {
-            s.m.dropped.fetch_add(1, Ordering::Relaxed);
+            s.m.dropped.inc();
+            viz_telemetry::instant(Ev::FetchDrop, key_salt(key), 1);
             return false;
         }
         // Re-check under the lock: completions insert into the pool while
         // holding it, so the miss above may have landed just before we got
         // in — re-enqueueing would read the key a second time.
         if s.pool.contains(key) {
-            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            s.m.coalesced.inc();
+            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 0);
             return true;
         }
         if st.inflight.contains_key(&key) {
-            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            s.m.coalesced.inc();
+            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 1);
             return true;
         }
         let gen = s.generation.load(Ordering::Relaxed);
         if st.pending.contains_key(&key) {
-            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            s.m.coalesced.inc();
+            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 2);
             st.seq += 1;
             st.stamp += 1;
             let (seq, stamp) = (st.seq, st.stamp);
@@ -475,20 +527,27 @@ impl FetchEngine {
         // Source presumed down: speculative reads would only feed the
         // failure run. Demand reads still pass (they carry the probe).
         if !s.breaker.admit_prefetch() {
+            s.m.breaker_rejected_admission.inc();
+            viz_telemetry::instant(Ev::BreakerReject, key_salt(key), 0);
             return false;
         }
         if st.pending_prefetch >= s.cfg.queue_cap {
-            s.m.dropped.fetch_add(1, Ordering::Relaxed);
+            s.m.dropped.inc();
+            viz_telemetry::instant(Ev::FetchDrop, key_salt(key), 0);
             return false;
         }
         st.seq += 1;
         st.stamp += 1;
         let (seq, stamp) = (st.seq, st.stamp);
-        st.pending
-            .insert(key, Pending { demand: false, pri: priority, gen, stamp, waiters: Vec::new() });
+        let enq = viz_telemetry::start();
+        st.pending.insert(
+            key,
+            Pending { demand: false, pri: priority, gen, stamp, enq, waiters: Vec::new() },
+        );
         st.pending_prefetch += 1;
         st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
         drop(st);
+        viz_telemetry::instant(Ev::FetchAdmitPrefetch, key_salt(key), priority.to_bits());
         s.work.notify_one();
         true
     }
@@ -499,16 +558,18 @@ impl FetchEngine {
     /// lands. Demand fetches are never dropped or cancelled.
     pub fn request(&self, key: BlockKey) -> Ticket {
         let s = &*self.shared;
-        s.m.demand_requests.fetch_add(1, Ordering::Relaxed);
+        s.m.demand_requests.inc();
         if let Some(p) = s.pool.get(key) {
-            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            s.m.coalesced.inc();
+            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 0);
             return Ticket(TicketInner::Ready(Ok(p)));
         }
         let mut st = lock_state(s);
         // Re-check under the lock: completions insert into the pool while
         // holding it, so a miss above may have landed just before we got in.
         if let Some(p) = s.pool.get(key) {
-            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            s.m.coalesced.inc();
+            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 0);
             return Ticket(TicketInner::Ready(Ok(p)));
         }
         if st.shutdown {
@@ -516,12 +577,14 @@ impl FetchEngine {
         }
         let (tx, rx) = channel();
         if let Some(waiters) = st.inflight.get_mut(&key) {
-            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            s.m.coalesced.inc();
+            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 1);
             waiters.push(tx);
             return Ticket(TicketInner::Waiting(rx));
         }
         if st.pending.contains_key(&key) {
-            s.m.coalesced.fetch_add(1, Ordering::Relaxed);
+            s.m.coalesced.inc();
+            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 2);
             st.seq += 1;
             st.stamp += 1;
             let (seq, stamp) = (st.seq, st.stamp);
@@ -534,6 +597,7 @@ impl FetchEngine {
                 st.pending_prefetch -= 1;
                 st.heap.push(HeapEntry { demand: true, pri, seq, stamp, key });
                 drop(st);
+                viz_telemetry::instant(Ev::FetchAdmitDemand, key_salt(key), 1);
                 s.work.notify_one();
             }
             return Ticket(TicketInner::Waiting(rx));
@@ -542,9 +606,12 @@ impl FetchEngine {
         st.seq += 1;
         st.stamp += 1;
         let (seq, stamp) = (st.seq, st.stamp);
-        st.pending.insert(key, Pending { demand: true, pri: 0.0, gen, stamp, waiters: vec![tx] });
+        let enq = viz_telemetry::start();
+        st.pending
+            .insert(key, Pending { demand: true, pri: 0.0, gen, stamp, enq, waiters: vec![tx] });
         st.heap.push(HeapEntry { demand: true, pri: 0.0, seq, stamp, key });
         drop(st);
+        viz_telemetry::instant(Ev::FetchAdmitDemand, key_salt(key), 0);
         s.work.notify_one();
         Ticket(TicketInner::Waiting(rx))
     }
@@ -566,7 +633,8 @@ impl FetchEngine {
         match self.request(key).wait_timeout(deadline) {
             Ok(r) => r,
             Err(_ticket) => {
-                self.shared.m.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                self.shared.m.deadline_misses.inc();
+                viz_telemetry::instant(Ev::DeadlineMiss, key_salt(key), deadline.as_nanos() as u64);
                 Err(FetchError {
                     kind: io::ErrorKind::TimedOut,
                     message: format!("demand read of {key:?} missed {deadline:?} deadline"),
@@ -621,7 +689,7 @@ impl FetchEngine {
         }?;
         let key = job.key;
         if let Err(p) = catch_unwind(AssertUnwindSafe(|| service(s, job))) {
-            s.m.worker_panics.fetch_add(1, Ordering::Relaxed);
+            s.m.worker_panics.inc();
             fail_job_after_panic(s, key, p.as_ref());
         }
         Some(key)
@@ -642,6 +710,12 @@ impl FetchEngine {
         lock_state(&self.shared).pending.len()
     }
 
+    /// Engine counter `(name, value)` pairs, for Prometheus exposition
+    /// (the `extra` argument of [`viz_telemetry::Trace::prometheus_text`]).
+    pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        self.shared.m.pairs()
+    }
+
     /// Snapshot the engine metrics.
     pub fn metrics(&self) -> FetchMetrics {
         let s = &*self.shared;
@@ -649,38 +723,40 @@ impl FetchEngine {
             let st = lock_state(s);
             (st.pending.len(), st.inflight.len())
         };
-        let count = s.m.lat_count.load(Ordering::Relaxed);
+        let count = s.m.lat_count.get();
         let (min, mean, max) = if count == 0 {
             (0.0, 0.0, 0.0)
         } else {
             (
-                s.m.lat_min_ns.load(Ordering::Relaxed) as f64 * 1e-9,
-                s.m.lat_sum_ns.load(Ordering::Relaxed) as f64 * 1e-9 / count as f64,
-                s.m.lat_max_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                s.m.lat_min_ns.get() as f64 * 1e-9,
+                s.m.lat_sum_ns.get() as f64 * 1e-9 / count as f64,
+                s.m.lat_max_ns.get() as f64 * 1e-9,
             )
         };
         let (breaker_opens, breaker_half_opens, breaker_closes, breaker_rejected) =
             s.breaker.counters();
         FetchMetrics {
-            demand_requests: s.m.demand_requests.load(Ordering::Relaxed),
-            prefetch_requests: s.m.prefetch_requests.load(Ordering::Relaxed),
-            coalesced: s.m.coalesced.load(Ordering::Relaxed),
-            dropped: s.m.dropped.load(Ordering::Relaxed),
-            cancelled: s.m.cancelled.load(Ordering::Relaxed),
-            completed: s.m.completed.load(Ordering::Relaxed),
-            demand_completed: s.m.demand_completed.load(Ordering::Relaxed),
-            prefetch_completed: s.m.prefetch_completed.load(Ordering::Relaxed),
-            errors: s.m.errors.load(Ordering::Relaxed),
-            retries: s.m.retries.load(Ordering::Relaxed),
-            timeouts: s.m.timeouts.load(Ordering::Relaxed),
-            deadline_misses: s.m.deadline_misses.load(Ordering::Relaxed),
-            worker_panics: s.m.worker_panics.load(Ordering::Relaxed),
-            late_arrivals: s.m.late_arrivals.load(Ordering::Relaxed),
+            demand_requests: s.m.demand_requests.get(),
+            prefetch_requests: s.m.prefetch_requests.get(),
+            coalesced: s.m.coalesced.get(),
+            dropped: s.m.dropped.get(),
+            cancelled: s.m.cancelled.get(),
+            completed: s.m.completed.get(),
+            demand_completed: s.m.demand_completed.get(),
+            prefetch_completed: s.m.prefetch_completed.get(),
+            errors: s.m.errors.get(),
+            retries: s.m.retries.get(),
+            timeouts: s.m.timeouts.get(),
+            deadline_misses: s.m.deadline_misses.get(),
+            worker_panics: s.m.worker_panics.get(),
+            late_arrivals: s.m.late_arrivals.get(),
             breaker_state: s.breaker.state(),
             breaker_opens,
             breaker_half_opens,
             breaker_closes,
             breaker_rejected,
+            breaker_rejected_admission: s.m.breaker_rejected_admission.get(),
+            breaker_rejected_dequeue: s.m.breaker_rejected_dequeue.get(),
             queue_depth,
             inflight,
             generation: s.generation.load(Ordering::Relaxed),
@@ -749,19 +825,23 @@ fn try_dequeue(s: &Shared, st: &mut MutexGuard<'_, State>) -> Option<Job> {
             if p.gen < s.generation.load(Ordering::Relaxed) {
                 // The camera moved on; this prediction is void. The source
                 // is never touched. Demand fetches never take this branch.
-                s.m.cancelled.fetch_add(1, Ordering::Relaxed);
+                s.m.cancelled.inc();
+                viz_telemetry::instant(Ev::FetchCancel, key_salt(e.key), p.gen);
                 notify_if_idle(s, st);
                 continue;
             }
             if !s.breaker.admit_prefetch() {
                 // Queued before the breaker opened: fail fast rather than
                 // burn a read on a source presumed down.
+                s.m.breaker_rejected_dequeue.inc();
+                viz_telemetry::instant(Ev::BreakerReject, key_salt(e.key), 1);
                 notify_if_idle(s, st);
                 continue;
             }
         } else {
             s.breaker.on_demand_dispatch();
         }
+        viz_telemetry::span(Ev::QueueWait, key_salt(e.key), u64::from(p.demand), p.enq);
         st.inflight.insert(e.key, p.waiters);
         return Some(Job { key: e.key, demand: p.demand });
     }
@@ -808,7 +888,8 @@ fn read_source(s: &Arc<Shared>, key: BlockKey) -> Result<Vec<f32>, FetchError> {
                 if let Ok(data) = unsent.0 {
                     let _st = lock_state(&io_shared);
                     io_shared.pool.insert_arc(key, Arc::new(data));
-                    io_shared.m.late_arrivals.fetch_add(1, Ordering::Relaxed);
+                    io_shared.m.late_arrivals.inc();
+                    viz_telemetry::instant(Ev::LateArrival, key_salt(key), 0);
                 }
             }
         })
@@ -821,7 +902,8 @@ fn read_source(s: &Arc<Shared>, key: BlockKey) -> Result<Vec<f32>, FetchError> {
                 return out;
             }
             drop(rx); // further sends fail; the io thread self-handles
-            s.m.timeouts.fetch_add(1, Ordering::Relaxed);
+            s.m.timeouts.inc();
+            viz_telemetry::instant(Ev::SourceTimeout, key_salt(key), limit.as_nanos() as u64);
             Err(FetchError {
                 kind: io::ErrorKind::TimedOut,
                 message: format!("source read of {key:?} exceeded {limit:?}; abandoned"),
@@ -847,7 +929,14 @@ fn service(s: &Arc<Shared>, job: Job) {
     let salt = key_salt(job.key);
     let mut attempt = 0u32;
     let res = loop {
+        let ta = viz_telemetry::start();
         let r = read_source(s, job.key);
+        viz_telemetry::span(
+            Ev::SourceRead,
+            salt,
+            (u64::from(attempt) << 1) | u64::from(r.is_ok()),
+            ta,
+        );
         let kind = match &r {
             Ok(_) => break r,
             Err(e) => e.kind,
@@ -855,11 +944,14 @@ fn service(s: &Arc<Shared>, job: Job) {
         if !s.cfg.retry.should_retry(kind, attempt) || engine_shutting_down(s) {
             break r;
         }
-        s.m.retries.fetch_add(1, Ordering::Relaxed);
+        s.m.retries.inc();
+        viz_telemetry::instant(Ev::FetchRetry, salt, u64::from(attempt));
         if s.cfg.workers > 0 {
             let d = s.cfg.retry.backoff(attempt, salt);
             if !d.is_zero() {
+                let tb = viz_telemetry::start();
                 std::thread::sleep(d);
+                viz_telemetry::span(Ev::FetchBackoff, salt, u64::from(attempt), tb);
             }
         }
         attempt += 1;
@@ -872,29 +964,49 @@ fn service(s: &Arc<Shared>, job: Job) {
             s.breaker.on_success();
             let payload = Arc::new(data);
             s.pool.insert_arc(job.key, payload.clone());
-            s.m.completed.fetch_add(1, Ordering::Relaxed);
+            s.m.completed.inc();
             if job.demand {
-                s.m.demand_completed.fetch_add(1, Ordering::Relaxed);
+                s.m.demand_completed.inc();
             } else {
-                s.m.prefetch_completed.fetch_add(1, Ordering::Relaxed);
+                s.m.prefetch_completed.inc();
             }
-            s.m.lat_sum_ns.fetch_add(dt_ns, Ordering::Relaxed);
-            s.m.lat_count.fetch_add(1, Ordering::Relaxed);
-            s.m.lat_max_ns.fetch_max(dt_ns, Ordering::Relaxed);
-            s.m.lat_min_ns.fetch_min(dt_ns, Ordering::Relaxed);
+            s.m.lat_sum_ns.add(dt_ns);
+            s.m.lat_count.inc();
+            s.m.lat_max_ns.max_of(dt_ns);
+            s.m.lat_min_ns.min_of(dt_ns);
+            viz_telemetry::instant(Ev::PoolInsert, salt, payload.len() as u64);
+            if !waiters.is_empty() {
+                viz_telemetry::instant(Ev::WaiterWake, salt, waiters.len() as u64);
+            }
             for w in waiters {
                 let _ = w.send(Ok(payload.clone()));
             }
+            viz_telemetry::span_from(Ev::FetchService, salt, 1, t0);
         }
         Err(e) => {
-            s.m.errors.fetch_add(1, Ordering::Relaxed);
+            s.m.errors.inc();
             s.breaker.on_failure(s.cfg.breaker.failure_threshold);
+            viz_telemetry::instant(Ev::FetchFail, salt, errkind_code(e.kind));
             for w in waiters {
                 let _ = w.send(Err(e.clone()));
             }
+            viz_telemetry::span_from(Ev::FetchService, salt, 0, t0);
         }
     }
     notify_if_idle(s, &st);
+}
+
+/// Small stable code for [`io::ErrorKind`]s the engine distinguishes, for
+/// the `arg` of [`Ev::FetchFail`] events (0 = anything else).
+fn errkind_code(kind: io::ErrorKind) -> u64 {
+    match kind {
+        io::ErrorKind::NotFound => 1,
+        io::ErrorKind::InvalidData => 2,
+        io::ErrorKind::Interrupted => 3,
+        io::ErrorKind::TimedOut => 4,
+        io::ErrorKind::WouldBlock => 5,
+        _ => 0,
+    }
 }
 
 /// Fail the waiters of a job whose service panicked, counting the panic
@@ -903,7 +1015,8 @@ fn fail_job_after_panic(s: &Arc<Shared>, key: BlockKey, p: &(dyn Any + Send)) {
     let e = panic_error(p);
     let mut st = lock_state(s);
     let waiters = st.inflight.remove(&key).unwrap_or_default();
-    s.m.errors.fetch_add(1, Ordering::Relaxed);
+    s.m.errors.inc();
+    viz_telemetry::instant(Ev::WorkerPanic, key_salt(key), 0);
     s.breaker.on_failure(s.cfg.breaker.failure_threshold);
     for w in waiters {
         let _ = w.send(Err(e.clone()));
@@ -939,7 +1052,7 @@ fn supervised_worker(s: &Arc<Shared>) {
         match catch_unwind(AssertUnwindSafe(|| worker_loop(s, &active))) {
             Ok(()) => return, // clean shutdown
             Err(p) => {
-                s.m.worker_panics.fetch_add(1, Ordering::Relaxed);
+                s.m.worker_panics.inc();
                 let key = active.lock().unwrap_or_else(PoisonError::into_inner).take();
                 if let Some(key) = key {
                     fail_job_after_panic(s, key, p.as_ref());
@@ -1049,6 +1162,99 @@ mod tests {
         eng.run_until_idle();
         let got = t.wait_timeout(Duration::from_millis(5)).expect("resolved").unwrap();
         assert_eq!(got.as_slice(), &[0.0f32; 8]);
+    }
+
+    /// Every admitted request must end in exactly one terminal counter
+    /// (or still be accounted by the queue/in-flight gauges):
+    ///
+    /// ```text
+    /// demand_requests + prefetch_requests ==
+    ///     coalesced + dropped + breaker_rejected_admission
+    ///   + completed + cancelled + breaker_rejected_dequeue + errors
+    ///   + queue_depth + inflight
+    /// ```
+    ///
+    /// Deterministic scenario exercising all seven terminal outcomes; the
+    /// identity is checked at every snapshot, including mid-queue ones.
+    #[test]
+    fn counters_balance_across_all_outcomes() {
+        fn assert_balanced(m: &FetchMetrics) {
+            let admitted = m.demand_requests + m.prefetch_requests;
+            let settled = m.coalesced
+                + m.dropped
+                + m.breaker_rejected_admission
+                + m.completed
+                + m.cancelled
+                + m.breaker_rejected_dequeue
+                + m.errors
+                + m.queue_depth as u64
+                + m.inflight as u64;
+            assert_eq!(admitted, settled, "unbalanced counters: {m:?}");
+        }
+
+        let pool = Arc::new(BlockPool::new());
+        let cfg = FetchConfig { queue_cap: 4, ..FetchConfig::deterministic() };
+        let eng = FetchEngine::spawn(store_with(16), pool.clone(), cfg);
+
+        // Outcome "dropped": fill the prefetch queue, then overflow it.
+        for i in 0..4 {
+            assert!(eng.prefetch(key(i), 1.0));
+        }
+        assert!(!eng.prefetch(key(4), 1.0));
+        assert!(!eng.prefetch(key(5), 1.0));
+        // Outcome "coalesced": duplicate prefetch of a queued key.
+        assert!(eng.prefetch(key(0), 2.0));
+        assert_balanced(&eng.metrics());
+
+        // Outcome "cancelled": a camera step voids all queued prefetches.
+        eng.bump_generation();
+        assert_eq!(eng.run_until_idle(), 0, "stale prefetches must not be serviced");
+        let m = eng.metrics();
+        assert_eq!(m.cancelled, 4);
+        assert_balanced(&m);
+
+        // Outcome "completed": fresh prefetches under the new generation.
+        assert!(eng.prefetch(key(0), 1.0));
+        assert!(eng.prefetch(key(1), 1.0));
+        assert_eq!(eng.run_until_idle(), 2);
+        // Resident hits coalesce (demand and prefetch paths).
+        assert!(eng.get(key(0)).is_ok());
+        assert!(eng.prefetch(key(1), 1.0));
+        assert_balanced(&eng.metrics());
+
+        // Outcome "errors", repeated until the breaker opens. Queue one
+        // good-generation prefetch *before* the failures so it is still
+        // queued when the breaker trips.
+        assert!(eng.prefetch(key(2), 1.0));
+        let threshold = eng.shared.cfg.breaker.failure_threshold;
+        // Distinct missing keys (NotFound fails fast, no retry, no
+        // coalescing); demands outrank the queued prefetch, so all
+        // failures land before key(2) reaches the front.
+        let tickets: Vec<_> = (0..threshold).map(|i| eng.request(key(900 + i))).collect();
+        eng.run_until_idle();
+        for t in tickets {
+            assert!(t.wait().is_err());
+        }
+        assert_eq!(eng.breaker_state(), BreakerState::Open);
+        let m = eng.metrics();
+        assert_eq!(m.errors, u64::from(threshold));
+        // Outcome "breaker_rejected_dequeue": key(2) was discarded at
+        // dequeue while draining the failing demands.
+        assert_eq!(m.breaker_rejected_dequeue, 1);
+        assert_balanced(&m);
+
+        // Outcome "breaker_rejected_admission": new prefetch while open.
+        assert!(!eng.prefetch(key(3), 1.0));
+        let m = eng.metrics();
+        assert_eq!(m.breaker_rejected_admission, 1);
+        assert_eq!(m.breaker_rejected, m.breaker_rejected_admission + m.breaker_rejected_dequeue);
+        assert_balanced(&m);
+
+        // All seven outcome classes were exercised.
+        assert!(m.coalesced > 0 && m.dropped > 0 && m.cancelled > 0);
+        assert!(m.completed > 0 && m.errors > 0);
+        eng.sync();
+        assert_balanced(&eng.metrics());
     }
 
     #[test]

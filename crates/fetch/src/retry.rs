@@ -25,6 +25,7 @@
 use std::io;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;
+use viz_telemetry::EventKind as Ev;
 
 /// Is an error kind worth retrying? `Interrupted`, `TimedOut` and
 /// `WouldBlock` are momentary conditions of a healthy source;
@@ -201,6 +202,7 @@ impl CircuitBreaker {
             .is_ok()
         {
             self.half_opens.fetch_add(1, Ordering::Relaxed);
+            viz_telemetry::instant(Ev::BreakerHalfOpen, 0, 0);
         }
     }
 
@@ -211,6 +213,7 @@ impl CircuitBreaker {
         let prev = self.state.swap(ST_CLOSED, Ordering::AcqRel);
         if prev != ST_CLOSED {
             self.closes.fetch_add(1, Ordering::Relaxed);
+            viz_telemetry::instant(Ev::BreakerClose, 0, u64::from(prev));
         }
     }
 
@@ -232,6 +235,7 @@ impl CircuitBreaker {
                 .is_ok()
         {
             self.opens.fetch_add(1, Ordering::Relaxed);
+            viz_telemetry::instant(Ev::BreakerOpen, 0, u64::from(run));
         }
     }
 }

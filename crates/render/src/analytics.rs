@@ -42,10 +42,10 @@ impl CorrelationAccumulator {
             self.sum[i] += v as f64;
         }
         let mut k = 0;
-        for i in 0..self.n_vars {
-            let vi = values[i] as f64;
-            for j in i..self.n_vars {
-                self.cross[k] += vi * values[j] as f64;
+        for (i, &vi) in values.iter().enumerate() {
+            let vi = vi as f64;
+            for &vj in &values[i..] {
+                self.cross[k] += vi * vj as f64;
                 k += 1;
             }
         }

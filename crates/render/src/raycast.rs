@@ -103,6 +103,7 @@ pub fn render<S: SampleSource>(
     tf: &TransferFunction,
     config: &RenderConfig,
 ) -> Image {
+    let pass_t0 = viz_telemetry::start();
     let gen = RayGenerator::new(pose, config.width, config.height);
     let mut img = Image::new(config.width, config.height);
     let bounds = source.layout().world_bounds();
@@ -113,8 +114,17 @@ pub fn render<S: SampleSource>(
             *out = [c.r, c.g, c.b];
         }
     });
+    viz_telemetry::span(
+        viz_telemetry::EventKind::RenderPass,
+        RENDER_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        (config.width * config.height) as u64,
+        pass_t0,
+    );
     img
 }
+
+/// Monotone pass counter: the telemetry span key for [`render`].
+static RENDER_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 fn trace<S: SampleSource>(
     source: &S,
@@ -288,6 +298,26 @@ mod tests {
         // the heat TF's transparent black -> dark pixel but alpha 1.
         let k = img.get(0, 0);
         assert!(k[0] <= 0.2);
+    }
+
+    #[test]
+    fn telemetry_records_render_pass_span_with_pixel_count() {
+        let (field, layout) = ball_setup();
+        let src = FieldSource::new(&field, &layout);
+        let pose = orbit_pose(90.0, 0.0, 3.0, deg_to_rad(40.0));
+        let tf = TransferFunction::heat(field.min_max());
+        viz_telemetry::set_enabled(true);
+        let _ = render(&src, &pose, &tf, &RenderConfig::preview(24, 24));
+        let trace = viz_telemetry::drain();
+        viz_telemetry::set_enabled(false);
+        // Concurrent tests may emit too; look for ours by pixel count.
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.kind == viz_telemetry::EventKind::RenderPass && e.arg == 24 * 24),
+            "no render_pass span for the 24x24 pass"
+        );
     }
 
     #[test]

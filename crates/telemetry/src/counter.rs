@@ -1,0 +1,116 @@
+//! Named atomic counters: the always-on complement to the event rings.
+//!
+//! Counters are cheap enough to leave unconditional (one relaxed RMW), so
+//! the engine's existing metrics structs become thin facades over these —
+//! same numbers, plus a name that the Prometheus exporter can expose
+//! without a separate mapping table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic (or min/max-tracking) `u64` counter. `const`-
+/// constructible so metrics structs can hold them without lazy init.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name, value: AtomicU64::new(0) }
+    }
+
+    /// A counter with an explicit initial value (e.g. `u64::MAX` for a
+    /// running minimum).
+    pub const fn with_initial(name: &'static str, v: u64) -> Counter {
+        Counter { name, value: AtomicU64::new(v) }
+    }
+
+    /// The exposition name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite (gauges, resets).
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Lower the value to `v` if smaller (running minimum).
+    pub fn min_of(&self, v: u64) {
+        self.value.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if larger (running maximum).
+    pub fn max_of(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={}", self.name, self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let c = Counter::new("reads");
+        assert_eq!(c.name(), "reads");
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.set(3);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn min_max_tracking() {
+        let lo = Counter::with_initial("lat_min_ns", u64::MAX);
+        let hi = Counter::new("lat_max_ns");
+        for v in [500u64, 100, 900, 250] {
+            lo.min_of(v);
+            hi.max_of(v);
+        }
+        assert_eq!(lo.get(), 100);
+        assert_eq!(hi.get(), 900);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_counts() {
+        static C: Counter = Counter::new("concurrent");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        C.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(C.get(), 40_000);
+    }
+}

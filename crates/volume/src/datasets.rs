@@ -210,7 +210,7 @@ impl CombustionField {
         let r2 = ((y - cy).powi(2) + (z - cz).powi(2)) / (w * w);
         let core = (-r2).exp();
         // Turbulence intensity grows downstream of the lift-off height.
-        let turb_amp = 0.35 * (x - 0.08).max(0.0).min(0.6);
+        let turb_amp = 0.35 * (x - 0.08).clamp(0.0, 0.6);
         let turb = self.noise.fbm(x * 10.0, y * 10.0, z * 10.0, 5, 2.1, 0.55);
         (core * (1.0 + turb_amp * turb)).clamp(0.0, 1.0)
     }
