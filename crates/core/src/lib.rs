@@ -16,6 +16,9 @@
 //! - [`degraded`] — per-frame I/O budgets over the real fetch engine:
 //!   frames whose demand reads miss their deadline render with resident
 //!   blocks only instead of stalling.
+//! - [`flight`] — per-client camera flights: one viewer's pose sequence +
+//!   table handles, turned into per-frame demand/prefetch requests for the
+//!   serve layer's session registry.
 //! - [`overlap`] — compatibility wrapper over the `viz-fetch` engine: the
 //!   original single-worker [`Prefetcher`] API for disk-backed examples.
 //!   New code should use `viz_fetch` directly (worker pools,
@@ -71,6 +74,7 @@ pub mod adaptive;
 pub mod degraded;
 pub mod distribution;
 pub mod eval;
+pub mod flight;
 pub mod histable;
 pub mod importance;
 pub mod lod;
@@ -89,6 +93,7 @@ pub use adaptive::{AdaptiveSigma, SigmaController};
 pub use degraded::{fetch_frame, FrameFetchReport};
 pub use distribution::{parallel_fetch_time, serial_fetch_time, DeviceId, Distribution};
 pub use eval::{across_seeds, RunningStats};
+pub use flight::{ClientFlight, FrameRequest};
 pub use histable::BlockHistogramTable;
 pub use importance::{ImportanceEntry, ImportanceTable};
 pub use lod::{run_lod_session, LodPolicy, LodReport};

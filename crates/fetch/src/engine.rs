@@ -233,16 +233,27 @@ struct Pending {
     pri: f64,
     gen: u64,
     stamp: u64,
+    /// Fairness tag of the caller that *created* this entry (0 = untagged;
+    /// the serve layer passes session ids). Later coalescers with a
+    /// different tag count as cross-tag saves but do not take ownership.
+    tag: u32,
     /// Enqueue time when telemetry was enabled at admission (closes the
     /// `QueueWait` span at dispatch).
     enq: Option<Instant>,
     waiters: Vec<Sender<FetchResult>>,
 }
 
+/// One read being serviced right now; keeps the owner's fairness tag so
+/// coalescers arriving mid-read are still attributed.
+struct Inflight {
+    tag: u32,
+    waiters: Vec<Sender<FetchResult>>,
+}
+
 struct State {
     heap: BinaryHeap<HeapEntry>,
     pending: HashMap<BlockKey, Pending>,
-    inflight: HashMap<BlockKey, Vec<Sender<FetchResult>>>,
+    inflight: HashMap<BlockKey, Inflight>,
     pending_prefetch: usize,
     seq: u64,
     stamp: u64,
@@ -256,6 +267,7 @@ struct Counters {
     demand_requests: Counter,
     prefetch_requests: Counter,
     coalesced: Counter,
+    cross_tag_coalesced: Counter,
     dropped: Counter,
     cancelled: Counter,
     completed: Counter,
@@ -283,6 +295,7 @@ impl Default for Counters {
             demand_requests: Counter::new("demand_requests"),
             prefetch_requests: Counter::new("prefetch_requests"),
             coalesced: Counter::new("coalesced"),
+            cross_tag_coalesced: Counter::new("cross_tag_coalesced"),
             dropped: Counter::new("dropped"),
             cancelled: Counter::new("cancelled"),
             completed: Counter::new("completed"),
@@ -312,6 +325,7 @@ impl Counters {
             &self.demand_requests,
             &self.prefetch_requests,
             &self.coalesced,
+            &self.cross_tag_coalesced,
             &self.dropped,
             &self.cancelled,
             &self.completed,
@@ -363,6 +377,11 @@ pub struct FetchMetrics {
     /// Requests merged onto an existing result (resident block), queue
     /// entry, or in-flight read instead of issuing their own.
     pub coalesced: u64,
+    /// Of `coalesced`, merges where the incoming fairness tag differed
+    /// from the tag that created the queue/in-flight entry — i.e. one
+    /// client's read served another client (resident-pool hits carry no
+    /// owner and are not attributed here).
+    pub cross_tag_coalesced: u64,
     /// Prefetches rejected because the queue was at `queue_cap`.
     pub dropped: u64,
     /// Stale-generation prefetches discarded at dequeue (source untouched).
@@ -403,6 +422,11 @@ pub struct FetchMetrics {
     pub breaker_rejected_dequeue: u64,
     /// Requests currently queued (gauge).
     pub queue_depth: usize,
+    /// Of `queue_depth`, entries in the demand class (gauge).
+    pub queue_depth_demand: usize,
+    /// Of `queue_depth`, entries in the prefetch class (gauge). The serve
+    /// layer's shed decision watches this without poking engine internals.
+    pub queue_depth_prefetch: usize,
     /// Reads currently in flight (gauge).
     pub inflight: usize,
     /// Current cancellation generation.
@@ -478,6 +502,16 @@ impl FetchEngine {
     /// engine shutting down. Requests for resident, queued, or in-flight
     /// keys coalesce and return `true`.
     pub fn prefetch(&self, key: BlockKey, priority: f64) -> bool {
+        self.prefetch_tagged(key, priority, 0)
+    }
+
+    /// [`Self::prefetch`] with a fairness tag (the serve layer passes
+    /// session ids; 0 means untagged). When the request coalesces onto a
+    /// queue entry or in-flight read created under a *different* tag, the
+    /// engine counts a [`FetchMetrics::cross_tag_coalesced`] save and
+    /// emits a `CrossClientCoalesce` event — one client's read served
+    /// another's.
+    pub fn prefetch_tagged(&self, key: BlockKey, priority: f64, tag: u32) -> bool {
         let s = &*self.shared;
         s.m.prefetch_requests.inc();
         if s.pool.contains(key) {
@@ -499,9 +533,10 @@ impl FetchEngine {
             viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 0);
             return true;
         }
-        if st.inflight.contains_key(&key) {
+        if let Some(inf) = st.inflight.get(&key) {
             s.m.coalesced.inc();
             viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 1);
+            note_cross_tag(s, key, inf.tag, tag);
             return true;
         }
         let gen = s.generation.load(Ordering::Relaxed);
@@ -512,6 +547,7 @@ impl FetchEngine {
             st.stamp += 1;
             let (seq, stamp) = (st.seq, st.stamp);
             let p = st.pending.get_mut(&key).unwrap();
+            note_cross_tag(s, key, p.tag, tag);
             // Re-requested now: wanted by the current generation even if it
             // was first queued before a camera step.
             p.gen = gen;
@@ -542,7 +578,7 @@ impl FetchEngine {
         let enq = viz_telemetry::start();
         st.pending.insert(
             key,
-            Pending { demand: false, pri: priority, gen, stamp, enq, waiters: Vec::new() },
+            Pending { demand: false, pri: priority, gen, stamp, tag, enq, waiters: Vec::new() },
         );
         st.pending_prefetch += 1;
         st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
@@ -557,6 +593,12 @@ impl FetchEngine {
     /// queued for this key) and the [`Ticket`] resolves when the read
     /// lands. Demand fetches are never dropped or cancelled.
     pub fn request(&self, key: BlockKey) -> Ticket {
+        self.request_tagged(key, 0)
+    }
+
+    /// [`Self::request`] with a fairness tag (see
+    /// [`Self::prefetch_tagged`] for the cross-tag coalescing contract).
+    pub fn request_tagged(&self, key: BlockKey, tag: u32) -> Ticket {
         let s = &*self.shared;
         s.m.demand_requests.inc();
         if let Some(p) = s.pool.get(key) {
@@ -576,10 +618,12 @@ impl FetchEngine {
             return Ticket(TicketInner::Ready(Err(shutdown_error())));
         }
         let (tx, rx) = channel();
-        if let Some(waiters) = st.inflight.get_mut(&key) {
+        if let Some(inf) = st.inflight.get_mut(&key) {
             s.m.coalesced.inc();
             viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 1);
-            waiters.push(tx);
+            let owner = inf.tag;
+            inf.waiters.push(tx);
+            note_cross_tag(s, key, owner, tag);
             return Ticket(TicketInner::Waiting(rx));
         }
         if st.pending.contains_key(&key) {
@@ -589,6 +633,7 @@ impl FetchEngine {
             st.stamp += 1;
             let (seq, stamp) = (st.seq, st.stamp);
             let p = st.pending.get_mut(&key).unwrap();
+            note_cross_tag(s, key, p.tag, tag);
             p.waiters.push(tx);
             if !p.demand {
                 p.demand = true;
@@ -607,8 +652,10 @@ impl FetchEngine {
         st.stamp += 1;
         let (seq, stamp) = (st.seq, st.stamp);
         let enq = viz_telemetry::start();
-        st.pending
-            .insert(key, Pending { demand: true, pri: 0.0, gen, stamp, enq, waiters: vec![tx] });
+        st.pending.insert(
+            key,
+            Pending { demand: true, pri: 0.0, gen, stamp, tag, enq, waiters: vec![tx] },
+        );
         st.heap.push(HeapEntry { demand: true, pri: 0.0, seq, stamp, key });
         drop(st);
         viz_telemetry::instant(Ev::FetchAdmitDemand, key_salt(key), 0);
@@ -710,6 +757,14 @@ impl FetchEngine {
         lock_state(&self.shared).pending.len()
     }
 
+    /// Queued entries per priority class, `(demand, prefetch)` — one lock,
+    /// no full metrics snapshot. The serve layer polls this on every
+    /// admission decision.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        let st = lock_state(&self.shared);
+        (st.pending.len() - st.pending_prefetch, st.pending_prefetch)
+    }
+
     /// Engine counter `(name, value)` pairs, for Prometheus exposition
     /// (the `extra` argument of [`viz_telemetry::Trace::prometheus_text`]).
     pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
@@ -719,9 +774,9 @@ impl FetchEngine {
     /// Snapshot the engine metrics.
     pub fn metrics(&self) -> FetchMetrics {
         let s = &*self.shared;
-        let (queue_depth, inflight) = {
+        let (queue_depth, queue_depth_prefetch, inflight) = {
             let st = lock_state(s);
-            (st.pending.len(), st.inflight.len())
+            (st.pending.len(), st.pending_prefetch, st.inflight.len())
         };
         let count = s.m.lat_count.get();
         let (min, mean, max) = if count == 0 {
@@ -739,6 +794,7 @@ impl FetchEngine {
             demand_requests: s.m.demand_requests.get(),
             prefetch_requests: s.m.prefetch_requests.get(),
             coalesced: s.m.coalesced.get(),
+            cross_tag_coalesced: s.m.cross_tag_coalesced.get(),
             dropped: s.m.dropped.get(),
             cancelled: s.m.cancelled.get(),
             completed: s.m.completed.get(),
@@ -758,6 +814,8 @@ impl FetchEngine {
             breaker_rejected_admission: s.m.breaker_rejected_admission.get(),
             breaker_rejected_dequeue: s.m.breaker_rejected_dequeue.get(),
             queue_depth,
+            queue_depth_demand: queue_depth - queue_depth_prefetch,
+            queue_depth_prefetch,
             inflight,
             generation: s.generation.load(Ordering::Relaxed),
             latency_min_s: min,
@@ -842,7 +900,7 @@ fn try_dequeue(s: &Shared, st: &mut MutexGuard<'_, State>) -> Option<Job> {
             s.breaker.on_demand_dispatch();
         }
         viz_telemetry::span(Ev::QueueWait, key_salt(e.key), u64::from(p.demand), p.enq);
-        st.inflight.insert(e.key, p.waiters);
+        st.inflight.insert(e.key, Inflight { tag: p.tag, waiters: p.waiters });
         return Some(Job { key: e.key, demand: p.demand });
     }
     None
@@ -851,6 +909,19 @@ fn try_dequeue(s: &Shared, st: &mut MutexGuard<'_, State>) -> Option<Job> {
 fn notify_if_idle(s: &Shared, st: &MutexGuard<'_, State>) {
     if st.pending.is_empty() && st.inflight.is_empty() {
         s.idle.notify_all();
+    }
+}
+
+/// Count a coalesce that crossed fairness tags (one client's queued or
+/// in-flight read serving another client's request).
+fn note_cross_tag(s: &Shared, key: BlockKey, owner: u32, incoming: u32) {
+    if owner != incoming {
+        s.m.cross_tag_coalesced.inc();
+        viz_telemetry::instant(
+            Ev::CrossClientCoalesce,
+            key_salt(key),
+            (u64::from(owner) << 32) | u64::from(incoming),
+        );
     }
 }
 
@@ -958,7 +1029,7 @@ fn service(s: &Arc<Shared>, job: Job) {
     };
     let dt_ns = t0.elapsed().as_nanos() as u64;
     let mut st = lock_state(s);
-    let waiters = st.inflight.remove(&job.key).unwrap_or_default();
+    let waiters = st.inflight.remove(&job.key).map(|i| i.waiters).unwrap_or_default();
     match res {
         Ok(data) => {
             s.breaker.on_success();
@@ -1014,7 +1085,7 @@ fn errkind_code(kind: io::ErrorKind) -> u64 {
 fn fail_job_after_panic(s: &Arc<Shared>, key: BlockKey, p: &(dyn Any + Send)) {
     let e = panic_error(p);
     let mut st = lock_state(s);
-    let waiters = st.inflight.remove(&key).unwrap_or_default();
+    let waiters = st.inflight.remove(&key).map(|i| i.waiters).unwrap_or_default();
     s.m.errors.inc();
     viz_telemetry::instant(Ev::WorkerPanic, key_salt(key), 0);
     s.breaker.on_failure(s.cfg.breaker.failure_threshold);
@@ -1255,6 +1326,37 @@ mod tests {
         assert!(m.completed > 0 && m.errors > 0);
         eng.sync();
         assert_balanced(&eng.metrics());
+    }
+
+    #[test]
+    fn cross_tag_coalescing_is_counted_per_owner() {
+        let pool = Arc::new(BlockPool::new());
+        let eng = FetchEngine::deterministic(store_with(8), pool.clone());
+
+        // Session 1 queues the read; session 2 and an untagged caller pile
+        // on. Only the differing-tag merges count as cross-tag saves.
+        let t1 = eng.request_tagged(key(0), 1);
+        let t2 = eng.request_tagged(key(0), 2); // cross (1 → 2)
+        assert!(eng.prefetch_tagged(key(0), 0.5, 1)); // same tag: not cross
+        assert!(eng.prefetch_tagged(key(0), 0.5, 7)); // cross (1 → 7)
+        let m = eng.metrics();
+        assert_eq!(m.coalesced, 3);
+        assert_eq!(m.cross_tag_coalesced, 2);
+
+        // Per-class gauges: one demand queued, plus two tagged prefetches.
+        assert!(eng.prefetch_tagged(key(1), 0.9, 2));
+        assert!(eng.prefetch_tagged(key(2), 0.1, 1));
+        assert_eq!(eng.queue_depths(), (1, 2));
+        let m = eng.metrics();
+        assert_eq!((m.queue_depth_demand, m.queue_depth_prefetch), (1, 2));
+        assert_eq!(m.queue_depth, m.queue_depth_demand + m.queue_depth_prefetch);
+
+        assert_eq!(eng.run_until_idle(), 3);
+        assert_eq!(eng.queue_depths(), (0, 0));
+        let a = t1.wait().unwrap();
+        let b = t2.wait().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "both sessions share one payload");
+        assert_eq!(eng.metrics().completed, 3, "the shared key was read once");
     }
 
     #[test]

@@ -1,0 +1,675 @@
+//! The wire protocol: length-prefixed, CRC-framed, versioned binary
+//! messages.
+//!
+//! Every frame on the wire is `[body_len: u32 LE][crc: u32 LE][body]`,
+//! where `crc` is the CRC-32 of `body` (the same polynomial the block
+//! store frames use, via [`viz_volume::crc32`]). The body opens with the
+//! `b"VSRV"` magic, a `u16` protocol version, and a one-byte message tag,
+//! followed by the tag-specific payload. Requests use tags `0x01..=0x05`,
+//! responses mirror them at `0x81..=0x85`, and `0xFF` is the typed error
+//! reply.
+//!
+//! Corruption never panics: truncation, a flipped CRC byte, an unknown
+//! tag, and version skew each map to a distinct [`ProtoError`] variant,
+//! mirroring the persist codecs' corruption contract. A v2 client hitting
+//! a v1 server (or vice versa) gets [`ProtoError::VersionSkew`] and the
+//! server answers with a [`Response::Error`] carrying [`ERR_VERSION`]
+//! instead of dropping the connection.
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+use viz_volume::{crc32, BlockId, BlockKey};
+
+/// Frame magic, first four body bytes.
+pub const MAGIC: [u8; 4] = *b"VSRV";
+/// Protocol version this build speaks.
+pub const PROTO_VERSION: u16 = 1;
+/// Upper bound on one frame body; larger length prefixes are rejected
+/// before any allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+const TAG_OPEN: u8 = 0x01;
+const TAG_CLOSE: u8 = 0x02;
+const TAG_FETCH: u8 = 0x03;
+const TAG_ADVANCE: u8 = 0x04;
+const TAG_STATS: u8 = 0x05;
+const TAG_OPEN_ACK: u8 = 0x81;
+const TAG_CLOSE_ACK: u8 = 0x82;
+const TAG_FETCH_REPLY: u8 = 0x83;
+const TAG_ADVANCE_ACK: u8 = 0x84;
+const TAG_STATS_REPLY: u8 = 0x85;
+const TAG_ERROR: u8 = 0xFF;
+
+/// Wire error code: malformed frame or payload.
+pub const ERR_PROTO: u16 = 1;
+/// Wire error code: protocol version skew.
+pub const ERR_VERSION: u16 = 2;
+/// Wire error code: request named a session the registry does not know.
+pub const ERR_UNKNOWN_SESSION: u16 = 3;
+/// Wire error code: the registry is at its session cap.
+pub const ERR_TOO_MANY_SESSIONS: u16 = 4;
+/// Wire error code: the server is draining and rejects new work.
+pub const ERR_DRAINING: u16 = 5;
+
+/// Typed decode failure. Every corruption mode is a value, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Fewer bytes than the frame header or its length prefix promise.
+    Truncated {
+        /// Bytes the frame needed.
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Length prefix beyond [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// The stored CRC does not match the body.
+    BadCrc {
+        /// CRC-32 stored in the frame header.
+        stored: u32,
+        /// CRC-32 computed over the received body.
+        computed: u32,
+    },
+    /// The body does not open with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame's protocol version is not one this build speaks.
+    VersionSkew {
+        /// Version the peer sent.
+        got: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// A message tag outside the defined request/response sets.
+    UnknownTag(u8),
+    /// Structurally invalid payload under a valid header.
+    Malformed(&'static str),
+}
+
+impl ProtoError {
+    /// Wire error code a server embeds in its [`Response::Error`] reply.
+    pub fn code(&self) -> u16 {
+        match self {
+            ProtoError::VersionSkew { .. } => ERR_VERSION,
+            _ => ERR_PROTO,
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { need, got } => {
+                write!(f, "truncated frame: need {need} bytes, got {got}")
+            }
+            ProtoError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_BYTES}"),
+            ProtoError::BadCrc { stored, computed } => write!(
+                f,
+                "frame checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            ProtoError::VersionSkew { got, supported } => {
+                write!(f, "protocol version skew: peer speaks v{got}, this build v{supported}")
+            }
+            ProtoError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for io::Error {
+    fn from(e: ProtoError) -> Self {
+        let kind = match e {
+            ProtoError::Truncated { .. } => io::ErrorKind::UnexpectedEof,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a session; the reply carries its id.
+    Open {
+        /// Client-chosen display name (telemetry labels, diagnostics).
+        name: String,
+    },
+    /// Unregister a session; queued prefetch for it is discarded.
+    Close {
+        /// Session to close.
+        session: u32,
+    },
+    /// One frame's block wants: demand keys the frame renders from plus
+    /// `(key, priority)` speculation for upcoming steps.
+    Fetch {
+        /// Requesting session.
+        session: u32,
+        /// Client generation the prefetches belong to; older than the
+        /// session's current generation means they are stale and shed.
+        generation: u64,
+        /// Demand keys (never shed, never downgraded).
+        demand: Vec<BlockKey>,
+        /// Prefetch keys with `T_important` priorities.
+        prefetch: Vec<(BlockKey, f64)>,
+    },
+    /// Advance the session's frame generation (camera stepped): queued
+    /// prefetch from earlier generations is purged, and a server-side
+    /// [`viz_core::ClientFlight`], if attached, contributes the next
+    /// frame's prefetch set.
+    Advance {
+        /// Session to advance.
+        session: u32,
+    },
+    /// Snapshot server + engine counters.
+    Stats,
+}
+
+/// One demand key's outcome inside a [`Response::FetchReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReply {
+    /// The requested key.
+    pub key: BlockKey,
+    /// Payload on success, or a small error-kind code (see
+    /// [`errkind_code`]) on failure.
+    pub result: Result<Arc<Vec<f32>>, u16>,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session registered.
+    OpenAck {
+        /// Assigned session id.
+        session: u32,
+    },
+    /// Session unregistered.
+    CloseAck {
+        /// The closed session.
+        session: u32,
+    },
+    /// Demand outcomes plus the admission verdict on the prefetch list.
+    FetchReply {
+        /// Responding session.
+        session: u32,
+        /// One entry per demand key, in request order.
+        blocks: Vec<BlockReply>,
+        /// Prefetches rejected under pressure.
+        shed: u32,
+        /// Prefetches admitted at reduced priority.
+        downgraded: u32,
+    },
+    /// Generation bumped.
+    AdvanceAck {
+        /// Responding session.
+        session: u32,
+        /// The session's generation after the bump.
+        generation: u64,
+    },
+    /// Counter snapshot: serve-layer, engine, and pool gauges.
+    StatsReply {
+        /// `(name, value)` pairs.
+        counters: Vec<(String, u64)>,
+    },
+    /// Typed failure; the connection stays usable.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Human-readable context.
+        message: String,
+    },
+}
+
+/// Stable code for the `io::ErrorKind`s a [`BlockReply`] distinguishes
+/// (0 = anything else), shared with the telemetry `FetchFail` arg.
+pub fn errkind_code(kind: io::ErrorKind) -> u16 {
+    match kind {
+        io::ErrorKind::NotFound => 1,
+        io::ErrorKind::InvalidData => 2,
+        io::ErrorKind::Interrupted => 3,
+        io::ErrorKind::TimedOut => 4,
+        io::ErrorKind::WouldBlock => 5,
+        _ => 0,
+    }
+}
+
+fn put_u16(b: &mut Vec<u8>, v: u16) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_key(b: &mut Vec<u8>, k: BlockKey) {
+    put_u16(b, k.var);
+    put_u16(b, k.time);
+    put_u32(b, k.block.0);
+}
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated { need: self.at + n, got: self.buf.len() });
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtoError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn key(&mut self) -> Result<BlockKey, ProtoError> {
+        Ok(BlockKey::new(self.u16()?, self.u16()?, BlockId(self.u32()?)))
+    }
+
+    /// Validate a declared element count against the bytes actually left,
+    /// so a corrupt count cannot drive a huge allocation.
+    fn count(&self, n: u32, elem_bytes: usize) -> Result<usize, ProtoError> {
+        let n = n as usize;
+        if n.saturating_mul(elem_bytes) > self.remaining() {
+            return Err(ProtoError::Malformed("element count exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::Malformed("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+/// Wrap a body in the outer frame: `[len][crc][body]`.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Validate the outer frame of `buf` and return its body.
+pub fn frame_body(buf: &[u8]) -> Result<&[u8], ProtoError> {
+    if buf.len() < 8 {
+        return Err(ProtoError::Truncated { need: 8, got: buf.len() });
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::TooLarge(len));
+    }
+    if buf.len() < 8 + len {
+        return Err(ProtoError::Truncated { need: 8 + len, got: buf.len() });
+    }
+    let stored = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let body = &buf[8..8 + len];
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(ProtoError::BadCrc { stored, computed });
+    }
+    Ok(body)
+}
+
+/// The `[body_len]` a transport needs to finish reading a frame whose
+/// first 8 header bytes are in `header`.
+pub fn frame_body_len(header: &[u8; 8]) -> Result<usize, ProtoError> {
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::TooLarge(len));
+    }
+    Ok(len)
+}
+
+fn body_header(version: u16, tag: u8) -> Vec<u8> {
+    let mut b = Vec::with_capacity(64);
+    b.extend_from_slice(&MAGIC);
+    put_u16(&mut b, version);
+    b.push(tag);
+    b
+}
+
+fn open_body(buf: &[u8]) -> Result<(u8, Reader<'_>), ProtoError> {
+    let body = frame_body(buf)?;
+    let mut r = Reader::new(body);
+    let magic: [u8; 4] = r.take(4)?.try_into().unwrap();
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let version = r.u16()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::VersionSkew { got: version, supported: PROTO_VERSION });
+    }
+    let tag = r.u8()?;
+    Ok((tag, r))
+}
+
+/// Encode a request at [`PROTO_VERSION`].
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    encode_request_versioned(req, PROTO_VERSION)
+}
+
+/// Encode a request claiming `version` — how compatibility probes and the
+/// version-skew tests manufacture frames from a future client.
+pub fn encode_request_versioned(req: &Request, version: u16) -> Vec<u8> {
+    let mut b;
+    match req {
+        Request::Open { name } => {
+            b = body_header(version, TAG_OPEN);
+            put_u16(&mut b, name.len() as u16);
+            b.extend_from_slice(name.as_bytes());
+        }
+        Request::Close { session } => {
+            b = body_header(version, TAG_CLOSE);
+            put_u32(&mut b, *session);
+        }
+        Request::Fetch { session, generation, demand, prefetch } => {
+            b = body_header(version, TAG_FETCH);
+            put_u32(&mut b, *session);
+            put_u64(&mut b, *generation);
+            put_u32(&mut b, demand.len() as u32);
+            for &k in demand {
+                put_key(&mut b, k);
+            }
+            put_u32(&mut b, prefetch.len() as u32);
+            for &(k, pri) in prefetch {
+                put_key(&mut b, k);
+                put_u64(&mut b, pri.to_bits());
+            }
+        }
+        Request::Advance { session } => {
+            b = body_header(version, TAG_ADVANCE);
+            put_u32(&mut b, *session);
+        }
+        Request::Stats => {
+            b = body_header(version, TAG_STATS);
+        }
+    }
+    frame(b)
+}
+
+/// Decode a request frame.
+pub fn decode_request(buf: &[u8]) -> Result<Request, ProtoError> {
+    let (tag, mut r) = open_body(buf)?;
+    let req = match tag {
+        TAG_OPEN => {
+            let n = r.u16()? as usize;
+            let bytes = r.take(n)?;
+            let name = std::str::from_utf8(bytes)
+                .map_err(|_| ProtoError::Malformed("session name is not UTF-8"))?
+                .to_string();
+            Request::Open { name }
+        }
+        TAG_CLOSE => Request::Close { session: r.u32()? },
+        TAG_FETCH => {
+            let session = r.u32()?;
+            let generation = r.u64()?;
+            let nd = r.u32()?;
+            let nd = r.count(nd, 8)?;
+            let mut demand = Vec::with_capacity(nd);
+            for _ in 0..nd {
+                demand.push(r.key()?);
+            }
+            let np = r.u32()?;
+            let np = r.count(np, 16)?;
+            let mut prefetch = Vec::with_capacity(np);
+            for _ in 0..np {
+                let k = r.key()?;
+                prefetch.push((k, f64::from_bits(r.u64()?)));
+            }
+            Request::Fetch { session, generation, demand, prefetch }
+        }
+        TAG_ADVANCE => Request::Advance { session: r.u32()? },
+        TAG_STATS => Request::Stats,
+        t => return Err(ProtoError::UnknownTag(t)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encode a response at [`PROTO_VERSION`].
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut b;
+    match resp {
+        Response::OpenAck { session } => {
+            b = body_header(PROTO_VERSION, TAG_OPEN_ACK);
+            put_u32(&mut b, *session);
+        }
+        Response::CloseAck { session } => {
+            b = body_header(PROTO_VERSION, TAG_CLOSE_ACK);
+            put_u32(&mut b, *session);
+        }
+        Response::FetchReply { session, blocks, shed, downgraded } => {
+            b = body_header(PROTO_VERSION, TAG_FETCH_REPLY);
+            put_u32(&mut b, *session);
+            put_u32(&mut b, *shed);
+            put_u32(&mut b, *downgraded);
+            put_u32(&mut b, blocks.len() as u32);
+            for br in blocks {
+                put_key(&mut b, br.key);
+                match &br.result {
+                    Ok(data) => {
+                        b.push(0);
+                        put_u32(&mut b, data.len() as u32);
+                        for &v in data.iter() {
+                            b.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    Err(code) => {
+                        b.push(1);
+                        put_u16(&mut b, *code);
+                    }
+                }
+            }
+        }
+        Response::AdvanceAck { session, generation } => {
+            b = body_header(PROTO_VERSION, TAG_ADVANCE_ACK);
+            put_u32(&mut b, *session);
+            put_u64(&mut b, *generation);
+        }
+        Response::StatsReply { counters } => {
+            b = body_header(PROTO_VERSION, TAG_STATS_REPLY);
+            put_u32(&mut b, counters.len() as u32);
+            for (name, value) in counters {
+                put_u16(&mut b, name.len() as u16);
+                b.extend_from_slice(name.as_bytes());
+                put_u64(&mut b, *value);
+            }
+        }
+        Response::Error { code, message } => {
+            b = body_header(PROTO_VERSION, TAG_ERROR);
+            put_u16(&mut b, *code);
+            put_u16(&mut b, message.len() as u16);
+            b.extend_from_slice(message.as_bytes());
+        }
+    }
+    frame(b)
+}
+
+/// Decode a response frame.
+pub fn decode_response(buf: &[u8]) -> Result<Response, ProtoError> {
+    let (tag, mut r) = open_body(buf)?;
+    let resp = match tag {
+        TAG_OPEN_ACK => Response::OpenAck { session: r.u32()? },
+        TAG_CLOSE_ACK => Response::CloseAck { session: r.u32()? },
+        TAG_FETCH_REPLY => {
+            let session = r.u32()?;
+            let shed = r.u32()?;
+            let downgraded = r.u32()?;
+            let n = r.u32()?;
+            let n = r.count(n, 9)?;
+            let mut blocks = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = r.key()?;
+                let result = match r.u8()? {
+                    0 => {
+                        let len = r.u32()?;
+                        let len = r.count(len, 4)?;
+                        let mut data = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            data.push(r.f32()?);
+                        }
+                        Ok(Arc::new(data))
+                    }
+                    1 => Err(r.u16()?),
+                    _ => return Err(ProtoError::Malformed("bad block status byte")),
+                };
+                blocks.push(BlockReply { key, result });
+            }
+            Response::FetchReply { session, blocks, shed, downgraded }
+        }
+        TAG_ADVANCE_ACK => Response::AdvanceAck { session: r.u32()?, generation: r.u64()? },
+        TAG_STATS_REPLY => {
+            let n = r.u32()?;
+            let n = r.count(n, 10)?;
+            let mut counters = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = r.u16()? as usize;
+                let name = std::str::from_utf8(r.take(len)?)
+                    .map_err(|_| ProtoError::Malformed("counter name is not UTF-8"))?
+                    .to_string();
+                counters.push((name, r.u64()?));
+            }
+            Response::StatsReply { counters }
+        }
+        TAG_ERROR => {
+            let code = r.u16()?;
+            let len = r.u16()? as usize;
+            let message = std::str::from_utf8(r.take(len)?)
+                .map_err(|_| ProtoError::Malformed("error message is not UTF-8"))?
+                .to_string();
+            Response::Error { code, message }
+        }
+        t => return Err(ProtoError::UnknownTag(t)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> BlockKey {
+        BlockKey::new(1, 2, BlockId(i))
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Open { name: "viewer-a".into() },
+            Request::Close { session: 7 },
+            Request::Fetch {
+                session: 7,
+                generation: 41,
+                demand: vec![key(0), key(5)],
+                prefetch: vec![(key(9), 2.25), (key(10), 0.0)],
+            },
+            Request::Advance { session: 7 },
+            Request::Stats,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::OpenAck { session: 3 },
+            Response::CloseAck { session: 3 },
+            Response::FetchReply {
+                session: 3,
+                blocks: vec![
+                    BlockReply { key: key(0), result: Ok(Arc::new(vec![1.0, -2.5])) },
+                    BlockReply { key: key(5), result: Err(1) },
+                ],
+                shed: 4,
+                downgraded: 2,
+            },
+            Response::AdvanceAck { session: 3, generation: 42 },
+            Response::StatsReply {
+                counters: vec![("serve_sessions_opened".into(), 3), ("x".into(), 0)],
+            },
+            Response::Error { code: ERR_DRAINING, message: "draining".into() },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip_every_variant() {
+        for req in sample_requests() {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(&frame).unwrap(), req, "roundtrip failed for {req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_every_variant() {
+        for resp in sample_responses() {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame).unwrap(), resp, "roundtrip failed for {resp:?}");
+        }
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let frame = encode_request_versioned(&Request::Stats, 2);
+        assert_eq!(
+            decode_request(&frame).unwrap_err(),
+            ProtoError::VersionSkew { got: 2, supported: PROTO_VERSION }
+        );
+    }
+
+    #[test]
+    fn truncation_and_crc_flips_are_typed() {
+        let frame = encode_request(&sample_requests()[2]);
+        assert!(matches!(
+            decode_request(&frame[..frame.len() - 1]).unwrap_err(),
+            ProtoError::Truncated { .. }
+        ));
+        assert!(matches!(decode_request(&frame[..3]).unwrap_err(), ProtoError::Truncated { .. }));
+        let mut crc_flip = frame.clone();
+        crc_flip[5] ^= 0x10;
+        assert!(matches!(decode_request(&crc_flip).unwrap_err(), ProtoError::BadCrc { .. }));
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_rejected_before_allocation() {
+        let mut frame = encode_request(&Request::Stats);
+        frame[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_request(&frame).unwrap_err(), ProtoError::TooLarge(_)));
+    }
+}

@@ -1,0 +1,945 @@
+//! The multi-tenant server: one shared [`FetchEngine`] + [`BlockPool`]
+//! behind a session registry, DRR fairness, admission control, and load
+//! shedding.
+//!
+//! ## Request life cycle
+//!
+//! A `Fetch` request is **admitted** (demand unconditionally; prefetch
+//! subject to the shed ladder below), queued in the per-session DRR
+//! lanes, **pumped** into the shared engine in fair order, and its demand
+//! tickets **collected** into a `FetchReply`. Duplicate keys across
+//! different sessions coalesce inside the engine onto one source read —
+//! the whole point of sharing it — and the engine counts those
+//! cross-tag joins ([`viz_fetch::FetchMetrics::cross_tag_coalesced`]).
+//!
+//! ## The shed ladder
+//!
+//! Prefetch admission walks, in order: draining → stale generation →
+//! per-client entry quota → per-client byte quota → breaker open →
+//! global queue depth → pool pressure. First failure sheds the entry
+//! with a typed [`ShedReason`]; between the downgrade and shed
+//! watermarks entries are admitted at a quarter of their priority
+//! instead. **Demand is never shed** — a blocked renderer beats a
+//! speculation every time, which is the same demand-over-prefetch
+//! invariant the engine heap enforces, applied one layer up.
+
+use crate::proto::{errkind_code, Request, Response};
+use crate::registry::{Registry, SessionId, SessionView};
+use crate::sched::{DemandEntry, PrefetchEntry, Scheduler};
+use crate::transport::{InProcTransport, Transport};
+use crate::{inproc_pair, proto, BlockReply};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use viz_core::ClientFlight;
+use viz_fetch::{BreakerState, FetchEngine, Ticket};
+use viz_telemetry::{instant, Counter, EventKind as Ev};
+use viz_volume::BlockKey;
+
+/// Serving policy knobs. `Default` suits tests and small deployments;
+/// the bench stresses the watermarks explicitly.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// DRR deficit refilled per visit, in requests.
+    pub quantum: u32,
+    /// Per-session cap on queued prefetch entries.
+    pub per_client_queue: usize,
+    /// Per-session cap on queued prefetch bytes (estimated).
+    pub per_client_bytes: usize,
+    /// Byte estimate per block for quota accounting.
+    pub block_bytes_hint: usize,
+    /// Stop pumping prefetch into the engine once its prefetch backlog
+    /// reaches this depth (demand pumps unconditionally).
+    pub engine_queue_target: usize,
+    /// Shed new prefetch outright at this combined backlog.
+    pub shed_queue_depth: usize,
+    /// Admit prefetch at a quarter priority from this backlog up.
+    pub downgrade_queue_depth: usize,
+    /// Shed new prefetch when the shared pool holds this many bytes.
+    pub shed_resident_bytes: usize,
+    /// Bound each demand wait; `None` waits for the engine's own
+    /// timeout/retry machinery to resolve the ticket.
+    pub demand_deadline: Option<Duration>,
+    /// Registry cap; opens past it are refused.
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            quantum: 8,
+            per_client_queue: 256,
+            per_client_bytes: 64 << 20,
+            block_bytes_hint: 4096,
+            engine_queue_target: 1024,
+            shed_queue_depth: 4096,
+            downgrade_queue_depth: 2048,
+            shed_resident_bytes: 1 << 30,
+            demand_deadline: None,
+            max_sessions: 1024,
+        }
+    }
+}
+
+/// Why a prefetch entry was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Server is draining; only demand still flows.
+    Draining,
+    /// Entry belongs to a generation older than the session's current.
+    StaleGeneration,
+    /// The session's prefetch lane is at its entry quota.
+    ClientQuota,
+    /// The session's prefetch lane is at its byte quota.
+    ByteQuota,
+    /// The engine's circuit breaker is open — the source is presumed
+    /// down, speculation would only deepen the failure.
+    BreakerOpen,
+    /// Combined scheduler + engine prefetch backlog crossed the shed
+    /// watermark.
+    QueueDepth,
+    /// The shared pool crossed its resident-byte watermark.
+    PoolPressure,
+}
+
+impl ShedReason {
+    /// Stable code, used as the `RequestShed` telemetry arg.
+    pub fn code(self) -> u16 {
+        match self {
+            ShedReason::Draining => 1,
+            ShedReason::StaleGeneration => 2,
+            ShedReason::ClientQuota => 3,
+            ShedReason::ByteQuota => 4,
+            ShedReason::BreakerOpen => 5,
+            ShedReason::QueueDepth => 6,
+            ShedReason::PoolPressure => 7,
+        }
+    }
+}
+
+/// Typed serving failure, mapped onto wire `ERR_*` codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server is draining and refuses new sessions/work.
+    Draining,
+    /// The registry is at [`ServeConfig::max_sessions`].
+    TooManySessions,
+    /// The request named a session the registry does not know.
+    UnknownSession,
+}
+
+impl ServeError {
+    /// The matching wire error code.
+    pub fn code(self) -> u16 {
+        match self {
+            ServeError::Draining => proto::ERR_DRAINING,
+            ServeError::TooManySessions => proto::ERR_TOO_MANY_SESSIONS,
+            ServeError::UnknownSession => proto::ERR_UNKNOWN_SESSION,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Draining => write!(f, "server is draining"),
+            ServeError::TooManySessions => write!(f, "session cap reached"),
+            ServeError::UnknownSession => write!(f, "unknown session"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serve-layer counters, named for the wire/Prometheus exposition.
+struct ServeStats {
+    sessions_opened: Counter,
+    sessions_closed: Counter,
+    fetch_requests: Counter,
+    demand_admitted: Counter,
+    prefetch_admitted: Counter,
+    prefetch_downgraded: Counter,
+    prefetch_shed: Counter,
+    demand_served: Counter,
+    demand_errors: Counter,
+    bytes_served: Counter,
+}
+
+impl ServeStats {
+    const fn new() -> Self {
+        ServeStats {
+            sessions_opened: Counter::new("serve_sessions_opened"),
+            sessions_closed: Counter::new("serve_sessions_closed"),
+            fetch_requests: Counter::new("serve_fetch_requests"),
+            demand_admitted: Counter::new("serve_demand_admitted"),
+            prefetch_admitted: Counter::new("serve_prefetch_admitted"),
+            prefetch_downgraded: Counter::new("serve_prefetch_downgraded"),
+            prefetch_shed: Counter::new("serve_prefetch_shed"),
+            demand_served: Counter::new("serve_demand_served"),
+            demand_errors: Counter::new("serve_demand_errors"),
+            bytes_served: Counter::new("serve_bytes_served"),
+        }
+    }
+
+    fn pairs(&self) -> Vec<(&'static str, u64)> {
+        [
+            &self.sessions_opened,
+            &self.sessions_closed,
+            &self.fetch_requests,
+            &self.demand_admitted,
+            &self.prefetch_admitted,
+            &self.prefetch_downgraded,
+            &self.prefetch_shed,
+            &self.demand_served,
+            &self.demand_errors,
+            &self.bytes_served,
+        ]
+        .iter()
+        .map(|c| (c.name(), c.get()))
+        .collect()
+    }
+}
+
+/// Point-in-time serve-layer metrics snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Sessions opened over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions closed (including drain).
+    pub sessions_closed: u64,
+    /// `Fetch` requests processed.
+    pub fetch_requests: u64,
+    /// Demand keys admitted (demand is never shed).
+    pub demand_admitted: u64,
+    /// Prefetch keys admitted at full priority.
+    pub prefetch_admitted: u64,
+    /// Prefetch keys admitted at reduced priority.
+    pub prefetch_downgraded: u64,
+    /// Prefetch keys refused admission.
+    pub prefetch_shed: u64,
+    /// Demand replies delivered with a payload.
+    pub demand_served: u64,
+    /// Demand replies delivered with an error code.
+    pub demand_errors: u64,
+    /// Payload bytes delivered to clients.
+    pub bytes_served: u64,
+}
+
+/// Report from [`Server::drain`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Sessions closed by the drain.
+    pub sessions_closed: usize,
+    /// Demand entries flushed into the engine before closing.
+    pub demand_flushed: usize,
+    /// Queued prefetch entries discarded.
+    pub prefetch_dropped: usize,
+}
+
+/// The multi-tenant block server (see module docs).
+pub struct Server {
+    engine: Arc<FetchEngine>,
+    cfg: ServeConfig,
+    registry: Mutex<Registry>,
+    sched: Mutex<Scheduler>,
+    stats: ServeStats,
+    draining: AtomicBool,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Same poison policy as the fetch engine: a panic while holding the
+    // lock fails that request, not every future one.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Server {
+    /// Wrap a shared engine in a server.
+    pub fn new(engine: Arc<FetchEngine>, cfg: ServeConfig) -> Arc<Server> {
+        Arc::new(Server {
+            engine,
+            cfg,
+            registry: Mutex::new(Registry::new()),
+            sched: Mutex::new(Scheduler::new()),
+            stats: ServeStats::new(),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The shared fetch engine.
+    pub fn engine(&self) -> &Arc<FetchEngine> {
+        &self.engine
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// `true` once [`Server::drain`] has started.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Register a session.
+    pub fn open_session(&self, name: &str) -> Result<SessionId, ServeError> {
+        if self.is_draining() {
+            return Err(ServeError::Draining);
+        }
+        let mut reg = relock(&self.registry);
+        if reg.len() >= self.cfg.max_sessions {
+            return Err(ServeError::TooManySessions);
+        }
+        let id = reg.open(name);
+        let n = reg.len() as u64;
+        drop(reg);
+        relock(&self.sched).add_session(id.0);
+        self.stats.sessions_opened.inc();
+        instant(Ev::SessionOpen, u64::from(id.0), n);
+        Ok(id)
+    }
+
+    /// Unregister a session, discarding its queued work. Returns `false`
+    /// for an unknown id.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.close_session_inner(id, false)
+    }
+
+    fn close_session_inner(&self, id: SessionId, drained: bool) -> bool {
+        if relock(&self.registry).close(id).is_none() {
+            return false;
+        }
+        relock(&self.sched).remove_session(id.0);
+        self.stats.sessions_closed.inc();
+        instant(Ev::SessionClose, u64::from(id.0), u64::from(drained));
+        true
+    }
+
+    /// Attach a server-side camera flight: each `Advance` then feeds the
+    /// flight's next frame's speculation through admission automatically.
+    pub fn attach_flight(&self, id: SessionId, flight: ClientFlight) -> bool {
+        match relock(&self.registry).get_mut(id) {
+            Some(s) => {
+                s.flight = Some(flight);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bump a session's frame generation: queued prefetch from earlier
+    /// generations is purged, and an attached flight contributes the next
+    /// frame's prefetch set. Returns the new generation, or `None` for an
+    /// unknown session.
+    pub fn advance(&self, id: SessionId) -> Option<u64> {
+        let (generation, frame) = {
+            let mut reg = relock(&self.registry);
+            let s = reg.get_mut(id)?;
+            s.generation += 1;
+            (s.generation, s.flight.as_mut().and_then(|f| f.next_frame()))
+        };
+        relock(&self.sched).purge_prefetch(id.0, generation);
+        if let Some(fr) = frame {
+            self.admit_prefetch(id, generation, fr.prefetch);
+        }
+        Some(generation)
+    }
+
+    /// Admit one frame request: demand unconditionally, prefetch through
+    /// the shed ladder. The returned [`Submission`] collects the demand
+    /// outcomes after a [`Server::pump`].
+    pub fn submit(
+        &self,
+        id: SessionId,
+        generation: u64,
+        demand: Vec<BlockKey>,
+        prefetch: Vec<(BlockKey, f64)>,
+    ) -> Result<Submission, ServeError> {
+        if !relock(&self.registry).contains(id) {
+            return Err(ServeError::UnknownSession);
+        }
+        self.stats.fetch_requests.inc();
+        let (tx, rx) = channel();
+        let demand_n = demand.len();
+        {
+            let mut sched = relock(&self.sched);
+            for &key in &demand {
+                sched.push_demand(id.0, DemandEntry { key, tx: tx.clone() });
+            }
+        }
+        self.stats.demand_admitted.add(demand_n as u64);
+        if let Some(s) = relock(&self.registry).get_mut(id) {
+            s.demand_submitted += demand_n as u64;
+        }
+        let (shed, downgraded, admitted) = self.admit_prefetch(id, generation, prefetch);
+        instant(Ev::RequestAdmit, u64::from(id.0), ((demand_n as u64) << 32) | admitted);
+        Ok(Submission { session: id, demand_keys: demand, rx, shed, downgraded })
+    }
+
+    /// Walk the shed ladder for each prefetch entry; returns
+    /// `(shed, downgraded, admitted)` counts.
+    fn admit_prefetch(
+        &self,
+        id: SessionId,
+        generation: u64,
+        prefetch: Vec<(BlockKey, f64)>,
+    ) -> (u32, u32, u64) {
+        if prefetch.is_empty() {
+            return (0, 0, 0);
+        }
+        let session_gen = match relock(&self.registry).get_mut(id) {
+            Some(s) => {
+                s.prefetch_submitted += prefetch.len() as u64;
+                s.generation
+            }
+            None => return (0, 0, 0),
+        };
+        // One poll per submit; admitted entries adjust the view so a
+        // single huge request cannot blow through the watermark unseen.
+        let (_, engine_pf) = self.engine.queue_depths();
+        let breaker_open = self.engine.breaker_state() == BreakerState::Open;
+        let pool_bytes = self.engine.pool().bytes_resident();
+        let draining = self.is_draining();
+        let hint = self.cfg.block_bytes_hint;
+
+        let (mut shed, mut downgraded, mut admitted) = (0u32, 0u32, 0u64);
+        let mut sched = relock(&self.sched);
+        let (mut lane_n, mut lane_bytes) = sched.queued_prefetch(id.0);
+        let mut backlog = engine_pf + sched.queued_prefetch_total();
+        for (key, pri) in prefetch {
+            let verdict = if draining {
+                Err(ShedReason::Draining)
+            } else if generation < session_gen {
+                Err(ShedReason::StaleGeneration)
+            } else if lane_n >= self.cfg.per_client_queue {
+                Err(ShedReason::ClientQuota)
+            } else if lane_bytes + hint > self.cfg.per_client_bytes {
+                Err(ShedReason::ByteQuota)
+            } else if breaker_open {
+                Err(ShedReason::BreakerOpen)
+            } else if backlog >= self.cfg.shed_queue_depth {
+                Err(ShedReason::QueueDepth)
+            } else if pool_bytes >= self.cfg.shed_resident_bytes {
+                Err(ShedReason::PoolPressure)
+            } else if backlog >= self.cfg.downgrade_queue_depth {
+                Ok(pri * 0.25)
+            } else {
+                Ok(pri)
+            };
+            match verdict {
+                Ok(p) => {
+                    if p < pri {
+                        downgraded += 1;
+                        self.stats.prefetch_downgraded.inc();
+                    } else {
+                        self.stats.prefetch_admitted.inc();
+                    }
+                    sched.push_prefetch(
+                        id.0,
+                        PrefetchEntry { key, pri: p, gen: session_gen, bytes: hint },
+                    );
+                    admitted += 1;
+                    lane_n += 1;
+                    lane_bytes += hint;
+                    backlog += 1;
+                }
+                Err(reason) => {
+                    shed += 1;
+                    self.stats.prefetch_shed.inc();
+                    instant(Ev::RequestShed, u64::from(id.0), u64::from(reason.code()));
+                }
+            }
+        }
+        drop(sched);
+        if shed > 0 {
+            if let Some(s) = relock(&self.registry).get_mut(id) {
+                s.prefetch_shed += u64::from(shed);
+            }
+        }
+        (shed, downgraded, admitted)
+    }
+
+    /// Move queued work into the shared engine in DRR order: demand
+    /// drains completely, prefetch stops at the engine backlog target.
+    /// While draining, prefetch stays queued (drain discards it).
+    pub fn pump(&self) {
+        loop {
+            let e = relock(&self.sched).pop_next_demand(self.cfg.quantum);
+            let Some((sid, e)) = e else { break };
+            let ticket = self.engine.request_tagged(e.key, sid);
+            // A dropped receiver (disconnected client) just drops the
+            // ticket; the engine still completes the read into the pool.
+            let _ = e.tx.send((e.key, ticket));
+        }
+        if self.is_draining() {
+            return;
+        }
+        loop {
+            let (_, engine_pf) = self.engine.queue_depths();
+            if engine_pf >= self.cfg.engine_queue_target {
+                break;
+            }
+            let e = relock(&self.sched).pop_next_prefetch(self.cfg.quantum);
+            let Some((sid, e)) = e else { break };
+            self.engine.prefetch_tagged(e.key, e.pri, sid);
+        }
+    }
+
+    /// Graceful shutdown: refuse new work, flush queued demand into the
+    /// engine, discard queued prefetch, wait for the engine to go idle,
+    /// and close every session.
+    pub fn drain(&self) -> DrainReport {
+        self.draining.store(true, Ordering::SeqCst);
+        let demand_flushed = relock(&self.sched).queued_demand_total();
+        self.pump();
+        let mut prefetch_dropped = 0;
+        let ids = relock(&self.registry).ids();
+        {
+            let mut sched = relock(&self.sched);
+            for id in &ids {
+                let (_, p) = sched.remove_session(id.0);
+                prefetch_dropped += p;
+            }
+        }
+        self.engine.sync();
+        let mut sessions_closed = 0;
+        for id in ids {
+            if self.close_session_inner(id, true) {
+                sessions_closed += 1;
+            }
+        }
+        DrainReport { sessions_closed, demand_flushed, prefetch_dropped }
+    }
+
+    /// Snapshot every registered session.
+    pub fn sessions(&self) -> Vec<SessionView> {
+        relock(&self.registry).views()
+    }
+
+    /// Serve-layer metrics snapshot.
+    pub fn metrics(&self) -> ServeMetrics {
+        let s = &self.stats;
+        ServeMetrics {
+            sessions_opened: s.sessions_opened.get(),
+            sessions_closed: s.sessions_closed.get(),
+            fetch_requests: s.fetch_requests.get(),
+            demand_admitted: s.demand_admitted.get(),
+            prefetch_admitted: s.prefetch_admitted.get(),
+            prefetch_downgraded: s.prefetch_downgraded.get(),
+            prefetch_shed: s.prefetch_shed.get(),
+            demand_served: s.demand_served.get(),
+            demand_errors: s.demand_errors.get(),
+            bytes_served: s.bytes_served.get(),
+        }
+    }
+
+    /// The counter set a `Stats` request answers with: serve-layer
+    /// counters, engine counters (`fetch_` prefix), and pool gauges.
+    pub fn wire_counters(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> =
+            self.stats.pairs().into_iter().map(|(n, c)| (n.to_string(), c)).collect();
+        v.extend(self.engine.counter_pairs().into_iter().map(|(n, c)| (format!("fetch_{n}"), c)));
+        let pool = self.engine.pool();
+        v.push(("pool_resident_blocks".to_string(), pool.len() as u64));
+        v.push(("pool_resident_bytes".to_string(), pool.bytes_resident() as u64));
+        v
+    }
+
+    fn record_served(&self, id: SessionId, served: u64, errors: u64, bytes: u64) {
+        self.stats.demand_served.add(served);
+        self.stats.demand_errors.add(errors);
+        self.stats.bytes_served.add(bytes);
+        if let Some(s) = relock(&self.registry).get_mut(id) {
+            s.demand_served += served;
+        }
+    }
+}
+
+/// An admitted frame request: collects the demand outcomes once the pump
+/// has issued them.
+pub struct Submission {
+    session: SessionId,
+    demand_keys: Vec<BlockKey>,
+    rx: Receiver<(BlockKey, Ticket)>,
+    shed: u32,
+    downgraded: u32,
+}
+
+impl Submission {
+    /// Prefetch entries shed at admission.
+    pub fn shed(&self) -> u32 {
+        self.shed
+    }
+
+    /// Prefetch entries admitted at reduced priority.
+    pub fn downgraded(&self) -> u32 {
+        self.downgraded
+    }
+
+    /// Block until every demand key has an outcome (the engine's workers
+    /// resolve the tickets). Requires a [`Server::pump`] to have issued
+    /// the entries; [`serve_connection`] does this.
+    pub fn collect(self, server: &Server) -> Vec<BlockReply> {
+        let deadline = server.cfg.demand_deadline;
+        let mut got: HashMap<BlockKey, Result<Arc<Vec<f32>>, u16>> = HashMap::new();
+        for _ in 0..self.demand_keys.len() {
+            // A dropped sender means the session was closed underneath
+            // us; the remaining keys resolve as Interrupted below.
+            let Ok((key, ticket)) = self.rx.recv() else { break };
+            let outcome = match deadline {
+                Some(d) => match ticket.wait_timeout(d) {
+                    Ok(r) => r.map_err(|e| errkind_code(e.kind)),
+                    Err(_still_pending) => Err(errkind_code(io::ErrorKind::TimedOut)),
+                },
+                None => ticket.wait().map_err(|e| errkind_code(e.kind)),
+            };
+            got.insert(key, outcome);
+        }
+        self.finish(server, got)
+    }
+
+    /// Non-blocking collection for deterministic (`workers = 0`) runs:
+    /// call after the engine has been stepped to idle; any ticket still
+    /// unresolved reports `Interrupted`.
+    pub fn collect_ready(self, server: &Server) -> Vec<BlockReply> {
+        let mut got: HashMap<BlockKey, Result<Arc<Vec<f32>>, u16>> = HashMap::new();
+        while let Ok((key, ticket)) = self.rx.try_recv() {
+            let outcome = match ticket.try_wait() {
+                Ok(r) => r.map_err(|e| errkind_code(e.kind)),
+                Err(_still_pending) => Err(errkind_code(io::ErrorKind::Interrupted)),
+            };
+            got.insert(key, outcome);
+        }
+        self.finish(server, got)
+    }
+
+    fn finish(
+        self,
+        server: &Server,
+        got: HashMap<BlockKey, Result<Arc<Vec<f32>>, u16>>,
+    ) -> Vec<BlockReply> {
+        let interrupted = errkind_code(io::ErrorKind::Interrupted);
+        let (mut served, mut errors, mut bytes) = (0u64, 0u64, 0u64);
+        let replies: Vec<BlockReply> = self
+            .demand_keys
+            .iter()
+            .map(|&key| {
+                let result = got.get(&key).cloned().unwrap_or(Err(interrupted));
+                match &result {
+                    Ok(data) => {
+                        served += 1;
+                        bytes += (data.len() * std::mem::size_of::<f32>()) as u64;
+                    }
+                    Err(_) => errors += 1,
+                }
+                BlockReply { key, result }
+            })
+            .collect();
+        server.record_served(self.session, served, errors, bytes);
+        replies
+    }
+}
+
+/// What a decoded request needs next: an immediate reply, or demand
+/// collection after a pump.
+pub enum Outcome {
+    /// Reply is ready to send.
+    Ready(Response),
+    /// A `Fetch` was admitted; pump, then resolve the pending fetch.
+    Fetch(PendingFetch),
+}
+
+/// An admitted `Fetch` awaiting its demand outcomes.
+pub struct PendingFetch {
+    session: u32,
+    sub: Submission,
+}
+
+impl PendingFetch {
+    /// Block until the reply is complete (threaded servers).
+    pub fn wait(self, server: &Server) -> Response {
+        let (shed, downgraded) = (self.sub.shed, self.sub.downgraded);
+        let blocks = self.sub.collect(server);
+        Response::FetchReply { session: self.session, blocks, shed, downgraded }
+    }
+
+    /// Resolve from whatever is ready (deterministic stepper).
+    pub fn resolve_now(self, server: &Server) -> Response {
+        let (shed, downgraded) = (self.sub.shed, self.sub.downgraded);
+        let blocks = self.sub.collect_ready(server);
+        Response::FetchReply { session: self.session, blocks, shed, downgraded }
+    }
+}
+
+/// Dispatch one decoded request against a server.
+pub fn handle_request(server: &Server, req: Request) -> Outcome {
+    match req {
+        Request::Open { name } => Outcome::Ready(match server.open_session(&name) {
+            Ok(id) => Response::OpenAck { session: id.0 },
+            Err(e) => Response::Error { code: e.code(), message: e.to_string() },
+        }),
+        Request::Close { session } => Outcome::Ready(if server.close_session(SessionId(session)) {
+            Response::CloseAck { session }
+        } else {
+            let e = ServeError::UnknownSession;
+            Response::Error { code: e.code(), message: e.to_string() }
+        }),
+        Request::Fetch { session, generation, demand, prefetch } => {
+            match server.submit(SessionId(session), generation, demand, prefetch) {
+                Ok(sub) => Outcome::Fetch(PendingFetch { session, sub }),
+                Err(e) => {
+                    Outcome::Ready(Response::Error { code: e.code(), message: e.to_string() })
+                }
+            }
+        }
+        Request::Advance { session } => Outcome::Ready(match server.advance(SessionId(session)) {
+            Some(generation) => Response::AdvanceAck { session, generation },
+            None => {
+                let e = ServeError::UnknownSession;
+                Response::Error { code: e.code(), message: e.to_string() }
+            }
+        }),
+        Request::Stats => Outcome::Ready(Response::StatsReply { counters: server.wire_counters() }),
+    }
+}
+
+/// Serve one connection until the peer disconnects: decode → dispatch →
+/// pump → reply. Malformed frames answer with a typed `Error` response
+/// and the connection stays up; sessions opened on this connection are
+/// closed when it ends.
+pub fn serve_connection<T: Transport>(server: &Arc<Server>, mut t: T) {
+    let mut owned: Vec<SessionId> = Vec::new();
+    while let Ok(frame) = t.recv() {
+        let resp = match proto::decode_request(&frame) {
+            Ok(req) => match handle_request(server, req) {
+                Outcome::Ready(r) => r,
+                Outcome::Fetch(p) => {
+                    server.pump();
+                    p.wait(server)
+                }
+            },
+            Err(pe) => Response::Error { code: pe.code(), message: pe.to_string() },
+        };
+        match &resp {
+            Response::OpenAck { session } => owned.push(SessionId(*session)),
+            Response::CloseAck { session } => owned.retain(|s| s.0 != *session),
+            _ => {}
+        }
+        if t.send(&proto::encode_response(&resp)).is_err() {
+            break;
+        }
+        server.pump();
+    }
+    for id in owned {
+        server.close_session(id);
+    }
+}
+
+/// A live TCP connection: the accept-side stream handle (kept so
+/// shutdown can force the socket closed) and its handler thread.
+type TcpConns = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// A localhost TCP front end: accept thread + one thread per connection.
+pub struct TcpServer {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: TcpConns,
+}
+
+impl TcpServer {
+    /// Bind and start accepting. Use `"127.0.0.1:0"` to let the OS pick
+    /// a port; read it back via [`TcpServer::local_addr`].
+    pub fn bind(server: Arc<Server>, addr: &str) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: TcpConns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let server = server.clone();
+            let stop = stop.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || {
+                while let Ok((stream, _)) = listener.accept() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let peer = match stream.try_clone() {
+                        Ok(c) => c,
+                        Err(_) => continue,
+                    };
+                    let server = server.clone();
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(&server, crate::TcpTransport::new(stream));
+                    });
+                    relock(&conns).push((peer, handle));
+                }
+            })
+        };
+        Ok(TcpServer { server, addr: local, stop, accept: Some(accept), conns })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served [`Server`].
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Stop accepting, close remaining connections, and drain.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept thread with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *relock(&self.conns));
+        for (stream, handle) in conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+        self.server.drain()
+    }
+}
+
+/// Deterministic in-process front end: the test owns every step. Each
+/// [`InProcServer::connect`] yields the client end of a frame pipe;
+/// `poll` decodes at most one request per connection (preserving
+/// request→reply ordering), `step` pumps the scheduler and runs the
+/// `workers = 0` engine to idle, `flush` sends the completed replies.
+pub struct InProcServer {
+    server: Arc<Server>,
+    conns: Vec<InProcConn>,
+}
+
+struct InProcConn {
+    t: InProcTransport,
+    owned: Vec<SessionId>,
+    pending: Option<PendingFetch>,
+    dead: bool,
+}
+
+impl InProcServer {
+    /// Wrap a server (typically over [`FetchEngine::deterministic`]).
+    pub fn new(server: Arc<Server>) -> InProcServer {
+        InProcServer { server, conns: Vec::new() }
+    }
+
+    /// The served [`Server`].
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Open a new connection; returns the client end.
+    pub fn connect(&mut self) -> InProcTransport {
+        let (client, server_end) = inproc_pair();
+        self.conns.push(InProcConn {
+            t: server_end,
+            owned: Vec::new(),
+            pending: None,
+            dead: false,
+        });
+        client
+    }
+
+    /// Decode and dispatch at most one waiting request per connection.
+    /// Immediate replies go out now; admitted fetches park until
+    /// [`InProcServer::flush`]. Returns requests processed.
+    pub fn poll(&mut self) -> usize {
+        let mut processed = 0;
+        for conn in &mut self.conns {
+            if conn.dead || conn.pending.is_some() {
+                continue;
+            }
+            let frame = match conn.t.try_recv() {
+                Ok(Some(f)) => f,
+                Ok(None) => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    continue;
+                }
+            };
+            processed += 1;
+            let resp = match proto::decode_request(&frame) {
+                Ok(req) => match handle_request(&self.server, req) {
+                    Outcome::Ready(r) => r,
+                    Outcome::Fetch(p) => {
+                        conn.pending = Some(p);
+                        continue;
+                    }
+                },
+                Err(pe) => Response::Error { code: pe.code(), message: pe.to_string() },
+            };
+            match &resp {
+                Response::OpenAck { session } => conn.owned.push(SessionId(*session)),
+                Response::CloseAck { session } => conn.owned.retain(|s| s.0 != *session),
+                _ => {}
+            }
+            if conn.t.send(&proto::encode_response(&resp)).is_err() {
+                conn.dead = true;
+            }
+        }
+        self.reap();
+        processed
+    }
+
+    /// Pump the scheduler into the engine and run the inline engine to
+    /// idle. Returns jobs the engine executed.
+    pub fn step(&mut self) -> usize {
+        self.server.pump();
+        self.server.engine().run_until_idle()
+    }
+
+    /// Resolve parked fetches from the now-idle engine and send their
+    /// replies. Returns replies sent.
+    pub fn flush(&mut self) -> usize {
+        let mut sent = 0;
+        for conn in &mut self.conns {
+            let Some(p) = conn.pending.take() else { continue };
+            let resp = p.resolve_now(&self.server);
+            if conn.t.send(&proto::encode_response(&resp)).is_err() {
+                conn.dead = true;
+            } else {
+                sent += 1;
+            }
+        }
+        self.reap();
+        sent
+    }
+
+    /// Convenience: poll + step + flush until no progress is made.
+    pub fn tick(&mut self) {
+        loop {
+            let polled = self.poll();
+            let stepped = self.step();
+            let flushed = self.flush();
+            if polled == 0 && stepped == 0 && flushed == 0 {
+                break;
+            }
+        }
+    }
+
+    fn reap(&mut self) {
+        let server = &self.server;
+        self.conns.retain_mut(|c| {
+            if c.dead {
+                for id in c.owned.drain(..) {
+                    server.close_session(id);
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+}

@@ -1,0 +1,115 @@
+//! Localhost TCP end-to-end: real sockets, real worker threads, many
+//! concurrent clients against one shared engine.
+
+use std::sync::Arc;
+use std::time::Duration;
+use viz_fetch::{BlockPool, FetchConfig, FetchEngine, InstrumentedSource};
+use viz_serve::{ServeClient, ServeConfig, Server, TcpServer, TcpTransport};
+use viz_volume::{BlockId, BlockKey, MemBlockStore};
+
+fn key(i: u32) -> BlockKey {
+    BlockKey::scalar(BlockId(i))
+}
+
+fn tcp_server(workers: usize, n: u32) -> (TcpServer, Arc<InstrumentedSource>) {
+    let store = MemBlockStore::new();
+    for i in 0..n {
+        store.insert(key(i), vec![i as f32; 8]);
+    }
+    let src = Arc::new(InstrumentedSource::new(Arc::new(store), Duration::from_micros(200)));
+    let engine = FetchEngine::spawn(
+        src.clone(),
+        Arc::new(BlockPool::new()),
+        FetchConfig { workers, ..FetchConfig::default() },
+    );
+    let server = Server::new(Arc::new(engine), ServeConfig::default());
+    (TcpServer::bind(server, "127.0.0.1:0").unwrap(), src)
+}
+
+#[test]
+fn four_tcp_clients_share_one_engine() {
+    let (tcp, src) = tcp_server(2, 32);
+    let addr = tcp.local_addr().to_string();
+
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::new(TcpTransport::connect(&addr).expect("connect"));
+                client.open(&format!("client-{c}")).expect("open");
+                // Every client wants blocks 0..4 (shared) plus one of its
+                // own — cross-client coalescing territory.
+                let demand: Vec<BlockKey> = (0..4).map(key).chain([key(10 + c)]).collect();
+                let got = client.fetch(demand.clone(), vec![(key(20 + c), 0.8)]).expect("fetch");
+                assert_eq!(got.blocks.len(), 5);
+                for (i, reply) in got.blocks.iter().enumerate() {
+                    assert_eq!(reply.key, demand[i]);
+                    let data = reply.result.as_ref().expect("payload");
+                    assert_eq!(data[0], reply.key.block.0 as f32);
+                }
+                assert_eq!(got.shed, 0);
+                let generation = client.advance().expect("advance");
+                assert_eq!(generation, 1);
+                client.close().expect("close");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // 4 clients × 5 demand + 4 prefetch = 24 wants over at most 12
+    // distinct keys; the shared engine must not have read more than the
+    // distinct set (demand 0..4 and 10..14, prefetch 20..24).
+    assert!(src.reads() <= 13, "shared engine read {} times", src.reads());
+
+    let server = tcp.server().clone();
+    let m = server.metrics();
+    assert_eq!(m.demand_served, 20);
+    assert_eq!(m.sessions_opened, 4);
+    assert_eq!(m.sessions_closed, 4);
+
+    let report = tcp.shutdown();
+    assert_eq!(report.sessions_closed, 0, "clients closed their own sessions");
+}
+
+#[test]
+fn stats_round_trip_over_tcp() {
+    let (tcp, _src) = tcp_server(1, 8);
+    let addr = tcp.local_addr().to_string();
+
+    let mut client = ServeClient::new(TcpTransport::connect(&addr).unwrap());
+    client.open("stats").unwrap();
+    client.fetch(vec![key(1), key(2)], vec![]).unwrap();
+    let stats = client.stats().unwrap();
+    let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    assert_eq!(get("serve_demand_served"), Some(2));
+    assert_eq!(get("serve_sessions_opened"), Some(1));
+    assert!(get("fetch_completed").unwrap_or(0) >= 2, "engine counters ride along");
+    assert!(get("pool_resident_blocks").unwrap_or(0) >= 2, "pool gauges ride along");
+
+    drop(client);
+    tcp.shutdown();
+}
+
+#[test]
+fn shutdown_forces_out_a_lingering_client() {
+    let (tcp, _src) = tcp_server(1, 8);
+    let addr = tcp.local_addr().to_string();
+
+    let mut client = ServeClient::new(TcpTransport::connect(&addr).unwrap());
+    client.open("lingerer").unwrap();
+    client.fetch(vec![key(3)], vec![]).unwrap();
+    assert_eq!(tcp.server().sessions().len(), 1);
+
+    // The client neither closes nor disconnects; shutdown must not hang:
+    // it forces the connection out, and the handler closes the orphaned
+    // session on its way down.
+    let server = tcp.server().clone();
+    tcp.shutdown();
+    assert_eq!(server.sessions().len(), 0);
+    assert_eq!(server.metrics().sessions_closed, 1);
+
+    // The socket is dead afterwards.
+    assert!(client.stats().is_err());
+}

@@ -6,7 +6,9 @@
 /// What happened. Covers the full block lifecycle — fetch admit → queue →
 /// dispatch → retry/backoff → source read → pool insert → waiter wake —
 /// plus cache hit/miss/evict with policy attribution, frame spans with a
-/// degraded/skipped cause, and circuit-breaker state transitions.
+/// degraded/skipped cause, circuit-breaker state transitions, and the
+/// serve layer's session lifecycle (open/close, admit/shed, cross-client
+/// coalescing).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
@@ -76,10 +78,26 @@ pub enum EventKind {
     BreakerReject,
     /// A fetch worker panicked and was respawned (instant).
     WorkerPanic,
+    /// A serve-layer client session was opened (instant; `key` = session
+    /// id, `arg` = sessions now registered).
+    SessionOpen,
+    /// A serve-layer client session was closed (instant; `key` = session
+    /// id, `arg` = 1 when closed by a graceful drain, 0 otherwise).
+    SessionClose,
+    /// A client request passed serve-layer admission (instant; `key` =
+    /// session id, `arg` = `demand << 32 | prefetch` counts admitted).
+    RequestAdmit,
+    /// The serve layer shed or downgraded a prefetch under pressure
+    /// (instant; `key` = session id, `arg` = shed-reason code; demand is
+    /// never shed).
+    RequestShed,
+    /// Two *different* sessions coalesced onto one source read (instant;
+    /// `key` = salted block key, `arg` = `owner_tag << 32 | incoming_tag`).
+    CrossClientCoalesce,
 }
 
 /// Number of event kinds (array sizing for per-kind aggregation).
-pub const KIND_COUNT: usize = 26;
+pub const KIND_COUNT: usize = 31;
 
 impl EventKind {
     /// Every kind, in declaration order.
@@ -110,6 +128,11 @@ impl EventKind {
         EventKind::BreakerClose,
         EventKind::BreakerReject,
         EventKind::WorkerPanic,
+        EventKind::SessionOpen,
+        EventKind::SessionClose,
+        EventKind::RequestAdmit,
+        EventKind::RequestShed,
+        EventKind::CrossClientCoalesce,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -141,6 +164,11 @@ impl EventKind {
             EventKind::BreakerClose => "breaker_close",
             EventKind::BreakerReject => "breaker_reject",
             EventKind::WorkerPanic => "worker_panic",
+            EventKind::SessionOpen => "session_open",
+            EventKind::SessionClose => "session_close",
+            EventKind::RequestAdmit => "request_admit",
+            EventKind::RequestShed => "request_shed",
+            EventKind::CrossClientCoalesce => "cross_client_coalesce",
         }
     }
 
@@ -170,6 +198,11 @@ impl EventKind {
             | EventKind::BreakerHalfOpen
             | EventKind::BreakerClose
             | EventKind::BreakerReject => "breaker",
+            EventKind::SessionOpen
+            | EventKind::SessionClose
+            | EventKind::RequestAdmit
+            | EventKind::RequestShed
+            | EventKind::CrossClientCoalesce => "serve",
         }
     }
 
@@ -228,7 +261,7 @@ mod tests {
     #[test]
     fn categories_cover_all_kinds() {
         for k in EventKind::ALL {
-            assert!(matches!(k.category(), "fetch" | "cache" | "frame" | "breaker"));
+            assert!(matches!(k.category(), "fetch" | "cache" | "frame" | "breaker" | "serve"));
         }
     }
 

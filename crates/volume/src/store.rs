@@ -199,17 +199,32 @@ impl DiskBlockStore {
     }
 
     /// Write one block using the store's codec.
+    ///
+    /// The frame is staged in a uniquely named `.tmp` sibling, fsynced,
+    /// then atomically renamed over the final path: a crash mid-write can
+    /// only leave stray `.tmp` litter (never read back), not a truncated
+    /// frame that would surface later as a CRC `InvalidData` miss. Unique
+    /// staging names (pid + per-process counter) also keep concurrent
+    /// writers of the same key from interleaving into one temp file.
     pub fn write_block(&self, key: BlockKey, dims: Dims3, data: &[f32]) -> io::Result<()> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let bytes = match self.codec {
             crate::codec::Codec::Raw => encode_block(dims, data),
             c => encode_block_with(c, dims, data),
         };
-        let tmp = self.path_of(key).with_extension("tmp");
-        {
+        let path = self.path_of(key);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("{}.{}.tmp", std::process::id(), seq));
+        let staged = (|| {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(&bytes)?;
+            f.sync_all()
+        })();
+        let res = staged.and_then(|()| fs::rename(&tmp, &path));
+        if res.is_err() {
+            let _ = fs::remove_file(&tmp);
         }
-        fs::rename(&tmp, self.path_of(key))
+        res
     }
 
     /// Write every block of a materialized field (pre-processing step).
@@ -380,6 +395,67 @@ mod tests {
             let got = store.read_block(BlockKey::scalar(id)).unwrap();
             assert_eq!(got, field.extract_block(&layout, id));
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_write_leaves_no_truncated_frame() {
+        let dir = tmpdir("crash");
+        let store = DiskBlockStore::open(&dir).unwrap();
+        let key = BlockKey::scalar(BlockId(3));
+        let data = vec![4.0f32, 5.0, 6.0];
+        store.write_block(key, Dims3::new(3, 1, 1), &data).unwrap();
+
+        // Simulate a writer that died mid-stage: a partial temp file next
+        // to the good frame. It must never shadow the committed data.
+        let good = decode_block(&{
+            let mut buf = Vec::new();
+            fs::File::open(dir.join("v0_t0_b3.vblk")).unwrap().read_to_end(&mut buf).unwrap();
+            buf
+        })
+        .unwrap();
+        fs::write(dir.join("v0_t0_b3.9999.0.tmp"), &[0x56, 0x42, 0x4c]).unwrap();
+        assert_eq!(store.read_block(key).unwrap(), data);
+        assert_eq!(good.1, data);
+
+        // A fresh write still commits atomically over the final name and
+        // ignores the stale litter.
+        let data2 = vec![7.0f32, 8.0, 9.0];
+        store.write_block(key, Dims3::new(3, 1, 1), &data2).unwrap();
+        assert_eq!(store.read_block(key).unwrap(), data2);
+
+        // A never-written key with only temp litter reports NotFound, not
+        // InvalidData: litter is invisible to readers.
+        fs::write(dir.join("v0_t0_b4.1234.0.tmp"), &[0u8; 5]).unwrap();
+        let err = store.read_block(BlockKey::scalar(BlockId(4))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_key_never_interleave() {
+        let dir = tmpdir("racewrite");
+        let store = std::sync::Arc::new(DiskBlockStore::open(&dir).unwrap());
+        let key = BlockKey::scalar(BlockId(0));
+        let dims = Dims3::new(64, 1, 1);
+        let handles: Vec<_> = (0..4u32)
+            .map(|w| {
+                let s = store.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        s.write_block(key, dims, &vec![w as f32; 64]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Whatever write won, the frame decodes cleanly and is one
+        // writer's payload, not a mix.
+        let got = store.read_block(key).unwrap();
+        assert_eq!(got.len(), 64);
+        assert!(got.iter().all(|&v| v == got[0]), "interleaved frame: {got:?}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

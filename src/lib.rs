@@ -11,6 +11,9 @@
 //! - [`core`] — the paper's contribution: `T_visible`, `T_important`,
 //!   the radius model, and the Algorithm 1 session engine.
 //! - [`render`] — CPU ray caster and data-dependent analytics.
+//! - [`serve`] — multi-client block/frame server: CRC-framed wire
+//!   protocol, session registry, deficit-round-robin fairness, load
+//!   shedding, cross-session request coalescing.
 //! - [`telemetry`] — zero-dependency tracing: per-thread event rings,
 //!   log-bucketed histograms, Chrome-trace / Prometheus / summary
 //!   exporters.
@@ -20,5 +23,6 @@ pub use viz_core as core;
 pub use viz_fetch as fetch;
 pub use viz_geom as geom;
 pub use viz_render as render;
+pub use viz_serve as serve;
 pub use viz_telemetry as telemetry;
 pub use viz_volume as volume;
