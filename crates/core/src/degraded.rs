@@ -50,18 +50,22 @@ impl FrameFetchReport {
 }
 
 /// Fetch `keys` through `engine`, waiting at most `budget` wall-clock time
-/// in total. Each block's wait is capped by the budget *remaining* when its
-/// turn comes; once the budget is spent the remaining blocks are still
-/// requested (zero wait) so their reads stay in flight, but the frame
-/// proceeds without them.
+/// in total. The budget converts to one absolute deadline up front and
+/// every block waits against that same clock ([`FetchEngine::get_until`]);
+/// once the deadline passes the remaining blocks are still requested
+/// (zero wait) so their reads stay in flight, but the frame proceeds
+/// without them.
 pub fn fetch_frame(engine: &FetchEngine, keys: &[BlockKey], budget: Duration) -> FrameFetchReport {
     let ft = viz_telemetry::start();
     let start = Instant::now();
+    let deadline = start.checked_add(budget).unwrap_or_else(|| {
+        // An effectively-infinite budget: clamp a year out.
+        start + Duration::from_secs(365 * 24 * 3600)
+    });
     let mut loaded = 0usize;
     let mut missed = Vec::new();
     for &key in keys {
-        let remaining = budget.saturating_sub(start.elapsed());
-        match engine.get_deadline(key, remaining) {
+        match engine.get_until(key, deadline) {
             Ok(_) => loaded += 1,
             Err(_) => missed.push(key),
         }

@@ -27,6 +27,7 @@
 //! - waiters can bound their stall with [`FetchEngine::get_deadline`] /
 //!   [`Ticket::wait_timeout`] and render degraded instead of blocking.
 
+use crate::iopool::IoPool;
 use crate::pool::BlockPool;
 use crate::retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 use std::any::Any;
@@ -58,10 +59,22 @@ pub struct FetchConfig {
     /// retries happen inline with no backoff sleep.
     pub retry: RetryPolicy,
     /// Abandon a single source read after this long (the worker moves on;
-    /// the read finishes on a side thread and its payload still lands in
-    /// the pool). `None` trusts the source to return. Each read dispatches
-    /// through a short-lived I/O thread when set.
+    /// the read finishes on a pooled I/O thread and its payload still
+    /// lands in the pool). `None` trusts the source to return. Timed
+    /// reads dispatch through the bounded [`IoPool`] when set.
     pub source_timeout: Option<Duration>,
+    /// Cap on concurrent I/O threads servicing timed reads. Reads beyond
+    /// the cap queue for a pool thread instead of spawning more, so a
+    /// fault storm of hung reads can no longer leak one thread per read.
+    pub io_threads: usize,
+    /// Maximum prefetches grouped into one batched source read per
+    /// dispatch (`1` disables batching — the default, preserving strict
+    /// one-key-per-dispatch semantics). Batches go through
+    /// [`viz_volume::BlockSource::read_blocks`], letting disk-backed
+    /// sources group and order their accesses. Demand reads always
+    /// dispatch solo so batching never adds sibling latency to a stalled
+    /// renderer.
+    pub batch_max: usize,
     /// Circuit-breaker tuning (see [`CircuitBreaker`]). Set
     /// `failure_threshold` to `u32::MAX` to effectively disable it.
     pub breaker: BreakerConfig,
@@ -74,6 +87,8 @@ impl Default for FetchConfig {
             queue_cap: 4096,
             retry: RetryPolicy::default(),
             source_timeout: None,
+            io_threads: 32,
+            batch_max: 1,
             breaker: BreakerConfig::default(),
         }
     }
@@ -189,6 +204,14 @@ impl Ticket {
                 Err(RecvTimeoutError::Timeout) => Err(Ticket(TicketInner::Waiting(rx))),
             },
         }
+    }
+
+    /// [`Self::wait_timeout`] against an absolute deadline. Callers
+    /// bounding many fetches by one budget (a frame's demand set) compute
+    /// the deadline once and pass it to every wait, so the blocks share a
+    /// single clock instead of each re-measuring its own remainder.
+    pub fn wait_until(self, deadline: Instant) -> Result<FetchResult, Ticket> {
+        self.wait_timeout(deadline.saturating_duration_since(Instant::now()))
     }
 }
 
@@ -356,8 +379,19 @@ struct Shared {
     pool: Arc<BlockPool>,
     generation: AtomicU64,
     breaker: CircuitBreaker,
+    io: IoPool,
     cfg: FetchConfig,
     m: Counters,
+    /// Completion hook (see [`FetchEngine::set_completion_hook`]).
+    wake: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+/// Invoke the registered completion hook, if any, outside the state lock.
+fn wake_hook(s: &Shared) {
+    let hook = s.wake.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    if let Some(hook) = hook {
+        hook();
+    }
 }
 
 /// Poison-tolerant state lock: a panicking worker must never wedge the
@@ -404,6 +438,9 @@ pub struct FetchMetrics {
     pub worker_panics: u64,
     /// Abandoned reads whose payload later landed in the pool anyway.
     pub late_arrivals: u64,
+    /// I/O threads spawned for timed reads over the engine's lifetime —
+    /// bounded by [`FetchConfig::io_threads`] even under a fault storm.
+    pub io_threads_spawned: u64,
     /// Circuit-breaker state at snapshot time.
     pub breaker_state: BreakerState,
     /// Closed/half-open → open transitions.
@@ -471,8 +508,10 @@ impl FetchEngine {
             pool,
             generation: AtomicU64::new(0),
             breaker: CircuitBreaker::new(),
+            io: IoPool::new(cfg.io_threads),
             cfg,
             m: Counters::default(),
+            wake: Mutex::new(None),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -525,67 +564,53 @@ impl FetchEngine {
             viz_telemetry::instant(Ev::FetchDrop, key_salt(key), 1);
             return false;
         }
-        // Re-check under the lock: completions insert into the pool while
-        // holding it, so the miss above may have landed just before we got
-        // in — re-enqueueing would read the key a second time.
-        if s.pool.contains(key) {
-            s.m.coalesced.inc();
-            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 0);
-            return true;
-        }
-        if let Some(inf) = st.inflight.get(&key) {
-            s.m.coalesced.inc();
-            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 1);
-            note_cross_tag(s, key, inf.tag, tag);
-            return true;
-        }
         let gen = s.generation.load(Ordering::Relaxed);
-        if st.pending.contains_key(&key) {
-            s.m.coalesced.inc();
-            viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 2);
-            st.seq += 1;
-            st.stamp += 1;
-            let (seq, stamp) = (st.seq, st.stamp);
-            let p = st.pending.get_mut(&key).unwrap();
-            note_cross_tag(s, key, p.tag, tag);
-            // Re-requested now: wanted by the current generation even if it
-            // was first queued before a camera step.
-            p.gen = gen;
-            if !p.demand && priority > p.pri {
-                p.pri = priority;
-                p.stamp = stamp;
-                st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
-                drop(st);
-                s.work.notify_one();
-            }
-            return true;
-        }
-        // Source presumed down: speculative reads would only feed the
-        // failure run. Demand reads still pass (they carry the probe).
-        if !s.breaker.admit_prefetch() {
-            s.m.breaker_rejected_admission.inc();
-            viz_telemetry::instant(Ev::BreakerReject, key_salt(key), 0);
-            return false;
-        }
-        if st.pending_prefetch >= s.cfg.queue_cap {
-            s.m.dropped.inc();
-            viz_telemetry::instant(Ev::FetchDrop, key_salt(key), 0);
-            return false;
-        }
-        st.seq += 1;
-        st.stamp += 1;
-        let (seq, stamp) = (st.seq, st.stamp);
-        let enq = viz_telemetry::start();
-        st.pending.insert(
-            key,
-            Pending { demand: false, pri: priority, gen, stamp, tag, enq, waiters: Vec::new() },
-        );
-        st.pending_prefetch += 1;
-        st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
+        let (accepted, enqueued) = prefetch_locked(s, &mut st, key, priority, tag, gen);
         drop(st);
-        viz_telemetry::instant(Ev::FetchAdmitPrefetch, key_salt(key), priority.to_bits());
-        s.work.notify_one();
-        true
+        if enqueued {
+            s.work.notify_one();
+        }
+        accepted
+    }
+
+    /// Admit a whole visible-set delta in one call: every `(key,
+    /// priority)` pair runs the full per-key admission — pool/in-flight/
+    /// pending coalescing, breaker and queue-cap checks — under a single
+    /// state lock, so a thousand-block camera step costs one lock
+    /// round-trip instead of a thousand. Returns how many entries were
+    /// accepted (queued, upgraded, or coalesced); dropped and
+    /// breaker-rejected keys are counted exactly as per-key admission
+    /// would count them.
+    pub fn prefetch_batch(&self, items: &[(BlockKey, f64)]) -> usize {
+        self.prefetch_batch_tagged(items, 0)
+    }
+
+    /// [`Self::prefetch_batch`] with a fairness tag (see
+    /// [`Self::prefetch_tagged`]).
+    pub fn prefetch_batch_tagged(&self, items: &[(BlockKey, f64)], tag: u32) -> usize {
+        let s = &*self.shared;
+        let mut st = lock_state(s);
+        let gen = s.generation.load(Ordering::Relaxed);
+        let mut accepted = 0usize;
+        let mut enqueued = 0usize;
+        for &(key, priority) in items {
+            s.m.prefetch_requests.inc();
+            if st.shutdown {
+                s.m.dropped.inc();
+                viz_telemetry::instant(Ev::FetchDrop, key_salt(key), 1);
+                continue;
+            }
+            let (acc, enq) = prefetch_locked(s, &mut st, key, priority, tag, gen);
+            accepted += usize::from(acc);
+            enqueued += usize::from(enq);
+        }
+        drop(st);
+        if enqueued == 1 {
+            s.work.notify_one();
+        } else if enqueued > 1 {
+            s.work.notify_all();
+        }
+        accepted
     }
 
     /// Demand-fetch `key`: resident blocks resolve immediately; otherwise
@@ -690,6 +715,25 @@ impl FetchEngine {
         }
     }
 
+    /// Demand fetch bounded by an absolute deadline: [`Self::get_deadline`]
+    /// with the budget arithmetic done once on the caller's clock (see
+    /// [`Ticket::wait_until`]). An already-passed deadline still admits
+    /// the request — the read stays in flight for a later frame — and
+    /// returns [`io::ErrorKind::TimedOut`] immediately.
+    pub fn get_until(&self, key: BlockKey, deadline: Instant) -> FetchResult {
+        match self.request(key).wait_until(deadline) {
+            Ok(r) => r,
+            Err(_ticket) => {
+                self.shared.m.deadline_misses.inc();
+                viz_telemetry::instant(Ev::DeadlineMiss, key_salt(key), 0);
+                Err(FetchError {
+                    kind: io::ErrorKind::TimedOut,
+                    message: format!("demand read of {key:?} missed its frame deadline"),
+                })
+            }
+        }
+    }
+
     /// Advance the cancellation generation (call once per camera step).
     /// Prefetches queued under earlier generations and not re-requested
     /// since are dropped at dequeue. Returns the new generation.
@@ -705,6 +749,16 @@ impl FetchEngine {
     /// Current circuit-breaker state.
     pub fn breaker_state(&self) -> BreakerState {
         self.shared.breaker.state()
+    }
+
+    /// Register (or clear, with `None`) a hook called after every job
+    /// resolution — success, error, cancellation, or panic. An event loop
+    /// parked in `poll(2)` points this at its wake pipe so it learns about
+    /// completions immediately instead of at its poll timeout. The hook
+    /// runs on the resolving worker thread and must be cheap and
+    /// non-blocking.
+    pub fn set_completion_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+        *self.shared.wake.lock().unwrap_or_else(PoisonError::into_inner) = hook;
     }
 
     /// Wait until every queued and in-flight request has been serviced,
@@ -752,6 +806,32 @@ impl FetchEngine {
         n
     }
 
+    /// Deterministic mode: dequeue up to [`FetchConfig::batch_max`]
+    /// runnable prefetches and service them as one grouped source read
+    /// (a demand job at the front still dispatches solo). Returns the
+    /// serviced keys, empty when the queue is idle. With `batch_max == 1`
+    /// this is exactly [`Self::run_one`].
+    pub fn run_batch(&self) -> Vec<BlockKey> {
+        let s = &self.shared;
+        let jobs = {
+            let mut st = lock_state(s);
+            try_dequeue_batch(s, &mut st, s.cfg.batch_max.max(1))
+        };
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let keys: Vec<BlockKey> = jobs.iter().map(|j| j.key).collect();
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| service_batch(s, jobs))) {
+            s.m.worker_panics.inc();
+            for &key in &keys {
+                if lock_state(s).inflight.contains_key(&key) {
+                    fail_job_after_panic(s, key, p.as_ref());
+                }
+            }
+        }
+        keys
+    }
+
     /// Requests currently queued (logical entries, not stale heap nodes).
     pub fn queue_depth(&self) -> usize {
         lock_state(&self.shared).pending.len()
@@ -768,7 +848,9 @@ impl FetchEngine {
     /// Engine counter `(name, value)` pairs, for Prometheus exposition
     /// (the `extra` argument of [`viz_telemetry::Trace::prometheus_text`]).
     pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
-        self.shared.m.pairs()
+        let mut pairs = self.shared.m.pairs();
+        pairs.push(("io_threads_spawned", self.shared.io.spawned() as u64));
+        pairs
     }
 
     /// Snapshot the engine metrics.
@@ -806,6 +888,7 @@ impl FetchEngine {
             deadline_misses: s.m.deadline_misses.get(),
             worker_panics: s.m.worker_panics.get(),
             late_arrivals: s.m.late_arrivals.get(),
+            io_threads_spawned: s.io.spawned() as u64,
             breaker_state: s.breaker.state(),
             breaker_opens,
             breaker_half_opens,
@@ -849,6 +932,10 @@ impl FetchEngine {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Close the I/O pool last: queued timed reads finish (or hang on
+        // their detached threads), and dropping the job channel breaks
+        // the `Arc<Shared>` cycle through queued jobs.
+        self.shared.io.shutdown();
     }
 }
 
@@ -865,6 +952,76 @@ impl fmt::Debug for FetchEngine {
             .field("metrics", &self.metrics())
             .finish()
     }
+}
+
+/// Per-key prefetch admission with the state lock already held: pool and
+/// in-flight coalescing, pending merge/upgrade, breaker and queue-cap
+/// checks, fresh enqueue. The pool check runs under the lock because
+/// completions insert while holding it — a racing miss would otherwise
+/// re-read a key that just landed. Returns `(accepted, enqueued)`;
+/// `enqueued` means a heap node was pushed and a worker needs waking.
+fn prefetch_locked(
+    s: &Shared,
+    st: &mut MutexGuard<'_, State>,
+    key: BlockKey,
+    priority: f64,
+    tag: u32,
+    gen: u64,
+) -> (bool, bool) {
+    if s.pool.contains(key) {
+        s.m.coalesced.inc();
+        viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 0);
+        return (true, false);
+    }
+    if let Some(inf) = st.inflight.get(&key) {
+        s.m.coalesced.inc();
+        viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 1);
+        note_cross_tag(s, key, inf.tag, tag);
+        return (true, false);
+    }
+    if st.pending.contains_key(&key) {
+        s.m.coalesced.inc();
+        viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 2);
+        st.seq += 1;
+        st.stamp += 1;
+        let (seq, stamp) = (st.seq, st.stamp);
+        let p = st.pending.get_mut(&key).unwrap();
+        note_cross_tag(s, key, p.tag, tag);
+        // Re-requested now: wanted by the current generation even if it
+        // was first queued before a camera step.
+        p.gen = gen;
+        if !p.demand && priority > p.pri {
+            p.pri = priority;
+            p.stamp = stamp;
+            st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
+            return (true, true);
+        }
+        return (true, false);
+    }
+    // Source presumed down: speculative reads would only feed the
+    // failure run. Demand reads still pass (they carry the probe).
+    if !s.breaker.admit_prefetch() {
+        s.m.breaker_rejected_admission.inc();
+        viz_telemetry::instant(Ev::BreakerReject, key_salt(key), 0);
+        return (false, false);
+    }
+    if st.pending_prefetch >= s.cfg.queue_cap {
+        s.m.dropped.inc();
+        viz_telemetry::instant(Ev::FetchDrop, key_salt(key), 0);
+        return (false, false);
+    }
+    st.seq += 1;
+    st.stamp += 1;
+    let (seq, stamp) = (st.seq, st.stamp);
+    let enq = viz_telemetry::start();
+    st.pending.insert(
+        key,
+        Pending { demand: false, pri: priority, gen, stamp, tag, enq, waiters: Vec::new() },
+    );
+    st.pending_prefetch += 1;
+    st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
+    viz_telemetry::instant(Ev::FetchAdmitPrefetch, key_salt(key), priority.to_bits());
+    (true, true)
 }
 
 /// Pop the next runnable job, discarding stale heap nodes (superseded by a
@@ -906,6 +1063,43 @@ fn try_dequeue(s: &Shared, st: &mut MutexGuard<'_, State>) -> Option<Job> {
     None
 }
 
+/// Pop up to `max` runnable jobs for one dispatch. A demand job always
+/// dispatches solo (batching must never add sibling-read latency to a
+/// stalled renderer); prefetches batch together so the source sees one
+/// grouped read. Gathering stops early when the heap's next node is a
+/// demand entry — a stale such node can only shrink the batch, never
+/// starve the demand (it dispatches next).
+fn try_dequeue_batch(s: &Shared, st: &mut MutexGuard<'_, State>, max: usize) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    let Some(first) = try_dequeue(s, st) else {
+        return jobs;
+    };
+    let solo = first.demand;
+    jobs.push(first);
+    if solo {
+        return jobs;
+    }
+    while jobs.len() < max {
+        match st.heap.peek() {
+            Some(e) if !e.demand => {}
+            _ => break,
+        }
+        match try_dequeue(s, st) {
+            Some(j) => {
+                // A stale prefetch node can unmask a demand entry; take it
+                // into the batch (correct, just not solo) and stop there.
+                let demand = j.demand;
+                jobs.push(j);
+                if demand {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    jobs
+}
+
 fn notify_if_idle(s: &Shared, st: &MutexGuard<'_, State>) {
     if st.pending.is_empty() && st.inflight.is_empty() {
         s.idle.notify_all();
@@ -931,10 +1125,12 @@ fn key_salt(key: BlockKey) -> u64 {
 }
 
 /// One source read attempt, honoring `cfg.source_timeout`. With a timeout
-/// the read runs on a short-lived I/O thread: if it outlasts the deadline
-/// the worker abandons it (returning `TimedOut`), and the orphaned thread
+/// the read runs on the bounded [`IoPool`]: if it outlasts the deadline
+/// the worker abandons it (returning `TimedOut`), and the pool thread
 /// parks a successful late result straight into the pool so the block is
-/// not lost — only late.
+/// not lost — only late. At most [`FetchConfig::io_threads`] such reads
+/// run concurrently; a storm of hung reads queues instead of leaking one
+/// thread per read.
 fn read_source(s: &Arc<Shared>, key: BlockKey) -> Result<Vec<f32>, FetchError> {
     let Some(limit) = s.cfg.source_timeout else {
         // No timeout: read inline. A panicking source propagates to the
@@ -943,28 +1139,30 @@ fn read_source(s: &Arc<Shared>, key: BlockKey) -> Result<Vec<f32>, FetchError> {
     };
     let (tx, rx) = channel::<Result<Vec<f32>, FetchError>>();
     let io_shared = s.clone();
-    std::thread::Builder::new()
-        .name("viz-fetch-io".into())
-        .spawn(move || {
-            let res = catch_unwind(AssertUnwindSafe(|| io_shared.source.read_block(key)));
-            let out = match res {
-                Ok(Ok(v)) => Ok(v),
-                Ok(Err(e)) => Err(FetchError::from(e)),
-                Err(p) => Err(panic_error(p.as_ref())),
-            };
-            if let Err(unsent) = tx.send(out) {
-                // The worker timed out and dropped the receiver. Land the
-                // payload anyway: the next frame hits the pool instead of
-                // re-reading a block we already paid for.
-                if let Ok(data) = unsent.0 {
-                    let _st = lock_state(&io_shared);
-                    io_shared.pool.insert_arc(key, Arc::new(data));
-                    io_shared.m.late_arrivals.inc();
-                    viz_telemetry::instant(Ev::LateArrival, key_salt(key), 0);
-                }
+    let submitted = s.io.submit(Box::new(move || {
+        let res = catch_unwind(AssertUnwindSafe(|| io_shared.source.read_block(key)));
+        let out = match res {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(FetchError::from(e)),
+            Err(p) => Err(panic_error(p.as_ref())),
+        };
+        if let Err(unsent) = tx.send(out) {
+            // The worker timed out and dropped the receiver. Land the
+            // payload anyway: the next frame hits the pool instead of
+            // re-reading a block we already paid for.
+            if let Ok(data) = unsent.0 {
+                let _st = lock_state(&io_shared);
+                io_shared.pool.insert_arc(key, Arc::new(data));
+                io_shared.m.late_arrivals.inc();
+                viz_telemetry::instant(Ev::LateArrival, key_salt(key), 0);
             }
-        })
-        .expect("failed to spawn fetch io thread");
+        }
+    }));
+    if !submitted {
+        // Pool already shut down (engine stopping): read inline; the
+        // shutdown path does not need the timeout guard.
+        return s.source.read_block(key).map_err(FetchError::from);
+    }
     match rx.recv_timeout(limit) {
         Ok(out) => out,
         Err(RecvTimeoutError::Timeout) => {
@@ -982,7 +1180,7 @@ fn read_source(s: &Arc<Shared>, key: BlockKey) -> Result<Vec<f32>, FetchError> {
         }
         Err(RecvTimeoutError::Disconnected) => Err(FetchError {
             kind: io::ErrorKind::Other,
-            message: "fetch io thread died without reporting".into(),
+            message: "fetch io pool dropped the read without reporting".into(),
         }),
     }
 }
@@ -997,11 +1195,18 @@ fn engine_shutting_down(s: &Shared) -> bool {
 /// or the resident block, never neither.
 fn service(s: &Arc<Shared>, job: Job) {
     let t0 = Instant::now();
-    let salt = key_salt(job.key);
-    let mut attempt = 0u32;
-    let res = loop {
+    let res = read_retrying(s, job.key, 0);
+    publish_one(s, &job, res, t0);
+}
+
+/// Read one key, retrying transient failures per `cfg.retry` starting at
+/// 0-based `attempt` (batch dispatch enters at 1: the batched read was
+/// the key's first attempt).
+fn read_retrying(s: &Arc<Shared>, key: BlockKey, mut attempt: u32) -> Result<Vec<f32>, FetchError> {
+    let salt = key_salt(key);
+    loop {
         let ta = viz_telemetry::start();
-        let r = read_source(s, job.key);
+        let r = read_source(s, key);
         viz_telemetry::span(
             Ev::SourceRead,
             salt,
@@ -1009,24 +1214,36 @@ fn service(s: &Arc<Shared>, job: Job) {
             ta,
         );
         let kind = match &r {
-            Ok(_) => break r,
+            Ok(_) => return r,
             Err(e) => e.kind,
         };
         if !s.cfg.retry.should_retry(kind, attempt) || engine_shutting_down(s) {
-            break r;
+            return r;
         }
-        s.m.retries.inc();
-        viz_telemetry::instant(Ev::FetchRetry, salt, u64::from(attempt));
-        if s.cfg.workers > 0 {
-            let d = s.cfg.retry.backoff(attempt, salt);
-            if !d.is_zero() {
-                let tb = viz_telemetry::start();
-                std::thread::sleep(d);
-                viz_telemetry::span(Ev::FetchBackoff, salt, u64::from(attempt), tb);
-            }
-        }
+        count_retry(s, salt, attempt);
         attempt += 1;
-    };
+    }
+}
+
+/// Count one retry and, in threaded mode, sleep the backoff for 0-based
+/// `attempt`.
+fn count_retry(s: &Shared, salt: u64, attempt: u32) {
+    s.m.retries.inc();
+    viz_telemetry::instant(Ev::FetchRetry, salt, u64::from(attempt));
+    if s.cfg.workers > 0 {
+        let d = s.cfg.retry.backoff(attempt, salt);
+        if !d.is_zero() {
+            let tb = viz_telemetry::start();
+            std::thread::sleep(d);
+            viz_telemetry::span(Ev::FetchBackoff, salt, u64::from(attempt), tb);
+        }
+    }
+}
+
+/// Publish one finished read: pool insert + waiter fan-out + terminal
+/// counters, all under the state lock (see [`service`]).
+fn publish_one(s: &Arc<Shared>, job: &Job, res: Result<Vec<f32>, FetchError>, t0: Instant) {
+    let salt = key_salt(job.key);
     let dt_ns = t0.elapsed().as_nanos() as u64;
     let mut st = lock_state(s);
     let waiters = st.inflight.remove(&job.key).map(|i| i.waiters).unwrap_or_default();
@@ -1065,6 +1282,120 @@ fn service(s: &Arc<Shared>, job: Job) {
         }
     }
     notify_if_idle(s, &st);
+    drop(st);
+    wake_hook(s);
+}
+
+/// Service a whole dequeued batch with one grouped source read
+/// ([`viz_volume::BlockSource::read_blocks`]), then publish each key
+/// independently. A key whose slot failed transiently falls back to the
+/// per-key retry path (its batched attempt counts as attempt 0); failures
+/// never poison batch siblings. Single-job batches take the plain
+/// [`service`] path so one-key dispatch telemetry is unchanged.
+fn service_batch(s: &Arc<Shared>, jobs: Vec<Job>) {
+    if jobs.len() == 1 {
+        let job = jobs.into_iter().next().expect("len checked");
+        return service(s, job);
+    }
+    let t0 = Instant::now();
+    let keys: Vec<BlockKey> = jobs.iter().map(|j| j.key).collect();
+    let tb = viz_telemetry::start();
+    let results = batched_read(s, &keys);
+    let all_ok = results.iter().all(|r| r.is_ok());
+    viz_telemetry::span(
+        Ev::BatchRead,
+        key_salt(keys[0]),
+        ((keys.len() as u64) << 1) | u64::from(all_ok),
+        tb,
+    );
+    for (job, first) in jobs.into_iter().zip(results) {
+        let res = match first {
+            Ok(v) => Ok(v),
+            Err(e) if s.cfg.retry.should_retry(e.kind, 0) && !engine_shutting_down(s) => {
+                count_retry(s, key_salt(job.key), 0);
+                read_retrying(s, job.key, 1)
+            }
+            Err(e) => Err(e),
+        };
+        publish_one(s, &job, res, t0);
+    }
+}
+
+/// One batched source read, honoring `cfg.source_timeout` the same way
+/// [`read_source`] does: with a timeout the whole batch runs on the
+/// bounded [`IoPool`] and is abandoned as a unit at the deadline, with
+/// any late-completing payloads still landing in the pool.
+fn batched_read(s: &Arc<Shared>, keys: &[BlockKey]) -> Vec<Result<Vec<f32>, FetchError>> {
+    let Some(limit) = s.cfg.source_timeout else {
+        return s
+            .source
+            .read_blocks(keys)
+            .into_iter()
+            .map(|r| r.map_err(FetchError::from))
+            .collect();
+    };
+    let (tx, rx) = channel::<Vec<Result<Vec<f32>, FetchError>>>();
+    let io_shared = s.clone();
+    let batch: Vec<BlockKey> = keys.to_vec();
+    let submitted = s.io.submit(Box::new(move || {
+        let res = catch_unwind(AssertUnwindSafe(|| io_shared.source.read_blocks(&batch)));
+        let out: Vec<Result<Vec<f32>, FetchError>> = match res {
+            Ok(v) => v.into_iter().map(|r| r.map_err(FetchError::from)).collect(),
+            Err(p) => {
+                let e = panic_error(p.as_ref());
+                batch.iter().map(|_| Err(e.clone())).collect()
+            }
+        };
+        if let Err(unsent) = tx.send(out) {
+            // The worker abandoned the batch at its deadline. Land every
+            // payload that did complete — late, not lost.
+            let _st = lock_state(&io_shared);
+            for (k, r) in batch.iter().zip(unsent.0) {
+                if let Ok(data) = r {
+                    io_shared.pool.insert_arc(*k, Arc::new(data));
+                    io_shared.m.late_arrivals.inc();
+                    viz_telemetry::instant(Ev::LateArrival, key_salt(*k), 0);
+                }
+            }
+        }
+    }));
+    if !submitted {
+        // Pool already shut down (engine stopping): read inline.
+        return s
+            .source
+            .read_blocks(keys)
+            .into_iter()
+            .map(|r| r.map_err(FetchError::from))
+            .collect();
+    }
+    match rx.recv_timeout(limit) {
+        Ok(out) => out,
+        Err(RecvTimeoutError::Timeout) => {
+            if let Ok(out) = rx.try_recv() {
+                return out;
+            }
+            drop(rx);
+            viz_telemetry::instant(Ev::SourceTimeout, key_salt(keys[0]), limit.as_nanos() as u64);
+            keys.iter()
+                .map(|k| {
+                    s.m.timeouts.inc();
+                    Err(FetchError {
+                        kind: io::ErrorKind::TimedOut,
+                        message: format!("batched read of {k:?} exceeded {limit:?}; abandoned"),
+                    })
+                })
+                .collect()
+        }
+        Err(RecvTimeoutError::Disconnected) => keys
+            .iter()
+            .map(|_| {
+                Err(FetchError {
+                    kind: io::ErrorKind::Other,
+                    message: "fetch io pool dropped the batch without reporting".into(),
+                })
+            })
+            .collect(),
+    }
 }
 
 /// Small stable code for [`io::ErrorKind`]s the engine distinguishes, for
@@ -1093,16 +1424,21 @@ fn fail_job_after_panic(s: &Arc<Shared>, key: BlockKey, p: &(dyn Any + Send)) {
         let _ = w.send(Err(e.clone()));
     }
     notify_if_idle(s, &st);
+    drop(st);
+    wake_hook(s);
 }
 
-fn worker_loop(s: &Arc<Shared>, active: &Mutex<Option<BlockKey>>) {
+fn worker_loop(s: &Arc<Shared>, active: &Mutex<Vec<BlockKey>>) {
+    let batch_max = s.cfg.batch_max.max(1);
     let mut st = lock_state(s);
     loop {
-        if let Some(job) = try_dequeue(s, &mut st) {
+        let jobs = try_dequeue_batch(s, &mut st, batch_max);
+        if !jobs.is_empty() {
             drop(st);
-            *active.lock().unwrap_or_else(PoisonError::into_inner) = Some(job.key);
-            service(s, job);
-            *active.lock().unwrap_or_else(PoisonError::into_inner) = None;
+            *active.lock().unwrap_or_else(PoisonError::into_inner) =
+                jobs.iter().map(|j| j.key).collect();
+            service_batch(s, jobs);
+            active.lock().unwrap_or_else(PoisonError::into_inner).clear();
             st = lock_state(s);
             continue;
         }
@@ -1114,19 +1450,23 @@ fn worker_loop(s: &Arc<Shared>, active: &Mutex<Option<BlockKey>>) {
 }
 
 /// Worker supervision: catch a panic anywhere in the worker's loop, fail
-/// the in-flight job it was holding (so waiters see a [`FetchError`], not
-/// a hang), and re-enter the loop — the worker respawns in place and the
-/// pool never shrinks.
+/// the in-flight jobs it was holding (so waiters see a [`FetchError`],
+/// not a hang), and re-enter the loop — the worker respawns in place and
+/// the pool never shrinks. Batch keys already published before the panic
+/// are left alone (they are no longer in the in-flight map).
 fn supervised_worker(s: &Arc<Shared>) {
-    let active: Mutex<Option<BlockKey>> = Mutex::new(None);
+    let active: Mutex<Vec<BlockKey>> = Mutex::new(Vec::new());
     loop {
         match catch_unwind(AssertUnwindSafe(|| worker_loop(s, &active))) {
             Ok(()) => return, // clean shutdown
             Err(p) => {
                 s.m.worker_panics.inc();
-                let key = active.lock().unwrap_or_else(PoisonError::into_inner).take();
-                if let Some(key) = key {
-                    fail_job_after_panic(s, key, p.as_ref());
+                let keys =
+                    std::mem::take(&mut *active.lock().unwrap_or_else(PoisonError::into_inner));
+                for key in keys {
+                    if lock_state(s).inflight.contains_key(&key) {
+                        fail_job_after_panic(s, key, p.as_ref());
+                    }
                 }
             }
         }
@@ -1360,6 +1700,42 @@ mod tests {
     }
 
     #[test]
+    fn timed_read_storm_spawns_bounded_io_threads() {
+        /// Every read hangs long past the timeout: the worst case that
+        /// used to spawn one sacrificial thread per read.
+        struct HangingSource;
+        impl viz_volume::BlockSource for HangingSource {
+            fn read_block(&self, _key: BlockKey) -> io::Result<Vec<f32>> {
+                std::thread::sleep(Duration::from_millis(100));
+                Err(io::Error::new(io::ErrorKind::NotFound, "hung source"))
+            }
+            fn block_bytes(&self, _key: BlockKey) -> io::Result<usize> {
+                Ok(0)
+            }
+        }
+        let pool = Arc::new(BlockPool::new());
+        let cfg = FetchConfig {
+            workers: 4,
+            source_timeout: Some(Duration::from_millis(2)),
+            retry: RetryPolicy::none(),
+            io_threads: 2,
+            ..FetchConfig::default()
+        };
+        let eng = FetchEngine::spawn(Arc::new(HangingSource), pool, cfg);
+        let tickets: Vec<_> = (0..16).map(|i| eng.request(key(i))).collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap_err().kind, io::ErrorKind::TimedOut);
+        }
+        let m = eng.metrics();
+        assert!(m.timeouts >= 16, "every read should have been abandoned: {m:?}");
+        assert!(
+            m.io_threads_spawned <= 2,
+            "storm leaked past the io_threads cap: {}",
+            m.io_threads_spawned
+        );
+    }
+
+    #[test]
     fn get_deadline_times_out_and_counts_a_miss() {
         let pool = Arc::new(BlockPool::new());
         // Deterministic: nothing will service the read within the deadline.
@@ -1370,5 +1746,75 @@ mod tests {
         // The abandoned read is still queued; servicing it lands the block.
         assert_eq!(eng.run_until_idle(), 1);
         assert!(eng.pool().contains(key(0)));
+    }
+
+    #[test]
+    fn wait_until_and_get_until_honor_absolute_deadlines() {
+        let pool = Arc::new(BlockPool::new());
+        let eng = FetchEngine::deterministic(store_with(2), pool);
+        let t = eng.request(key(0));
+        let past = Instant::now();
+        let t = t.wait_until(past).unwrap_err(); // already expired
+        let err = eng.get_until(key(1), past).unwrap_err();
+        assert_eq!(err.kind, io::ErrorKind::TimedOut);
+        assert_eq!(eng.metrics().deadline_misses, 1);
+        eng.run_until_idle();
+        let got = t
+            .wait_until(Instant::now() + Duration::from_millis(100))
+            .expect("resolved after stepping")
+            .unwrap();
+        assert_eq!(got.as_slice(), &[0.0f32; 8]);
+        assert!(eng.pool().contains(key(1)), "missed read still landed");
+    }
+
+    #[test]
+    fn batch_admission_matches_per_key_semantics() {
+        let pool = Arc::new(BlockPool::new());
+        let cfg = FetchConfig { queue_cap: 4, ..FetchConfig::deterministic() };
+        let eng = FetchEngine::spawn(store_with(16), pool.clone(), cfg);
+        // 6 fresh keys against cap 4: first 4 queue, last 2 drop.
+        let items: Vec<(BlockKey, f64)> = (0..6).map(|i| (key(i), f64::from(i))).collect();
+        assert_eq!(eng.prefetch_batch(&items), 4);
+        let m = eng.metrics();
+        assert_eq!(m.dropped, 2);
+        assert_eq!(m.queue_depth_prefetch, 4);
+        // Re-submitting queued keys coalesces; the upgrade takes effect.
+        assert_eq!(eng.prefetch_batch(&[(key(0), 9.0), (key(1), 0.0)]), 2);
+        assert_eq!(eng.metrics().coalesced, 2);
+        assert_eq!(eng.run_one(), Some(key(0)), "upgraded key dispatches first");
+        eng.run_until_idle();
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn run_batch_groups_prefetches_and_isolates_failures() {
+        let pool = Arc::new(BlockPool::new());
+        let cfg = FetchConfig { batch_max: 4, ..FetchConfig::deterministic() };
+        let eng = FetchEngine::spawn(store_with(8), pool.clone(), cfg);
+        for i in 0..5 {
+            assert!(eng.prefetch(key(i), 1.0));
+        }
+        assert!(eng.prefetch(key(99), 0.5)); // missing from the store
+        assert_eq!(eng.run_batch().len(), 4);
+        assert_eq!(eng.run_batch().len(), 2);
+        assert!(eng.run_batch().is_empty());
+        let m = eng.metrics();
+        assert_eq!(m.completed, 5);
+        assert_eq!(m.errors, 1, "missing key fails without poisoning batch siblings");
+        assert_eq!(m.retries, 0, "NotFound in a batch must fail fast");
+        assert_eq!(pool.len(), 5);
+    }
+
+    #[test]
+    fn demand_dispatches_solo_even_with_batching() {
+        let cfg = FetchConfig { batch_max: 8, ..FetchConfig::deterministic() };
+        let eng = FetchEngine::spawn(store_with(8), Arc::new(BlockPool::new()), cfg);
+        for i in 0..4 {
+            assert!(eng.prefetch(key(i), 1.0));
+        }
+        let t = eng.request(key(7));
+        assert_eq!(eng.run_batch(), vec![key(7)], "demand outranks and dispatches alone");
+        assert_eq!(eng.run_batch().len(), 4);
+        assert!(t.wait().is_ok());
     }
 }

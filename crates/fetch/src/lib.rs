@@ -65,13 +65,17 @@
 
 pub mod engine;
 pub mod fault;
+pub mod iopool;
 pub mod pool;
+pub mod reactor;
 pub mod retry;
 pub mod virt;
 
 pub use engine::{FetchConfig, FetchEngine, FetchError, FetchMetrics, Ticket};
 pub use fault::{FaultConfig, FaultInjectingSource};
+pub use iopool::IoPool;
 pub use pool::BlockPool;
+pub use reactor::{poll_fds, PollFd, ReadyHandle, ReadySet, TimerId, TimerWheel};
 pub use retry::{is_transient, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use virt::{
     InstrumentedSource, ReadRecord, Tier, TierLatency, VirtualClock, VirtualClockSource,

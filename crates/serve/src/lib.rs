@@ -19,6 +19,11 @@
 //!   pressure, graceful drain, and per-client telemetry through the
 //!   `viz_telemetry` rings. Duplicate keys across *different* clients
 //!   coalesce into one source read inside the shared engine.
+//! - [`reactor`] — the scaling front end: every connection on one
+//!   poll-driven event loop (demand deadlines on a timer wheel, no
+//!   thread per client), selected by [`ServeConfig::backend`] via
+//!   [`TcpFrontend`]; its in-process twin drives thousands of virtual
+//!   sessions on a virtual clock for the soak suite.
 //! - [`client`] — a typed client over any transport, with split
 //!   send/recv halves for deterministic stepping.
 //!
@@ -51,6 +56,7 @@
 
 pub mod client;
 pub mod proto;
+pub mod reactor;
 pub mod registry;
 mod sched;
 pub mod server;
@@ -58,9 +64,10 @@ pub mod transport;
 
 pub use client::{ClientError, FetchOutcome, ServeClient};
 pub use proto::{BlockReply, ProtoError, Request, Response, MAX_FRAME_BYTES, PROTO_VERSION};
+pub use reactor::{ReactorInProcServer, ReactorTcpServer, TcpFrontend};
 pub use registry::{SessionId, SessionView};
 pub use server::{
-    handle_request, serve_connection, DrainReport, InProcServer, Outcome, PendingFetch,
+    handle_request, serve_connection, DrainReport, InProcServer, IoBackend, Outcome, PendingFetch,
     ServeConfig, ServeError, ServeMetrics, Server, ShedReason, Submission, TcpServer,
 };
 pub use transport::{inproc_pair, InProcTransport, TcpTransport, Transport};

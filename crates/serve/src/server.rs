@@ -42,6 +42,18 @@ use viz_fetch::{BreakerState, FetchEngine, Ticket};
 use viz_telemetry::{instant, Counter, EventKind as Ev};
 use viz_volume::BlockKey;
 
+/// Which I/O front end drives connections (see [`crate::reactor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// One thread per connection, blocking reads. The original model:
+    /// simple, fine up to a few hundred sessions.
+    #[default]
+    Threads,
+    /// One poll-driven event loop for every connection; threads stay
+    /// constant as sessions scale to the thousands.
+    Reactor,
+}
+
 /// Serving policy knobs. `Default` suits tests and small deployments;
 /// the bench stresses the watermarks explicitly.
 #[derive(Debug, Clone)]
@@ -68,6 +80,12 @@ pub struct ServeConfig {
     pub demand_deadline: Option<Duration>,
     /// Registry cap; opens past it are refused.
     pub max_sessions: usize,
+    /// Connection front-end model ([`crate::TcpFrontend::bind`] reads
+    /// this to pick between thread-per-connection and the reactor).
+    pub backend: IoBackend,
+    /// How many prefetch entries one pump pass hands the engine as a
+    /// single batched admission (grouped per session, DRR order kept).
+    pub pump_batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +101,8 @@ impl Default for ServeConfig {
             shed_resident_bytes: 1 << 30,
             demand_deadline: None,
             max_sessions: 1024,
+            backend: IoBackend::Threads,
+            pump_batch: 64,
         }
     }
 }
@@ -378,7 +398,17 @@ impl Server {
         }
         let (shed, downgraded, admitted) = self.admit_prefetch(id, generation, prefetch);
         instant(Ev::RequestAdmit, u64::from(id.0), ((demand_n as u64) << 32) | admitted);
-        Ok(Submission { session: id, demand_keys: demand, rx, shed, downgraded })
+        Ok(Submission {
+            session: id,
+            demand_keys: demand,
+            rx,
+            received: 0,
+            disconnected: false,
+            waiting: Vec::new(),
+            got: HashMap::new(),
+            shed,
+            downgraded,
+        })
     }
 
     /// Walk the shed ladder for each prefetch entry; returns
@@ -484,9 +514,34 @@ impl Server {
             if engine_pf >= self.cfg.engine_queue_target {
                 break;
             }
-            let e = relock(&self.sched).pop_next_prefetch(self.cfg.quantum);
-            let Some((sid, e)) = e else { break };
-            self.engine.prefetch_tagged(e.key, e.pri, sid);
+            // Pop a bounded run in DRR order under one scheduler lock,
+            // then admit it to the engine in per-session batches (the
+            // engine takes its own lock once per batch instead of once
+            // per key — see `FetchEngine::prefetch_batch_tagged`).
+            let budget = self
+                .cfg
+                .engine_queue_target
+                .saturating_sub(engine_pf)
+                .min(self.cfg.pump_batch.max(1));
+            let mut run: Vec<(u32, BlockKey, f64)> = Vec::with_capacity(budget);
+            {
+                let mut sched = relock(&self.sched);
+                for _ in 0..budget {
+                    let Some((sid, e)) = sched.pop_next_prefetch(self.cfg.quantum) else { break };
+                    run.push((sid, e.key, e.pri));
+                }
+            }
+            if run.is_empty() {
+                break;
+            }
+            let mut i = 0;
+            while i < run.len() {
+                let sid = run[i].0;
+                let end = run[i..].iter().position(|r| r.0 != sid).map_or(run.len(), |off| i + off);
+                let items: Vec<(BlockKey, f64)> = run[i..end].iter().map(|r| (r.1, r.2)).collect();
+                self.engine.prefetch_batch_tagged(&items, sid);
+                i = end;
+            }
         }
     }
 
@@ -562,10 +617,24 @@ impl Server {
 
 /// An admitted frame request: collects the demand outcomes once the pump
 /// has issued them.
+///
+/// Two consumption styles share this state: the blocking [`Submission::collect`]
+/// (thread-per-connection servers park here) and the incremental
+/// [`Submission::poll_ready`] (the reactor calls it each loop turn and
+/// never blocks). Polling and then collecting is fine — tickets already
+/// drained by a poll are resolved or parked in `waiting`, and `collect`
+/// finishes both.
 pub struct Submission {
     session: SessionId,
     demand_keys: Vec<BlockKey>,
     rx: Receiver<(BlockKey, Ticket)>,
+    /// Entries received off `rx` so far (resolved or parked).
+    received: usize,
+    /// The sender side went away (session closed underneath us).
+    disconnected: bool,
+    /// Tickets received but not yet resolved (poll path only).
+    waiting: Vec<(BlockKey, Ticket)>,
+    got: HashMap<BlockKey, Result<Arc<Vec<f32>>, u16>>,
     shed: u32,
     downgraded: u32,
 }
@@ -581,55 +650,88 @@ impl Submission {
         self.downgraded
     }
 
+    /// Drain whatever the pump has issued and resolve whatever the
+    /// engine has finished, without blocking. Returns `true` once every
+    /// demand key has an outcome (or the session vanished), i.e. the
+    /// reply is complete and a `collect_*` call will not block.
+    pub fn poll_ready(&mut self) -> bool {
+        loop {
+            match self.rx.try_recv() {
+                Ok(pair) => {
+                    self.received += 1;
+                    self.waiting.push(pair);
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+        let waiting = std::mem::take(&mut self.waiting);
+        for (key, ticket) in waiting {
+            match ticket.try_wait() {
+                Ok(r) => {
+                    self.got.insert(key, r.map_err(|e| errkind_code(e.kind)));
+                }
+                Err(still_pending) => self.waiting.push((key, still_pending)),
+            }
+        }
+        self.waiting.is_empty() && (self.received >= self.demand_keys.len() || self.disconnected)
+    }
+
     /// Block until every demand key has an outcome (the engine's workers
     /// resolve the tickets). Requires a [`Server::pump`] to have issued
     /// the entries; [`serve_connection`] does this.
-    pub fn collect(self, server: &Server) -> Vec<BlockReply> {
+    pub fn collect(mut self, server: &Server) -> Vec<BlockReply> {
         let deadline = server.cfg.demand_deadline;
-        let mut got: HashMap<BlockKey, Result<Arc<Vec<f32>>, u16>> = HashMap::new();
-        for _ in 0..self.demand_keys.len() {
+        let resolve = |ticket: Ticket| match deadline {
+            Some(d) => match ticket.wait_timeout(d) {
+                Ok(r) => r.map_err(|e| errkind_code(e.kind)),
+                Err(_still_pending) => Err(errkind_code(io::ErrorKind::TimedOut)),
+            },
+            None => ticket.wait().map_err(|e| errkind_code(e.kind)),
+        };
+        // Tickets an earlier poll drained but could not resolve.
+        for (key, ticket) in std::mem::take(&mut self.waiting) {
+            let outcome = resolve(ticket);
+            self.got.insert(key, outcome);
+        }
+        while self.received < self.demand_keys.len() {
             // A dropped sender means the session was closed underneath
             // us; the remaining keys resolve as Interrupted below.
             let Ok((key, ticket)) = self.rx.recv() else { break };
-            let outcome = match deadline {
-                Some(d) => match ticket.wait_timeout(d) {
-                    Ok(r) => r.map_err(|e| errkind_code(e.kind)),
-                    Err(_still_pending) => Err(errkind_code(io::ErrorKind::TimedOut)),
-                },
-                None => ticket.wait().map_err(|e| errkind_code(e.kind)),
-            };
-            got.insert(key, outcome);
+            self.received += 1;
+            let outcome = resolve(ticket);
+            self.got.insert(key, outcome);
         }
-        self.finish(server, got)
+        self.finish(server, io::ErrorKind::Interrupted)
     }
 
     /// Non-blocking collection for deterministic (`workers = 0`) runs:
     /// call after the engine has been stepped to idle; any ticket still
     /// unresolved reports `Interrupted`.
-    pub fn collect_ready(self, server: &Server) -> Vec<BlockReply> {
-        let mut got: HashMap<BlockKey, Result<Arc<Vec<f32>>, u16>> = HashMap::new();
-        while let Ok((key, ticket)) = self.rx.try_recv() {
-            let outcome = match ticket.try_wait() {
-                Ok(r) => r.map_err(|e| errkind_code(e.kind)),
-                Err(_still_pending) => Err(errkind_code(io::ErrorKind::Interrupted)),
-            };
-            got.insert(key, outcome);
-        }
-        self.finish(server, got)
+    pub fn collect_ready(mut self, server: &Server) -> Vec<BlockReply> {
+        self.poll_ready();
+        self.finish(server, io::ErrorKind::Interrupted)
     }
 
-    fn finish(
-        self,
-        server: &Server,
-        got: HashMap<BlockKey, Result<Arc<Vec<f32>>, u16>>,
-    ) -> Vec<BlockReply> {
-        let interrupted = errkind_code(io::ErrorKind::Interrupted);
+    /// Non-blocking collection at a missed deadline: unresolved keys
+    /// report `TimedOut` (the reactor's timer wheel lands here).
+    pub fn collect_timed_out(mut self, server: &Server) -> Vec<BlockReply> {
+        self.poll_ready();
+        self.finish(server, io::ErrorKind::TimedOut)
+    }
+
+    fn finish(self, server: &Server, missing: io::ErrorKind) -> Vec<BlockReply> {
+        let missing = errkind_code(missing);
+        let got = self.got;
         let (mut served, mut errors, mut bytes) = (0u64, 0u64, 0u64);
         let replies: Vec<BlockReply> = self
             .demand_keys
             .iter()
             .map(|&key| {
-                let result = got.get(&key).cloned().unwrap_or(Err(interrupted));
+                let result = got.get(&key).cloned().unwrap_or(Err(missing));
                 match &result {
                     Ok(data) => {
                         served += 1;
@@ -661,6 +763,17 @@ pub struct PendingFetch {
 }
 
 impl PendingFetch {
+    /// The session the fetch belongs to.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// Non-blocking progress check: `true` once the reply is complete
+    /// and [`PendingFetch::resolve_now`] will lose nothing.
+    pub fn poll(&mut self) -> bool {
+        self.sub.poll_ready()
+    }
+
     /// Block until the reply is complete (threaded servers).
     pub fn wait(self, server: &Server) -> Response {
         let (shed, downgraded) = (self.sub.shed, self.sub.downgraded);
@@ -672,6 +785,16 @@ impl PendingFetch {
     pub fn resolve_now(self, server: &Server) -> Response {
         let (shed, downgraded) = (self.sub.shed, self.sub.downgraded);
         let blocks = self.sub.collect_ready(server);
+        Response::FetchReply { session: self.session, blocks, shed, downgraded }
+    }
+
+    /// Resolve at a missed demand deadline: unresolved keys report
+    /// `TimedOut` (their reads stay in flight and land in the pool for a
+    /// later frame — same degraded-frame contract as the thread model's
+    /// per-ticket deadline).
+    pub fn resolve_timed_out(self, server: &Server) -> Response {
+        let (shed, downgraded) = (self.sub.shed, self.sub.downgraded);
+        let blocks = self.sub.collect_timed_out(server);
         Response::FetchReply { session: self.session, blocks, shed, downgraded }
     }
 }

@@ -31,10 +31,16 @@ fn broken_pipe() -> io::Error {
 }
 
 /// One end of an in-process duplex frame pipe (see [`inproc_pair`]).
-#[derive(Debug)]
 pub struct InProcTransport {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
+    notify: Option<std::sync::Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for InProcTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcTransport").field("notify", &self.notify.is_some()).finish()
+    }
 }
 
 /// Create a connected pair of in-process transports: frames sent on one
@@ -42,12 +48,30 @@ pub struct InProcTransport {
 pub fn inproc_pair() -> (InProcTransport, InProcTransport) {
     let (a_tx, b_rx) = channel();
     let (b_tx, a_rx) = channel();
-    (InProcTransport { tx: a_tx, rx: a_rx }, InProcTransport { tx: b_tx, rx: b_rx })
+    (
+        InProcTransport { tx: a_tx, rx: a_rx, notify: None },
+        InProcTransport { tx: b_tx, rx: b_rx, notify: None },
+    )
+}
+
+impl InProcTransport {
+    /// Install a readiness hook: `f` runs after every successful send,
+    /// so a poll-driven peer can learn a frame is waiting without
+    /// sleeping. The reactor back end marks a
+    /// [`viz_fetch::ReadySet`] token here — this is what makes the
+    /// in-process pipe a virtual-readiness transport.
+    pub fn set_notify(&mut self, f: std::sync::Arc<dyn Fn() + Send + Sync>) {
+        self.notify = Some(f);
+    }
 }
 
 impl Transport for InProcTransport {
     fn send(&mut self, frame: &[u8]) -> io::Result<()> {
-        self.tx.send(frame.to_vec()).map_err(|_| broken_pipe())
+        self.tx.send(frame.to_vec()).map_err(|_| broken_pipe())?;
+        if let Some(n) = &self.notify {
+            n();
+        }
+        Ok(())
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {

@@ -1,17 +1,26 @@
 //! Localhost TCP end-to-end: real sockets, real worker threads, many
 //! concurrent clients against one shared engine.
+//!
+//! Every scenario runs twice — once per [`IoBackend`] — through the
+//! backend-generic [`TcpFrontend`], so the reactor front end proves it
+//! keeps the thread model's observable contract (replies, coalescing,
+//! metrics, shutdown) on real sockets.
 
 use std::sync::Arc;
 use std::time::Duration;
 use viz_fetch::{BlockPool, FetchConfig, FetchEngine, InstrumentedSource};
-use viz_serve::{ServeClient, ServeConfig, Server, TcpServer, TcpTransport};
+use viz_serve::{IoBackend, ServeClient, ServeConfig, Server, TcpFrontend, TcpTransport};
 use viz_volume::{BlockId, BlockKey, MemBlockStore};
 
 fn key(i: u32) -> BlockKey {
     BlockKey::scalar(BlockId(i))
 }
 
-fn tcp_server(workers: usize, n: u32) -> (TcpServer, Arc<InstrumentedSource>) {
+fn tcp_server(
+    backend: IoBackend,
+    workers: usize,
+    n: u32,
+) -> (TcpFrontend, Arc<InstrumentedSource>) {
     let store = MemBlockStore::new();
     for i in 0..n {
         store.insert(key(i), vec![i as f32; 8]);
@@ -22,13 +31,12 @@ fn tcp_server(workers: usize, n: u32) -> (TcpServer, Arc<InstrumentedSource>) {
         Arc::new(BlockPool::new()),
         FetchConfig { workers, ..FetchConfig::default() },
     );
-    let server = Server::new(Arc::new(engine), ServeConfig::default());
-    (TcpServer::bind(server, "127.0.0.1:0").unwrap(), src)
+    let server = Server::new(Arc::new(engine), ServeConfig { backend, ..ServeConfig::default() });
+    (TcpFrontend::bind(server, "127.0.0.1:0").unwrap(), src)
 }
 
-#[test]
-fn four_tcp_clients_share_one_engine() {
-    let (tcp, src) = tcp_server(2, 32);
+fn four_tcp_clients_share_one_engine(backend: IoBackend) {
+    let (tcp, src) = tcp_server(backend, 2, 32);
     let addr = tcp.local_addr().to_string();
 
     let handles: Vec<_> = (0..4)
@@ -74,8 +82,17 @@ fn four_tcp_clients_share_one_engine() {
 }
 
 #[test]
-fn stats_round_trip_over_tcp() {
-    let (tcp, _src) = tcp_server(1, 8);
+fn four_tcp_clients_share_one_engine_threads() {
+    four_tcp_clients_share_one_engine(IoBackend::Threads);
+}
+
+#[test]
+fn four_tcp_clients_share_one_engine_reactor() {
+    four_tcp_clients_share_one_engine(IoBackend::Reactor);
+}
+
+fn stats_round_trip_over_tcp(backend: IoBackend) {
+    let (tcp, _src) = tcp_server(backend, 1, 8);
     let addr = tcp.local_addr().to_string();
 
     let mut client = ServeClient::new(TcpTransport::connect(&addr).unwrap());
@@ -93,8 +110,17 @@ fn stats_round_trip_over_tcp() {
 }
 
 #[test]
-fn shutdown_forces_out_a_lingering_client() {
-    let (tcp, _src) = tcp_server(1, 8);
+fn stats_round_trip_over_tcp_threads() {
+    stats_round_trip_over_tcp(IoBackend::Threads);
+}
+
+#[test]
+fn stats_round_trip_over_tcp_reactor() {
+    stats_round_trip_over_tcp(IoBackend::Reactor);
+}
+
+fn shutdown_forces_out_a_lingering_client(backend: IoBackend) {
+    let (tcp, _src) = tcp_server(backend, 1, 8);
     let addr = tcp.local_addr().to_string();
 
     let mut client = ServeClient::new(TcpTransport::connect(&addr).unwrap());
@@ -112,4 +138,94 @@ fn shutdown_forces_out_a_lingering_client() {
 
     // The socket is dead afterwards.
     assert!(client.stats().is_err());
+}
+
+#[test]
+fn shutdown_forces_out_a_lingering_client_threads() {
+    shutdown_forces_out_a_lingering_client(IoBackend::Threads);
+}
+
+#[test]
+fn shutdown_forces_out_a_lingering_client_reactor() {
+    shutdown_forces_out_a_lingering_client(IoBackend::Reactor);
+}
+
+/// Reactor-only: a demand deadline on the timer wheel bounds the reply
+/// even when the source is far slower — no sacrificial timeout thread,
+/// and the abandoned read still lands in the pool afterwards.
+#[test]
+fn reactor_demand_deadline_bounds_a_slow_source() {
+    let store = MemBlockStore::new();
+    store.insert(key(0), vec![0.5; 8]);
+    let src = Arc::new(InstrumentedSource::new(Arc::new(store), Duration::from_millis(300)));
+    let engine = FetchEngine::spawn(
+        src,
+        Arc::new(BlockPool::new()),
+        FetchConfig { workers: 1, ..FetchConfig::default() },
+    );
+    let server = Server::new(
+        Arc::new(engine),
+        ServeConfig {
+            backend: IoBackend::Reactor,
+            demand_deadline: Some(Duration::from_millis(25)),
+            ..ServeConfig::default()
+        },
+    );
+    let tcp = TcpFrontend::bind(server, "127.0.0.1:0").unwrap();
+
+    let mut client =
+        ServeClient::new(TcpTransport::connect(&tcp.local_addr().to_string()).unwrap());
+    client.open("impatient").unwrap();
+    let t0 = std::time::Instant::now();
+    let got = client.fetch(vec![key(0)], vec![]).unwrap();
+    let waited = t0.elapsed();
+    assert!(got.blocks[0].result.is_err(), "the 300 ms read cannot beat a 25 ms deadline");
+    assert!(
+        waited < Duration::from_millis(290),
+        "deadline reply took {waited:?}, the wheel must fire long before the read lands"
+    );
+    // The read was abandoned, not cancelled: once it lands, the block is
+    // resident and the retry is a pool hit.
+    std::thread::sleep(Duration::from_millis(350));
+    let again = client.fetch(vec![key(0)], vec![]).unwrap();
+    assert_eq!(again.blocks[0].result.as_ref().unwrap()[0], 0.5);
+    client.close().unwrap();
+    tcp.shutdown();
+}
+
+/// Reactor-only: one connection pipelines several requests; replies come
+/// back in order even though fetches park mid-stream, and a second
+/// connection's traffic interleaves on the same loop thread.
+#[test]
+fn reactor_preserves_per_connection_order_under_pipelining() {
+    let (tcp, _src) = tcp_server(IoBackend::Reactor, 2, 64);
+    let addr = tcp.local_addr().to_string();
+
+    let mut a = ServeClient::new(TcpTransport::connect(&addr).unwrap());
+    let mut b = ServeClient::new(TcpTransport::connect(&addr).unwrap());
+    a.open("pipeliner").unwrap();
+    b.open("bystander").unwrap();
+
+    // Queue three fetches back-to-back without reading any reply, then a
+    // stats probe: four responses must arrive, in request order.
+    for i in 0..3u32 {
+        a.send_fetch(0, vec![key(i), key(i + 8)], vec![(key(40 + i), 0.5)]).unwrap();
+    }
+    a.send_stats().unwrap();
+    let other = b.fetch(vec![key(7)], vec![]).unwrap();
+    assert_eq!(other.blocks.len(), 1);
+    for i in 0..3u32 {
+        let got = a.recv_fetch().unwrap();
+        assert_eq!(got.blocks.len(), 2);
+        assert_eq!(got.blocks[0].key, key(i), "reply order must match request order");
+        assert!(got.blocks.iter().all(|r| r.result.is_ok()));
+    }
+    let tail = a.recv_response().unwrap();
+    assert!(
+        matches!(tail, viz_serve::Response::StatsReply { .. }),
+        "the pipelined stats probe answers last: {tail:?}"
+    );
+    let m = tcp.server().metrics();
+    assert_eq!(m.demand_served, 7);
+    tcp.shutdown();
 }

@@ -94,10 +94,16 @@ pub enum EventKind {
     /// Two *different* sessions coalesced onto one source read (instant;
     /// `key` = salted block key, `arg` = `owner_tag << 32 | incoming_tag`).
     CrossClientCoalesce,
+    /// One reactor event-loop iteration (span; `key` = loop id, `arg` =
+    /// readiness events handled this tick).
+    ReactorTick,
+    /// One batched source read covering several keys (span; `key` = salted
+    /// key of the first batch member, `arg` = `batch_size << 1 | success`).
+    BatchRead,
 }
 
 /// Number of event kinds (array sizing for per-kind aggregation).
-pub const KIND_COUNT: usize = 31;
+pub const KIND_COUNT: usize = 33;
 
 impl EventKind {
     /// Every kind, in declaration order.
@@ -133,6 +139,8 @@ impl EventKind {
         EventKind::RequestAdmit,
         EventKind::RequestShed,
         EventKind::CrossClientCoalesce,
+        EventKind::ReactorTick,
+        EventKind::BatchRead,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -169,6 +177,8 @@ impl EventKind {
             EventKind::RequestAdmit => "request_admit",
             EventKind::RequestShed => "request_shed",
             EventKind::CrossClientCoalesce => "cross_client_coalesce",
+            EventKind::ReactorTick => "reactor_tick",
+            EventKind::BatchRead => "batch_read",
         }
     }
 
@@ -191,7 +201,8 @@ impl EventKind {
             | EventKind::LateArrival
             | EventKind::SourceTimeout
             | EventKind::DeadlineMiss
-            | EventKind::WorkerPanic => "fetch",
+            | EventKind::WorkerPanic
+            | EventKind::BatchRead => "fetch",
             EventKind::CacheHit | EventKind::CacheMiss | EventKind::CacheEvict => "cache",
             EventKind::Frame | EventKind::RenderPass => "frame",
             EventKind::BreakerOpen
@@ -202,7 +213,8 @@ impl EventKind {
             | EventKind::SessionClose
             | EventKind::RequestAdmit
             | EventKind::RequestShed
-            | EventKind::CrossClientCoalesce => "serve",
+            | EventKind::CrossClientCoalesce
+            | EventKind::ReactorTick => "serve",
         }
     }
 
@@ -216,6 +228,8 @@ impl EventKind {
                 | EventKind::FetchService
                 | EventKind::Frame
                 | EventKind::RenderPass
+                | EventKind::ReactorTick
+                | EventKind::BatchRead
         )
     }
 }
@@ -268,7 +282,7 @@ mod tests {
     #[test]
     fn span_kinds_are_exactly_the_duration_carriers() {
         let spans: Vec<_> = EventKind::ALL.iter().filter(|k| k.is_span()).collect();
-        assert_eq!(spans.len(), 6);
+        assert_eq!(spans.len(), 8);
     }
 
     #[test]
