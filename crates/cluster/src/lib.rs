@@ -1,0 +1,63 @@
+//! # viz-cluster — sharded multi-node block serving
+//!
+//! Scales the single-node [`viz_serve`] server out: every
+//! [`viz_volume::BlockKey`] maps to exactly one *owner* node, clients
+//! route each frame's demand to the owners directly, and a node asked
+//! for a block it does not own forwards to the owner over the same VSRV
+//! protocol clients speak.
+//!
+//! - [`shard`] — the [`ShardMap`]: consistent-hash ring placement (plus
+//!   an octree-subtree-aware variant that co-locates spatial siblings),
+//!   versioned and CRC-framed so nodes and clients detect skew.
+//! - [`peer`] — node-to-node fetch: one VSRV session per peer pair,
+//!   bounded retry, and a per-peer circuit breaker reusing the
+//!   [`viz_fetch`] fault machinery.
+//! - [`node`] — a [`ClusterNode`] wraps a [`viz_serve::Server`] whose
+//!   engine reads through a [`RoutedSource`]; cross-session coalescing
+//!   then dedupes concurrent remote fetches into one peer round trip.
+//! - [`router`] — the client side: split a frame's demand per owner,
+//!   merge replies, fail over along the ring-successor order the map
+//!   itself defines, spill to a replica when the owner is overloaded.
+//! - [`testing`] — a deterministic in-process [`TestCluster`]: N nodes
+//!   over one shared store on a virtual clock, synchronous transports,
+//!   crash/drain-and-reassign in one call.
+//!
+//! The deployment model is shared storage (every node can read every
+//! block, as on a parallel file system): ownership concentrates each
+//! block's pool residency and request coalescing on one node, but any
+//! peer failure can always fall back to a local read — so sharding
+//! optimizes locality and can never cost availability.
+//!
+//! ## Example
+//!
+//! ```
+//! use viz_cluster::{NodeId, ShardStrategy, TestCluster};
+//! use viz_volume::{BlockId, BlockKey};
+//!
+//! let cluster = TestCluster::new(3, ShardStrategy::Ring);
+//! for i in 0..32u32 {
+//!     cluster.insert(BlockKey::scalar(BlockId(i)), vec![i as f32; 8]);
+//! }
+//! let mut router = cluster.router("viewer");
+//! let demand: Vec<_> = (0..32u32).map(|i| BlockKey::scalar(BlockId(i))).collect();
+//! let reply = router.fetch(demand.clone(), vec![]);
+//! assert_eq!(reply.blocks.len(), 32);
+//! assert!(reply.blocks.iter().all(|b| b.result.is_ok()));
+//! // Each key was read by its owner node, not by whichever node was asked.
+//! let total: u64 = (0..3).map(|n| cluster.reads(NodeId(n))).sum();
+//! assert_eq!(total, 32);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod peer;
+pub mod router;
+pub mod shard;
+pub mod testing;
+
+pub use node::{ClusterConfig, ClusterNode, RoutedSource};
+pub use peer::{Connector, LinkFactory, PeerClient, PeerConfig, PeerLink, TcpPeerLink};
+pub use router::{Router, RouterConfig, RouterReply};
+pub use shard::{MapError, NodeId, ShardMap, ShardStrategy};
+pub use testing::{SyncLink, SyncTransport, TestCluster};

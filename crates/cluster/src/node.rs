@@ -1,0 +1,354 @@
+//! One cluster node: a viz-serve [`Server`] whose engine reads through a
+//! [`RoutedSource`] — keys this node owns read local storage, keys owned
+//! elsewhere forward to their owner over VSRV ([`crate::peer`]).
+//!
+//! ## Why the source is the routing seam
+//!
+//! Putting the forward *inside* the node's fetch engine (rather than in
+//! front of it) means every piece of single-node machinery applies to
+//! remote keys for free: N local clients demanding one remote key
+//! coalesce in the engine into **one** peer round trip (the same
+//! cross-session coalescing that dedupes local reads), the block lands in
+//! this node's pool so the next frame is a pool hit, and prefetch
+//! admission/shedding treat remote keys like any other.
+//!
+//! ## Cycle safety
+//!
+//! A forward can only cycle if two nodes disagree about ownership (map
+//! skew mid-reassignment). Three fences bound it: the node's dispatcher
+//! answers a `PeerFetch` through its engine only when it owns *every*
+//! key under its own map (otherwise it reads local storage directly —
+//! shared storage makes that always correct); forwarded frames carry a
+//! hop count that receivers refuse to extend past
+//! [`ClusterConfig::max_hops`]; and any peer failure — including a
+//! refused forward — falls back to a local read. Demand therefore never
+//! errors because of cluster topology; skew costs locality, not
+//! availability.
+
+use crate::peer::{note_fallback, Connector, PeerClient, PeerConfig};
+use crate::shard::{NodeId, ShardMap};
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use viz_fetch::{BlockPool, FetchConfig, FetchEngine};
+use viz_serve::proto::errkind_code;
+use viz_serve::{
+    handle_request, BlockReply, Outcome, Request, RequestDispatch, Response, ServeConfig, Server,
+};
+use viz_telemetry::{instant, EventKind as Ev};
+use viz_volume::{BlockKey, BlockSource};
+
+/// Cluster-layer tuning for one node.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Peer-fetch behaviour (retry, breaker, outgoing hop stamp).
+    pub peer: PeerConfig,
+    /// Refuse to re-forward a `PeerFetch` whose hop count reaches this;
+    /// answer from local storage instead.
+    pub max_hops: u8,
+    /// `true` resolves peer-forwarded fetches by stepping the `workers =
+    /// 0` engine inline (the deterministic test cluster); `false` blocks
+    /// on worker threads (real deployments).
+    pub deterministic: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { peer: PeerConfig::default(), max_hops: 2, deterministic: false }
+    }
+}
+
+impl ClusterConfig {
+    /// Tuning for the in-process deterministic cluster: inline engine
+    /// stepping, no retry sleeps.
+    pub fn deterministic() -> Self {
+        ClusterConfig {
+            peer: PeerConfig { retry: viz_fetch::RetryPolicy::none(), ..PeerConfig::default() },
+            max_hops: 2,
+            deterministic: true,
+        }
+    }
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Shard map + peer clients shared between the node and its engine's
+/// [`RoutedSource`].
+struct ClusterShared {
+    self_id: NodeId,
+    map: RwLock<Arc<ShardMap>>,
+    connect: Arc<Connector>,
+    peer_cfg: PeerConfig,
+    /// One lazily-dialed client per peer, each behind its own lock so
+    /// concurrent fetches to *different* peers proceed in parallel while
+    /// fetches to the same peer serialize on its one connection.
+    peers: Mutex<HashMap<u32, Arc<Mutex<PeerClient>>>>,
+}
+
+impl ClusterShared {
+    fn map(&self) -> Arc<ShardMap> {
+        self.map.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    fn peer(&self, id: NodeId) -> Arc<Mutex<PeerClient>> {
+        let mut peers = relock(&self.peers);
+        peers
+            .entry(id.0)
+            .or_insert_with(|| {
+                let connect = self.connect.clone();
+                Arc::new(Mutex::new(PeerClient::new(
+                    self.self_id,
+                    id,
+                    Box::new(move || connect(id)),
+                    self.peer_cfg.clone(),
+                )))
+            })
+            .clone()
+    }
+
+    /// Fetch `keys` from `owner`, falling back to `local` per key (or
+    /// whole-batch) on any peer failure. Results land in `out` at the
+    /// positions named by `idxs`.
+    fn peer_or_local(
+        &self,
+        owner: NodeId,
+        keys: &[BlockKey],
+        idxs: &[usize],
+        local: &Arc<dyn BlockSource>,
+        out: &mut [Option<io::Result<Vec<f32>>>],
+    ) {
+        let fetched = {
+            let peer = self.peer(owner);
+            let mut peer = relock(&peer);
+            peer.fetch(keys)
+        };
+        match fetched {
+            Ok(blocks) if blocks.len() == keys.len() => {
+                for (slot, reply) in idxs.iter().zip(blocks) {
+                    out[*slot] = Some(match reply.result {
+                        Ok(data) => Ok(Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone())),
+                        Err(code) => {
+                            // The owner failed this one key; shared
+                            // storage lets us retry locally.
+                            note_fallback(owner, viz_serve::proto::errkind_from_code(code));
+                            local.read_block(reply.key)
+                        }
+                    });
+                }
+            }
+            Ok(_) | Err(_) => {
+                let kind = match &fetched {
+                    Err(e) => e.kind(),
+                    Ok(_) => io::ErrorKind::InvalidData,
+                };
+                note_fallback(owner, kind);
+                for (slot, r) in idxs.iter().zip(local.read_blocks(keys)) {
+                    out[*slot] = Some(r);
+                }
+            }
+        }
+    }
+}
+
+/// The node's [`BlockSource`]: owned keys read `local`, remote keys
+/// round-trip to their owner with local fallback (see module docs).
+pub struct RoutedSource {
+    local: Arc<dyn BlockSource>,
+    shared: Arc<ClusterShared>,
+}
+
+impl BlockSource for RoutedSource {
+    fn read_block(&self, key: BlockKey) -> io::Result<Vec<f32>> {
+        let map = self.shared.map();
+        match map.owner(key) {
+            Some(owner) if owner != self.shared.self_id => {
+                let mut out = [None];
+                self.shared.peer_or_local(owner, &[key], &[0], &self.local, &mut out);
+                out[0].take().expect("peer_or_local fills every slot")
+            }
+            _ => self.local.read_block(key),
+        }
+    }
+
+    fn block_bytes(&self, key: BlockKey) -> io::Result<usize> {
+        // Size probes stay local: shared storage answers them without a
+        // round trip, and quota accounting only needs an estimate.
+        self.local.block_bytes(key)
+    }
+
+    fn read_blocks(&self, keys: &[BlockKey]) -> Vec<io::Result<Vec<f32>>> {
+        let map = self.shared.map();
+        let mut out: Vec<Option<io::Result<Vec<f32>>>> = Vec::new();
+        out.resize_with(keys.len(), || None);
+        // Group request positions per owner, preserving request order
+        // within each group.
+        let mut local_keys = Vec::new();
+        let mut local_idxs = Vec::new();
+        let mut remote: HashMap<u32, (Vec<BlockKey>, Vec<usize>)> = HashMap::new();
+        for (i, &key) in keys.iter().enumerate() {
+            match map.owner(key) {
+                Some(owner) if owner != self.shared.self_id => {
+                    let entry = remote.entry(owner.0).or_default();
+                    entry.0.push(key);
+                    entry.1.push(i);
+                }
+                _ => {
+                    local_keys.push(key);
+                    local_idxs.push(i);
+                }
+            }
+        }
+        if !local_keys.is_empty() {
+            for (slot, r) in local_idxs.iter().zip(self.local.read_blocks(&local_keys)) {
+                out[*slot] = Some(r);
+            }
+        }
+        let mut owners: Vec<u32> = remote.keys().copied().collect();
+        owners.sort();
+        for owner in owners {
+            let (ks, idxs) = &remote[&owner];
+            self.shared.peer_or_local(NodeId(owner), ks, idxs, &self.local, &mut out);
+        }
+        out.into_iter().map(|r| r.expect("every slot fills")).collect()
+    }
+}
+
+/// One sharded serve node (see module docs). Implements
+/// [`RequestDispatch`] so a [`viz_serve::TcpServer::bind_with`] front end
+/// routes every decoded request through the cluster layer.
+pub struct ClusterNode {
+    id: NodeId,
+    server: Arc<Server>,
+    shared: Arc<ClusterShared>,
+    local: Arc<dyn BlockSource>,
+    cfg: ClusterConfig,
+}
+
+impl ClusterNode {
+    /// Build a node over `local` storage with the initial `map`.
+    /// `connect` dials peers (TCP in deployments, in-process links in
+    /// tests); the engine and server are built here so their source is
+    /// the node's [`RoutedSource`].
+    pub fn new(
+        id: NodeId,
+        local: Arc<dyn BlockSource>,
+        map: ShardMap,
+        connect: impl Fn(NodeId) -> io::Result<Box<dyn crate::peer::PeerLink>> + Send + Sync + 'static,
+        fetch_cfg: FetchConfig,
+        serve_cfg: ServeConfig,
+        cfg: ClusterConfig,
+    ) -> Arc<ClusterNode> {
+        let shared = Arc::new(ClusterShared {
+            self_id: id,
+            map: RwLock::new(Arc::new(map)),
+            connect: Arc::new(connect),
+            peer_cfg: cfg.peer.clone(),
+            peers: Mutex::new(HashMap::new()),
+        });
+        let routed = Arc::new(RoutedSource { local: local.clone(), shared: shared.clone() });
+        let engine = FetchEngine::spawn(routed, Arc::new(BlockPool::new()), fetch_cfg);
+        let server = Server::new(Arc::new(engine), serve_cfg);
+        Arc::new(ClusterNode { id, server, shared, local, cfg })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The wrapped serve layer.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// The shard map currently in force.
+    pub fn map(&self) -> Arc<ShardMap> {
+        self.shared.map()
+    }
+
+    /// Breaker transition counters `(opens, half_opens, closes,
+    /// rejected)` for this node's client to `peer` — `None` until a
+    /// fetch has actually dialed it.
+    pub fn peer_breaker_counters(&self, peer: NodeId) -> Option<(u64, u64, u64, u64)> {
+        let peers = relock(&self.shared.peers);
+        peers.get(&peer.0).map(|p| relock(p).breaker_counters())
+    }
+
+    /// Install `map` if it is newer than the current one; returns whether
+    /// it was installed. Reassignment control planes push the same map to
+    /// every node; version ordering makes the push idempotent and
+    /// tolerant of reordering.
+    pub fn install_map(&self, map: ShardMap) -> bool {
+        let mut cur = self.shared.map.write().unwrap_or_else(|p| p.into_inner());
+        if map.version() <= cur.version() {
+            return false;
+        }
+        instant(Ev::MapUpdate, u64::from(self.id.0), map.version());
+        *cur = Arc::new(map);
+        true
+    }
+
+    /// Serve one already-framed request synchronously on the calling
+    /// thread — the deterministic in-process transport. Fetches pump the
+    /// scheduler and step the inline engine to idle (recursing into peer
+    /// nodes through their own `serve_frame` when a read forwards).
+    pub fn serve_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let resp = match viz_serve::proto::decode_request(frame) {
+            Ok(req) => match self.dispatch(&self.server, req) {
+                Outcome::Ready(r) => r,
+                Outcome::Fetch(p) => {
+                    self.server.pump();
+                    if self.cfg.deterministic {
+                        self.server.engine().run_until_idle();
+                        p.resolve_now(&self.server)
+                    } else {
+                        p.wait(&self.server)
+                    }
+                }
+            },
+            Err(pe) => Response::Error { code: pe.code(), message: pe.to_string() },
+        };
+        viz_serve::proto::encode_response(&resp)
+    }
+
+    /// Answer a `PeerFetch` without engine submission: straight local
+    /// reads (shared storage), used past the hop cap and under map skew.
+    fn peer_direct(&self, session: u32, demand: Vec<BlockKey>) -> Outcome {
+        self.server.record_peer_direct(demand.len() as u64);
+        let results = self.local.read_blocks(&demand);
+        let blocks = demand
+            .into_iter()
+            .zip(results)
+            .map(|(key, r)| BlockReply {
+                key,
+                result: r.map(Arc::new).map_err(|e| errkind_code(e.kind())),
+            })
+            .collect();
+        Outcome::Ready(Response::FetchReply { session, blocks, shed: 0, downgraded: 0 })
+    }
+}
+
+impl RequestDispatch for ClusterNode {
+    fn dispatch(&self, server: &Arc<Server>, req: Request) -> Outcome {
+        match req {
+            Request::MapGet => {
+                let m = self.shared.map();
+                Outcome::Ready(Response::MapReply { version: m.version(), map_bytes: m.encode() })
+            }
+            Request::PeerFetch { session, hops, demand } => {
+                let map = self.shared.map();
+                let all_owned = demand.iter().all(|&k| map.owner(k) == Some(self.id));
+                if hops < self.cfg.max_hops && all_owned {
+                    // Normal ownership: resolve through the engine so
+                    // concurrent peers coalesce and the pool warms.
+                    handle_request(server, Request::PeerFetch { session, hops, demand })
+                } else {
+                    self.peer_direct(session, demand)
+                }
+            }
+            other => handle_request(server, other),
+        }
+    }
+}

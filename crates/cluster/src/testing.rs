@@ -1,0 +1,263 @@
+//! A deterministic in-process multi-node cluster: every node's engine is
+//! `workers = 0`, every "connection" is a synchronous function call, and
+//! source time is a shared [`VirtualClock`] — so cluster tests replay
+//! byte-for-byte, with no sockets, threads, or sleeps.
+//!
+//! [`SyncLink`] (node→node) and [`SyncTransport`] (client→node) both
+//! resolve a frame by calling the target node's
+//! [`ClusterNode::serve_frame`] on the calling thread. A peer forward
+//! under map skew therefore *recurses* — node A serving a frame calls
+//! into node B, which may call onward — and a thread-local depth guard
+//! converts runaway recursion (a routing cycle two maps could otherwise
+//! sustain) into a clean `WouldBlock`, which the peer layer treats like
+//! any other peer failure: fall back to local storage.
+
+use crate::node::{ClusterConfig, ClusterNode};
+use crate::peer::{Connector, PeerLink};
+use crate::router::{Router, RouterConfig};
+use crate::shard::{NodeId, ShardMap, ShardStrategy};
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+use viz_fetch::{FetchConfig, InstrumentedSource, VirtualClock, VirtualClockSource};
+use viz_serve::proto::{decode_response, encode_request};
+use viz_serve::{Request, Response, ServeClient, ServeConfig, Transport};
+use viz_volume::{BlockKey, MemBlockStore};
+
+/// Live nodes by id; removal is how the harness models a crash.
+type NodeRegistry = Arc<Mutex<HashMap<u32, Arc<ClusterNode>>>>;
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+thread_local! {
+    /// Frames currently being served recursively on this thread.
+    static SERVE_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// How deep synchronous node→node recursion may go before a link refuses
+/// with `WouldBlock`. Deep enough for legitimate client→node→peer chains
+/// (depth 2) plus one skew-induced extra hop; shallow enough to stop a
+/// cycle immediately.
+const MAX_SERVE_DEPTH: u32 = 4;
+
+fn lookup(registry: &NodeRegistry, id: NodeId) -> io::Result<Arc<ClusterNode>> {
+    relock(registry)
+        .get(&id.0)
+        .cloned()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionRefused, format!("{id} is offline")))
+}
+
+fn serve_sync(registry: &NodeRegistry, id: NodeId, frame: &[u8]) -> io::Result<Vec<u8>> {
+    let node = lookup(registry, id)?;
+    let depth = SERVE_DEPTH.with(|d| d.get());
+    if depth >= MAX_SERVE_DEPTH {
+        return Err(io::Error::new(io::ErrorKind::WouldBlock, "synchronous serve recursion cap"));
+    }
+    SERVE_DEPTH.with(|d| d.set(depth + 1));
+    let reply = node.serve_frame(frame);
+    SERVE_DEPTH.with(|d| d.set(depth));
+    Ok(reply)
+}
+
+/// A [`PeerLink`] that serves each round trip by calling the target
+/// node's dispatcher on this thread. Looks the target up per call, so a
+/// failed node turns into `ConnectionRefused` exactly like a dead socket.
+pub struct SyncLink {
+    registry: NodeRegistry,
+    target: NodeId,
+}
+
+impl PeerLink for SyncLink {
+    fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        let reply = serve_sync(&self.registry, self.target, &encode_request(req))?;
+        Ok(decode_response(&reply)?)
+    }
+}
+
+/// A [`Transport`] over the same synchronous call path, for
+/// [`ServeClient`]s talking to one node directly.
+pub struct SyncTransport {
+    registry: NodeRegistry,
+    target: NodeId,
+    replies: VecDeque<Vec<u8>>,
+}
+
+impl Transport for SyncTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        let reply = serve_sync(&self.registry, self.target, frame)?;
+        self.replies.push_back(reply);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.replies.pop_front().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "no reply queued; send first")
+        })
+    }
+
+    fn try_recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.replies.pop_front())
+    }
+}
+
+/// An in-process cluster over one shared [`MemBlockStore`] (the "shared
+/// parallel file system" of the deployment model): every node can read
+/// every block, each through its own [`InstrumentedSource`] tap so tests
+/// can assert *which* node did the reading.
+pub struct TestCluster {
+    store: Arc<MemBlockStore>,
+    clock: Arc<VirtualClock>,
+    registry: NodeRegistry,
+    taps: HashMap<u32, Arc<InstrumentedSource>>,
+    map: ShardMap,
+}
+
+impl TestCluster {
+    /// `n` nodes (ids `0..n`) sharded by `strategy`.
+    pub fn new(n: u32, strategy: ShardStrategy) -> TestCluster {
+        Self::with_configs(n, strategy, ServeConfig::default(), ClusterConfig::deterministic())
+    }
+
+    /// [`TestCluster::new`] with explicit per-node serve and cluster
+    /// configs.
+    pub fn with_configs(
+        n: u32,
+        strategy: ShardStrategy,
+        serve_cfg: ServeConfig,
+        cluster_cfg: ClusterConfig,
+    ) -> TestCluster {
+        let store = Arc::new(MemBlockStore::new());
+        let clock = Arc::new(VirtualClock::new());
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let map = ShardMap::new(&ids, 64, strategy);
+        let registry: NodeRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let mut taps = HashMap::new();
+        for id in ids {
+            let timed = VirtualClockSource::uniform(store.clone(), clock.clone(), 1);
+            let tap = Arc::new(InstrumentedSource::new(Arc::new(timed), Duration::ZERO));
+            taps.insert(id.0, tap.clone());
+            let node = ClusterNode::new(
+                id,
+                tap,
+                map.clone(),
+                Self::make_connector(registry.clone()),
+                FetchConfig::deterministic(),
+                serve_cfg.clone(),
+                cluster_cfg.clone(),
+            );
+            relock(&registry).insert(id.0, node);
+        }
+        TestCluster { store, clock, registry, taps, map }
+    }
+
+    fn make_connector(
+        registry: NodeRegistry,
+    ) -> impl Fn(NodeId) -> io::Result<Box<dyn PeerLink>> + Send + Sync + 'static {
+        move |id| {
+            Ok(Box::new(SyncLink { registry: registry.clone(), target: id }) as Box<dyn PeerLink>)
+        }
+    }
+
+    /// The shared backing store (seed blocks here).
+    pub fn store(&self) -> &Arc<MemBlockStore> {
+        &self.store
+    }
+
+    /// Insert a block into shared storage.
+    pub fn insert(&self, key: BlockKey, data: Vec<f32>) {
+        self.store.insert(key, data);
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The authoritative (control-plane) map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// A live node, if it has not been failed.
+    pub fn node(&self, id: NodeId) -> Option<Arc<ClusterNode>> {
+        relock(&self.registry).get(&id.0).cloned()
+    }
+
+    /// Live node ids, sorted.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = relock(&self.registry).keys().map(|&id| NodeId(id)).collect();
+        v.sort();
+        v
+    }
+
+    /// Storage reads issued *by* `id`'s local source (local + forwarded
+    /// work it performed), counting reads even after the node failed.
+    pub fn reads(&self, id: NodeId) -> u64 {
+        self.taps.get(&id.0).map_or(0, |t| t.reads())
+    }
+
+    /// A connector usable by routers and external peer clients.
+    pub fn connector(&self) -> Arc<Connector> {
+        Arc::new(Self::make_connector(self.registry.clone()))
+    }
+
+    /// A router named `name` holding the current map.
+    pub fn router(&self, name: &str) -> Router {
+        self.router_with(name, RouterConfig::default())
+    }
+
+    /// [`TestCluster::router`] with explicit tuning.
+    pub fn router_with(&self, name: &str, cfg: RouterConfig) -> Router {
+        Router::new(name, self.map.clone(), self.connector(), cfg)
+    }
+
+    /// A direct client to one node (bypasses routing; used to compare
+    /// single-node behavior and to drive peer-coalescing assertions).
+    pub fn client(&self, id: NodeId) -> ServeClient<SyncTransport> {
+        ServeClient::new(SyncTransport {
+            registry: self.registry.clone(),
+            target: id,
+            replies: VecDeque::new(),
+        })
+    }
+
+    /// Crash `id`: it vanishes from the registry (in-flight callers see
+    /// `ConnectionRefused`), and the successor map — with `id` removed
+    /// and the version bumped — installs on every survivor. Returns the
+    /// new map version.
+    pub fn fail_node(&mut self, id: NodeId) -> u64 {
+        relock(&self.registry).remove(&id.0);
+        self.reassign_without(id)
+    }
+
+    /// Crash `id` *without* reassigning: the node vanishes but every
+    /// surviving map still names it — the window between a crash and the
+    /// control plane noticing. Peer fetches to it fail, fall back to
+    /// local reads, and open the callers' breakers.
+    pub fn partition_node(&mut self, id: NodeId) {
+        relock(&self.registry).remove(&id.0);
+    }
+
+    /// Gracefully retire `id`: drain its server first (flushing queued
+    /// demand), then remove it and reassign as in
+    /// [`TestCluster::fail_node`].
+    pub fn drain_node(&mut self, id: NodeId) -> u64 {
+        if let Some(node) = self.node(id) {
+            node.server().drain();
+        }
+        self.fail_node(id)
+    }
+
+    fn reassign_without(&mut self, id: NodeId) -> u64 {
+        self.map = self.map.without(id);
+        let survivors: Vec<Arc<ClusterNode>> = relock(&self.registry).values().cloned().collect();
+        for node in survivors {
+            node.install_map(self.map.clone());
+        }
+        self.map.version()
+    }
+}

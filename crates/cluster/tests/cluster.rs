@@ -1,0 +1,288 @@
+//! Deterministic multi-node acceptance: a 4-node in-process cluster on
+//! synchronous transports — no sockets or sleeps anywhere, and the only
+//! threads are the router's per-round fan-out, joined inside each
+//! `fetch` call. Replies merge in sorted node order over disjoint
+//! per-node state, so every asserted outcome replays exactly.
+
+use viz_cluster::{NodeId, RouterConfig, ShardMap, ShardStrategy, TestCluster};
+use viz_volume::{BlockId, BlockKey};
+
+fn key(i: u32) -> BlockKey {
+    BlockKey::scalar(BlockId(i))
+}
+
+/// Insert blocks `0..n` with recognizable payloads.
+fn seed(cluster: &TestCluster, n: u32) -> Vec<BlockKey> {
+    (0..n)
+        .map(|i| {
+            let k = key(i);
+            cluster.insert(k, vec![i as f32; 16]);
+            k
+        })
+        .collect()
+}
+
+#[test]
+fn router_resolves_cross_node_demand_through_owners() {
+    let cluster = TestCluster::new(4, ShardStrategy::Ring);
+    let keys = seed(&cluster, 64);
+    let mut router = cluster.router("viewer");
+
+    let reply = router.fetch(keys.clone(), vec![]);
+    assert_eq!(reply.rounds, 1, "healthy cluster resolves in one round");
+    assert_eq!(reply.blocks.len(), 64);
+    for (i, b) in reply.blocks.iter().enumerate() {
+        assert_eq!(b.key, keys[i], "replies keep request order");
+        let data = b.result.as_ref().expect("healthy cluster serves every key");
+        assert_eq!(data[0], i as f32);
+    }
+
+    // Each key was read exactly once, by its owner — the router sent it
+    // to the right node, and that node read local storage.
+    let mut by_owner = [0u64; 4];
+    for &k in &keys {
+        by_owner[cluster.map().owner(k).unwrap().0 as usize] += 1;
+    }
+    for n in 0..4 {
+        assert_eq!(
+            cluster.reads(NodeId(n)),
+            by_owner[n as usize],
+            "node {n} read a different set than it owns"
+        );
+        assert!(by_owner[n as usize] > 0, "64 ring-hashed keys should touch all 4 nodes");
+    }
+}
+
+#[test]
+fn reads_spread_roughly_uniformly_across_nodes() {
+    let cluster = TestCluster::new(4, ShardStrategy::Ring);
+    let keys = seed(&cluster, 256);
+    let mut router = cluster.router("viewer");
+    let reply = router.fetch(keys, vec![]);
+    assert!(reply.blocks.iter().all(|b| b.result.is_ok()));
+
+    let expect = 256 / 4;
+    for n in 0..4 {
+        let reads = cluster.reads(NodeId(n));
+        assert!(
+            reads > expect / 3 && reads < expect * 3,
+            "node {n} read {reads} of 256 (expected ~{expect})"
+        );
+    }
+}
+
+#[test]
+fn non_owner_forward_reaches_owner_and_warms_the_pool() {
+    let cluster = TestCluster::new(2, ShardStrategy::Ring);
+    let keys = seed(&cluster, 32);
+    let remote =
+        *keys.iter().find(|&&k| cluster.map().owner(k) == Some(NodeId(1))).expect("some key on n1");
+
+    // Ask node 0 for a block node 1 owns: the forward goes through node
+    // 0's engine to node 1, which reads its local storage.
+    let mut client = cluster.client(NodeId(0));
+    client.open("viewer").unwrap();
+    let out = client.fetch(vec![remote], vec![]).unwrap();
+    assert_eq!(out.blocks[0].result.as_ref().unwrap()[0], remote.block.0 as f32);
+    assert_eq!(cluster.reads(NodeId(1)), 1, "the owner performed the read");
+    assert_eq!(cluster.reads(NodeId(0)), 0, "the asked node read nothing locally");
+
+    let peer_reqs = |n: u32| {
+        cluster
+            .node(NodeId(n))
+            .unwrap()
+            .server()
+            .wire_counters()
+            .into_iter()
+            .find(|(name, _)| name == "serve_peer_requests")
+            .map(|(_, v)| v)
+            .unwrap()
+    };
+    assert_eq!(peer_reqs(1), 1, "owner served exactly one peer forward");
+
+    // The remote block landed in node 0's pool: asking again costs no
+    // read anywhere.
+    let again = client.fetch(vec![remote], vec![]).unwrap();
+    assert!(again.blocks[0].result.is_ok());
+    assert_eq!(cluster.reads(NodeId(1)), 1, "second ask was a pool hit, not a re-read");
+    assert_eq!(peer_reqs(1), 1, "no second peer round trip");
+}
+
+#[test]
+fn duplicate_remote_keys_coalesce_to_one_peer_read() {
+    let cluster = TestCluster::new(2, ShardStrategy::Ring);
+    let keys = seed(&cluster, 32);
+    let remote =
+        *keys.iter().find(|&&k| cluster.map().owner(k) == Some(NodeId(1))).expect("some key on n1");
+
+    // Two sessions on node 0 demand the same remote key with both
+    // submissions queued before the engine runs: the engine coalesces
+    // them onto one job, so the cluster sees ONE peer round trip and the
+    // owner does ONE storage read.
+    let node0 = cluster.node(NodeId(0)).unwrap();
+    let server = node0.server().clone();
+    let s1 = server.open_session("viewer-a").unwrap();
+    let s2 = server.open_session("viewer-b").unwrap();
+    let sub1 = server.submit(s1, 0, vec![remote], vec![]).unwrap();
+    let sub2 = server.submit(s2, 0, vec![remote], vec![]).unwrap();
+    server.pump();
+    server.engine().run_until_idle();
+    let r1 = sub1.collect_ready(&server);
+    let r2 = sub2.collect_ready(&server);
+    assert!(r1[0].result.is_ok() && r2[0].result.is_ok());
+
+    assert!(
+        server.engine().metrics().cross_tag_coalesced >= 1,
+        "the second session's demand must join the first's in-flight job"
+    );
+    assert_eq!(cluster.reads(NodeId(1)), 1, "one storage read on the owner");
+    let peer_reqs = cluster
+        .node(NodeId(1))
+        .unwrap()
+        .server()
+        .wire_counters()
+        .into_iter()
+        .find(|(name, _)| name == "serve_peer_requests")
+        .map(|(_, v)| v)
+        .unwrap();
+    assert_eq!(peer_reqs, 1, "one peer round trip for two client demands");
+}
+
+#[test]
+fn crash_failover_keeps_demand_flowing() {
+    let mut cluster = TestCluster::new(4, ShardStrategy::Ring);
+    let keys = seed(&cluster, 64);
+    let mut router = cluster.router("viewer");
+    assert!(router.fetch(keys.clone(), vec![]).blocks.iter().all(|b| b.result.is_ok()));
+
+    let dead = NodeId(2);
+    let owned_by_dead = keys.iter().filter(|&&k| cluster.map().owner(k) == Some(dead)).count();
+    assert!(owned_by_dead > 0, "node 2 must own something for this test to bite");
+    let new_version = cluster.fail_node(dead);
+    assert_eq!(new_version, 2);
+
+    // The router still holds the old map: its batch to the dead node
+    // fails at the transport, it refreshes the map from a survivor, and
+    // the orphaned keys resolve against their reassigned owners.
+    let reply = router.fetch(keys.clone(), vec![]);
+    assert!(
+        reply.blocks.iter().all(|b| b.result.is_ok()),
+        "failover must not surface a single demand error"
+    );
+    assert!(reply.rounds >= 2, "the dead node's keys needed a second round");
+    assert_eq!(router.map().version(), 2, "router learned the reassigned map");
+    assert_eq!(router.down_nodes(), vec![dead]);
+
+    // Survivor serve layers saw zero demand errors throughout.
+    for n in cluster.live_nodes() {
+        let m = cluster.node(n).unwrap().server().metrics();
+        assert_eq!(m.demand_errors, 0, "node {n} reported demand errors");
+    }
+}
+
+#[test]
+fn drain_failover_reports_zero_demand_errors() {
+    let mut cluster = TestCluster::new(4, ShardStrategy::Ring);
+    let keys = seed(&cluster, 48);
+    let mut router = cluster.router("viewer");
+    assert!(router.fetch(keys.clone(), vec![]).blocks.iter().all(|b| b.result.is_ok()));
+
+    cluster.drain_node(NodeId(1));
+
+    let reply = router.fetch(keys, vec![]);
+    assert!(reply.blocks.iter().all(|b| b.result.is_ok()), "drain must be invisible to demand");
+    for n in cluster.live_nodes() {
+        assert_eq!(cluster.node(n).unwrap().server().metrics().demand_errors, 0);
+    }
+}
+
+#[test]
+fn map_get_exchanges_the_current_map() {
+    let mut cluster = TestCluster::new(3, ShardStrategy::Ring);
+    seed(&cluster, 16);
+    let mut client = cluster.client(NodeId(0));
+    let (version, bytes) = client.map_get().unwrap();
+    assert_eq!(version, 1);
+    let decoded = ShardMap::decode(&bytes).unwrap();
+    assert_eq!(&decoded, cluster.map());
+
+    cluster.fail_node(NodeId(2));
+    let (version, bytes) = client.map_get().unwrap();
+    assert_eq!(version, 2);
+    let decoded = ShardMap::decode(&bytes).unwrap();
+    for i in 0..16 {
+        assert_eq!(decoded.owner(key(i)), cluster.map().owner(key(i)));
+    }
+}
+
+#[test]
+fn overloaded_owner_spills_to_fallback_replica() {
+    let cluster = TestCluster::new(2, ShardStrategy::Ring);
+    let keys = seed(&cluster, 8);
+    let k = keys[0];
+    let cands = cluster.map().owners(k, 2);
+    let (owner, fallback) = (cands[0], cands[1]);
+
+    let mut router =
+        cluster.router_with("viewer", RouterConfig { spill_depth: 10, ..Default::default() });
+    router.note_load(owner, 100);
+    router.note_load(fallback, 0);
+
+    let reply = router.fetch(vec![k], vec![]);
+    assert!(reply.blocks[0].result.is_ok());
+    // The spill batch went out hop-capped, so the fallback read its own
+    // storage instead of forwarding back to the drowning owner.
+    assert_eq!(cluster.reads(fallback), 1, "fallback served the spilled key locally");
+    assert_eq!(cluster.reads(owner), 0, "owner was left alone — that was the point");
+}
+
+#[test]
+fn subtree_strategy_serves_sibling_batches_from_one_node() {
+    let grid = [8u32, 8, 8];
+    let cluster = TestCluster::new(4, ShardStrategy::Subtree { bits: 1, grid });
+    // One 2x2x2 sibling cell's eight blocks.
+    let mut keys = Vec::new();
+    for dz in 0..2u32 {
+        for dy in 0..2u32 {
+            for dx in 0..2u32 {
+                let id = (dz * grid[1] + dy) * grid[0] + dx;
+                let k = key(id);
+                cluster.insert(k, vec![id as f32; 8]);
+                keys.push(k);
+            }
+        }
+    }
+    let mut router = cluster.router("viewer");
+    let reply = router.fetch(keys, vec![]);
+    assert!(reply.blocks.iter().all(|b| b.result.is_ok()));
+
+    let readers: Vec<u64> = (0..4).map(|n| cluster.reads(NodeId(n))).collect();
+    assert_eq!(readers.iter().sum::<u64>(), 8);
+    assert_eq!(
+        readers.iter().filter(|&&r| r > 0).count(),
+        1,
+        "sibling cell split across nodes: {readers:?}"
+    );
+}
+
+#[test]
+fn prefetch_rides_to_owners_and_warms_their_pools() {
+    let cluster = TestCluster::new(2, ShardStrategy::Ring);
+    let keys = seed(&cluster, 32);
+    let mut router = cluster.router("viewer");
+
+    // Demand one key, speculate on the rest.
+    let pf: Vec<(BlockKey, f64)> = keys[1..].iter().map(|&k| (k, 1.0)).collect();
+    let reply = router.fetch(vec![keys[0]], pf);
+    assert!(reply.blocks[0].result.is_ok());
+    assert_eq!(reply.shed, 0, "a healthy cluster sheds nothing");
+
+    // Every block was read exactly once cluster-wide (each by its
+    // owner's prefetch), so a follow-up demand sweep is pure pool hits.
+    let total: u64 = (0..2).map(|n| cluster.reads(NodeId(n))).sum();
+    assert_eq!(total, 32);
+    let again = router.fetch(keys, vec![]);
+    assert!(again.blocks.iter().all(|b| b.result.is_ok()));
+    let total_after: u64 = (0..2).map(|n| cluster.reads(NodeId(n))).sum();
+    assert_eq!(total_after, 32, "the demand sweep re-read nothing");
+}

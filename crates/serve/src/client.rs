@@ -137,6 +137,29 @@ impl<T: Transport> ServeClient<T> {
         }
     }
 
+    /// Fetch the server's shard map (cluster nodes answer; a plain
+    /// server replies `ERR_NO_MAP`). Returns `(version, map_bytes)`.
+    pub fn map_get(&mut self) -> Result<(u64, Vec<u8>), ClientError> {
+        self.send(&Request::MapGet)?;
+        match self.recv_response()? {
+            Response::MapReply { version, map_bytes } => Ok((version, map_bytes)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("MapReply")),
+        }
+    }
+
+    /// Node-to-node demand forward: resolve `demand` on this server as
+    /// the owner. Requires an open (peer) session.
+    pub fn peer_fetch(
+        &mut self,
+        hops: u8,
+        demand: Vec<BlockKey>,
+    ) -> Result<FetchOutcome, ClientError> {
+        let session = self.sid()?;
+        self.send(&Request::PeerFetch { session, hops, demand })?;
+        self.recv_fetch()
+    }
+
     /// Close the open session.
     pub fn close(&mut self) -> Result<(), ClientError> {
         self.send_close()?;

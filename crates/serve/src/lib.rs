@@ -67,7 +67,8 @@ pub use proto::{BlockReply, ProtoError, Request, Response, MAX_FRAME_BYTES, PROT
 pub use reactor::{ReactorInProcServer, ReactorTcpServer, TcpFrontend};
 pub use registry::{SessionId, SessionView};
 pub use server::{
-    handle_request, serve_connection, DrainReport, InProcServer, IoBackend, Outcome, PendingFetch,
-    ServeConfig, ServeError, ServeMetrics, Server, ShedReason, Submission, TcpServer,
+    handle_request, serve_connection, serve_connection_with, DefaultDispatch, DrainReport,
+    InProcServer, IoBackend, Outcome, PendingFetch, RequestDispatch, ServeConfig, ServeError,
+    ServeMetrics, Server, ShedReason, Submission, TcpServer,
 };
 pub use transport::{inproc_pair, InProcTransport, TcpTransport, Transport};

@@ -5,9 +5,12 @@
 //! where `crc` is the CRC-32 of `body` (the same polynomial the block
 //! store frames use, via [`viz_volume::crc32`]). The body opens with the
 //! `b"VSRV"` magic, a `u16` protocol version, and a one-byte message tag,
-//! followed by the tag-specific payload. Requests use tags `0x01..=0x05`,
-//! responses mirror them at `0x81..=0x85`, and `0xFF` is the typed error
-//! reply.
+//! followed by the tag-specific payload. Requests use tags `0x01..=0x07`,
+//! responses mirror them at `0x81..=0x86`, and `0xFF` is the typed error
+//! reply. The cluster layer rides the same version: `MapGet`/`MapReply`
+//! exchange the opaque CRC-framed shard map, and `PeerFetch` is the
+//! node-to-node demand forward (a hop counter bounds forwarding cycles
+//! under shard-map skew).
 //!
 //! Corruption never panics: truncation, a flipped CRC byte, an unknown
 //! tag, and version skew each map to a distinct [`ProtoError`] variant,
@@ -34,11 +37,14 @@ const TAG_CLOSE: u8 = 0x02;
 const TAG_FETCH: u8 = 0x03;
 const TAG_ADVANCE: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
+const TAG_MAP_GET: u8 = 0x06;
+const TAG_PEER_FETCH: u8 = 0x07;
 const TAG_OPEN_ACK: u8 = 0x81;
 const TAG_CLOSE_ACK: u8 = 0x82;
 const TAG_FETCH_REPLY: u8 = 0x83;
 const TAG_ADVANCE_ACK: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
+const TAG_MAP_REPLY: u8 = 0x86;
 const TAG_ERROR: u8 = 0xFF;
 
 /// Wire error code: malformed frame or payload.
@@ -51,6 +57,10 @@ pub const ERR_UNKNOWN_SESSION: u16 = 3;
 pub const ERR_TOO_MANY_SESSIONS: u16 = 4;
 /// Wire error code: the server is draining and rejects new work.
 pub const ERR_DRAINING: u16 = 5;
+/// Wire error code: a `MapGet` reached a server with no shard map
+/// installed (a plain single-node server, or a cluster node before its
+/// first map push).
+pub const ERR_NO_MAP: u16 = 6;
 
 /// Typed decode failure. Every corruption mode is a value, never a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,6 +175,21 @@ pub enum Request {
     },
     /// Snapshot server + engine counters.
     Stats,
+    /// Ask for the serving node's current shard map (cluster layer).
+    MapGet,
+    /// Node-to-node demand forward: the sender does not own these keys
+    /// and asks their owner to resolve them. Replies with a normal
+    /// [`Response::FetchReply`]. Prefetch never crosses nodes.
+    PeerFetch {
+        /// The sender's peer session on the receiving node.
+        session: u32,
+        /// Forwarding hops already taken; receivers reject further
+        /// forwarding once this reaches the hop cap, bounding cycles
+        /// when two nodes briefly disagree about ownership.
+        hops: u8,
+        /// Demand keys to resolve on the owner.
+        demand: Vec<BlockKey>,
+    },
 }
 
 /// One demand key's outcome inside a [`Response::FetchReply`].
@@ -213,6 +238,15 @@ pub enum Response {
         /// `(name, value)` pairs.
         counters: Vec<(String, u64)>,
     },
+    /// The serving node's shard map, opaque to the wire layer: the
+    /// cluster crate's own CRC-framed codec lives inside `map_bytes`.
+    MapReply {
+        /// Map version, monotonically increasing across reassignments;
+        /// clients and peers use it to detect skew without decoding.
+        version: u64,
+        /// Encoded shard map (the cluster crate's VMAP frame).
+        map_bytes: Vec<u8>,
+    },
     /// Typed failure; the connection stays usable.
     Error {
         /// One of the `ERR_*` codes.
@@ -232,6 +266,20 @@ pub fn errkind_code(kind: io::ErrorKind) -> u16 {
         io::ErrorKind::TimedOut => 4,
         io::ErrorKind::WouldBlock => 5,
         _ => 0,
+    }
+}
+
+/// Inverse of [`errkind_code`]: reconstruct the `io::ErrorKind` a remote
+/// [`BlockReply`] failure carried, so a peer-fetching node can classify
+/// the error (transient vs permanent) exactly as if the read were local.
+pub fn errkind_from_code(code: u16) -> io::ErrorKind {
+    match code {
+        1 => io::ErrorKind::NotFound,
+        2 => io::ErrorKind::InvalidData,
+        3 => io::ErrorKind::Interrupted,
+        4 => io::ErrorKind::TimedOut,
+        5 => io::ErrorKind::WouldBlock,
+        _ => io::ErrorKind::Other,
     }
 }
 
@@ -422,6 +470,18 @@ pub fn encode_request_versioned(req: &Request, version: u16) -> Vec<u8> {
         Request::Stats => {
             b = body_header(version, TAG_STATS);
         }
+        Request::MapGet => {
+            b = body_header(version, TAG_MAP_GET);
+        }
+        Request::PeerFetch { session, hops, demand } => {
+            b = body_header(version, TAG_PEER_FETCH);
+            put_u32(&mut b, *session);
+            b.push(*hops);
+            put_u32(&mut b, demand.len() as u32);
+            for &k in demand {
+                put_key(&mut b, k);
+            }
+        }
     }
     frame(b)
 }
@@ -459,6 +519,18 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtoError> {
         }
         TAG_ADVANCE => Request::Advance { session: r.u32()? },
         TAG_STATS => Request::Stats,
+        TAG_MAP_GET => Request::MapGet,
+        TAG_PEER_FETCH => {
+            let session = r.u32()?;
+            let hops = r.u8()?;
+            let n = r.u32()?;
+            let n = r.count(n, 8)?;
+            let mut demand = Vec::with_capacity(n);
+            for _ in 0..n {
+                demand.push(r.key()?);
+            }
+            Request::PeerFetch { session, hops, demand }
+        }
         t => return Err(ProtoError::UnknownTag(t)),
     };
     r.finish()?;
@@ -513,6 +585,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 b.extend_from_slice(name.as_bytes());
                 put_u64(&mut b, *value);
             }
+        }
+        Response::MapReply { version, map_bytes } => {
+            b = body_header(PROTO_VERSION, TAG_MAP_REPLY);
+            put_u64(&mut b, *version);
+            put_u32(&mut b, map_bytes.len() as u32);
+            b.extend_from_slice(map_bytes);
         }
         Response::Error { code, message } => {
             b = body_header(PROTO_VERSION, TAG_ERROR);
@@ -570,6 +648,13 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::StatsReply { counters }
         }
+        TAG_MAP_REPLY => {
+            let version = r.u64()?;
+            let n = r.u32()?;
+            let n = r.count(n, 1)?;
+            let map_bytes = r.take(n)?.to_vec();
+            Response::MapReply { version, map_bytes }
+        }
         TAG_ERROR => {
             let code = r.u16()?;
             let len = r.u16()? as usize;
@@ -604,6 +689,8 @@ mod tests {
             },
             Request::Advance { session: 7 },
             Request::Stats,
+            Request::MapGet,
+            Request::PeerFetch { session: 9, hops: 1, demand: vec![key(3), key(4)] },
         ]
     }
 
@@ -624,6 +711,7 @@ mod tests {
             Response::StatsReply {
                 counters: vec![("serve_sessions_opened".into(), 3), ("x".into(), 0)],
             },
+            Response::MapReply { version: 11, map_bytes: vec![0x56, 0x4D, 0x41, 0x50, 0x00] },
             Response::Error { code: ERR_DRAINING, message: "draining".into() },
         ]
     }
@@ -664,6 +752,23 @@ mod tests {
         let mut crc_flip = frame.clone();
         crc_flip[5] ^= 0x10;
         assert!(matches!(decode_request(&crc_flip).unwrap_err(), ProtoError::BadCrc { .. }));
+    }
+
+    #[test]
+    fn errkind_codes_roundtrip() {
+        for kind in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::InvalidData,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+        ] {
+            assert_eq!(errkind_from_code(errkind_code(kind)), kind);
+        }
+        assert_eq!(
+            errkind_from_code(errkind_code(io::ErrorKind::BrokenPipe)),
+            io::ErrorKind::Other
+        );
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub(crate) struct Session {
     /// Server-side camera flight, when the deployment drives prediction
     /// from the server (attach via `Server::attach_flight`).
     pub flight: Option<ClientFlight>,
+    /// `true` when the client is another cluster node (name opens with
+    /// `peer/`): its traffic is demand-only forwarding, counted
+    /// separately in the stats so operators can split local load from
+    /// cluster overflow.
+    pub is_peer: bool,
     pub demand_submitted: u64,
     pub prefetch_submitted: u64,
     pub prefetch_shed: u64,
@@ -50,6 +55,8 @@ pub struct SessionView {
     pub generation: u64,
     /// `true` when a server-side flight is attached.
     pub has_flight: bool,
+    /// `true` when the session belongs to a peer cluster node.
+    pub is_peer: bool,
     /// Demand keys this session has submitted.
     pub demand_submitted: u64,
     /// Prefetch keys this session has submitted.
@@ -79,6 +86,7 @@ impl Registry {
                 name: name.to_string(),
                 generation: 0,
                 flight: None,
+                is_peer: name.starts_with("peer/"),
                 demand_submitted: 0,
                 prefetch_submitted: 0,
                 prefetch_shed: 0,
@@ -119,6 +127,7 @@ impl Registry {
                 name: s.name.clone(),
                 generation: s.generation,
                 has_flight: s.flight.is_some(),
+                is_peer: s.is_peer,
                 demand_submitted: s.demand_submitted,
                 prefetch_submitted: s.prefetch_submitted,
                 prefetch_shed: s.prefetch_shed,
@@ -158,5 +167,17 @@ mod tests {
         assert_eq!((v.id, v.generation, v.demand_submitted), (id, 3, 5));
         assert!(!v.has_flight);
         assert_eq!(v.name, "viewer");
+    }
+
+    #[test]
+    fn peer_sessions_are_tagged_by_name_prefix() {
+        let mut r = Registry::new();
+        let peer = r.open("peer/node-3");
+        let local = r.open("viewer");
+        assert!(r.get_mut(peer).unwrap().is_peer);
+        assert!(!r.get_mut(local).unwrap().is_peer);
+        let views = r.views();
+        assert!(views[0].is_peer);
+        assert!(!views[1].is_peer);
     }
 }

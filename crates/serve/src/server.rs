@@ -189,6 +189,8 @@ struct ServeStats {
     demand_served: Counter,
     demand_errors: Counter,
     bytes_served: Counter,
+    peer_requests: Counter,
+    peer_demand_keys: Counter,
 }
 
 impl ServeStats {
@@ -204,6 +206,8 @@ impl ServeStats {
             demand_served: Counter::new("serve_demand_served"),
             demand_errors: Counter::new("serve_demand_errors"),
             bytes_served: Counter::new("serve_bytes_served"),
+            peer_requests: Counter::new("serve_peer_requests"),
+            peer_demand_keys: Counter::new("serve_peer_demand_keys"),
         }
     }
 
@@ -219,6 +223,8 @@ impl ServeStats {
             &self.demand_served,
             &self.demand_errors,
             &self.bytes_served,
+            &self.peer_requests,
+            &self.peer_demand_keys,
         ]
         .iter()
         .map(|c| (c.name(), c.get()))
@@ -594,7 +600,9 @@ impl Server {
     }
 
     /// The counter set a `Stats` request answers with: serve-layer
-    /// counters, engine counters (`fetch_` prefix), and pool gauges.
+    /// counters, engine counters (`fetch_` prefix), pool gauges, and the
+    /// engine's live queue depths — the load signal the cluster router
+    /// uses for tie-breaking between replica owners.
     pub fn wire_counters(&self) -> Vec<(String, u64)> {
         let mut v: Vec<(String, u64)> =
             self.stats.pairs().into_iter().map(|(n, c)| (n.to_string(), c)).collect();
@@ -602,7 +610,20 @@ impl Server {
         let pool = self.engine.pool();
         v.push(("pool_resident_blocks".to_string(), pool.len() as u64));
         v.push(("pool_resident_bytes".to_string(), pool.bytes_resident() as u64));
+        let (qd, qp) = self.engine.queue_depths();
+        v.push(("engine_queue_demand".to_string(), qd as u64));
+        v.push(("engine_queue_prefetch".to_string(), qp as u64));
+        v.push(("sessions_active".to_string(), relock(&self.registry).len() as u64));
         v
+    }
+
+    /// Count a peer-forward answered from local storage without engine
+    /// submission (the cluster node's skew/hop-cap path); keeps the
+    /// `serve_peer_*` wire counters honest when requests bypass
+    /// [`handle_request`].
+    pub fn record_peer_direct(&self, keys: u64) {
+        self.stats.peer_requests.inc();
+        self.stats.peer_demand_keys.add(keys);
     }
 
     fn record_served(&self, id: SessionId, served: u64, errors: u64, bytes: u64) {
@@ -828,6 +849,48 @@ pub fn handle_request(server: &Server, req: Request) -> Outcome {
             }
         }),
         Request::Stats => Outcome::Ready(Response::StatsReply { counters: server.wire_counters() }),
+        // A plain single-node server has no shard map to hand out; the
+        // cluster layer's dispatcher intercepts this tag before it lands
+        // here.
+        Request::MapGet => Outcome::Ready(Response::Error {
+            code: proto::ERR_NO_MAP,
+            message: "no shard map installed".to_string(),
+        }),
+        // A peer forward on a plain server resolves like a demand-only
+        // fetch: every key reads locally (shared storage), no further
+        // forwarding. Generation 0 is fine — the stale check only
+        // guards prefetch and a peer forward carries none.
+        Request::PeerFetch { session, hops: _, demand } => {
+            server.stats.peer_requests.inc();
+            server.stats.peer_demand_keys.add(demand.len() as u64);
+            match server.submit(SessionId(session), 0, demand, Vec::new()) {
+                Ok(sub) => Outcome::Fetch(PendingFetch { session, sub }),
+                Err(e) => {
+                    Outcome::Ready(Response::Error { code: e.code(), message: e.to_string() })
+                }
+            }
+        }
+    }
+}
+
+/// Per-node request interceptor: lets a layer above the server (the
+/// cluster node) claim protocol tags the plain server cannot answer —
+/// `MapGet`, `PeerFetch`, ownership-partitioned `Fetch` — while passing
+/// everything else to [`handle_request`]. One dispatcher is shared by
+/// every connection of a front end, so implementations hold their own
+/// state behind `Arc`s.
+pub trait RequestDispatch: Send + Sync {
+    /// Dispatch one decoded request against `server`.
+    fn dispatch(&self, server: &Arc<Server>, req: Request) -> Outcome;
+}
+
+/// The single-node dispatcher: every request goes straight to
+/// [`handle_request`].
+pub struct DefaultDispatch;
+
+impl RequestDispatch for DefaultDispatch {
+    fn dispatch(&self, server: &Arc<Server>, req: Request) -> Outcome {
+        handle_request(server, req)
     }
 }
 
@@ -835,11 +898,22 @@ pub fn handle_request(server: &Server, req: Request) -> Outcome {
 /// pump → reply. Malformed frames answer with a typed `Error` response
 /// and the connection stays up; sessions opened on this connection are
 /// closed when it ends.
-pub fn serve_connection<T: Transport>(server: &Arc<Server>, mut t: T) {
+pub fn serve_connection<T: Transport>(server: &Arc<Server>, t: T) {
+    serve_connection_with(server, &DefaultDispatch, t);
+}
+
+/// [`serve_connection`] with a custom [`RequestDispatch`] — the cluster
+/// node's TCP front end routes every decoded request through its
+/// ownership logic this way.
+pub fn serve_connection_with<T: Transport>(
+    server: &Arc<Server>,
+    dispatch: &dyn RequestDispatch,
+    mut t: T,
+) {
     let mut owned: Vec<SessionId> = Vec::new();
     while let Ok(frame) = t.recv() {
         let resp = match proto::decode_request(&frame) {
-            Ok(req) => match handle_request(server, req) {
+            Ok(req) => match dispatch.dispatch(server, req) {
                 Outcome::Ready(r) => r,
                 Outcome::Fetch(p) => {
                     server.pump();
@@ -880,6 +954,17 @@ impl TcpServer {
     /// Bind and start accepting. Use `"127.0.0.1:0"` to let the OS pick
     /// a port; read it back via [`TcpServer::local_addr`].
     pub fn bind(server: Arc<Server>, addr: &str) -> io::Result<TcpServer> {
+        TcpServer::bind_with(server, Arc::new(DefaultDispatch), addr)
+    }
+
+    /// [`TcpServer::bind`] with a custom [`RequestDispatch`] shared by
+    /// every accepted connection (how a cluster node exposes its
+    /// ownership routing over TCP).
+    pub fn bind_with(
+        server: Arc<Server>,
+        dispatch: Arc<dyn RequestDispatch>,
+        addr: &str,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -898,8 +983,13 @@ impl TcpServer {
                         Err(_) => continue,
                     };
                     let server = server.clone();
+                    let dispatch = dispatch.clone();
                     let handle = std::thread::spawn(move || {
-                        serve_connection(&server, crate::TcpTransport::new(stream));
+                        serve_connection_with(
+                            &server,
+                            &*dispatch,
+                            crate::TcpTransport::new(stream),
+                        );
                     });
                     relock(&conns).push((peer, handle));
                 }

@@ -100,10 +100,20 @@ pub enum EventKind {
     /// One batched source read covering several keys (span; `key` = salted
     /// key of the first batch member, `arg` = `batch_size << 1 | success`).
     BatchRead,
+    /// One peer-node block fetch round trip over VSRV (span; `key` = peer
+    /// node id, `arg` = `keys << 1 | success`).
+    PeerFetch,
+    /// A peer fetch failed after retries and the read fell back to the
+    /// local shared-storage path (instant; `key` = peer node id, `arg` =
+    /// error-kind code).
+    PeerFallback,
+    /// A node or router installed a newer shard map (instant; `key` =
+    /// node id, `arg` = new map version).
+    MapUpdate,
 }
 
 /// Number of event kinds (array sizing for per-kind aggregation).
-pub const KIND_COUNT: usize = 33;
+pub const KIND_COUNT: usize = 36;
 
 impl EventKind {
     /// Every kind, in declaration order.
@@ -141,6 +151,9 @@ impl EventKind {
         EventKind::CrossClientCoalesce,
         EventKind::ReactorTick,
         EventKind::BatchRead,
+        EventKind::PeerFetch,
+        EventKind::PeerFallback,
+        EventKind::MapUpdate,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -179,6 +192,9 @@ impl EventKind {
             EventKind::CrossClientCoalesce => "cross_client_coalesce",
             EventKind::ReactorTick => "reactor_tick",
             EventKind::BatchRead => "batch_read",
+            EventKind::PeerFetch => "peer_fetch",
+            EventKind::PeerFallback => "peer_fallback",
+            EventKind::MapUpdate => "map_update",
         }
     }
 
@@ -215,6 +231,7 @@ impl EventKind {
             | EventKind::RequestShed
             | EventKind::CrossClientCoalesce
             | EventKind::ReactorTick => "serve",
+            EventKind::PeerFetch | EventKind::PeerFallback | EventKind::MapUpdate => "cluster",
         }
     }
 
@@ -230,6 +247,7 @@ impl EventKind {
                 | EventKind::RenderPass
                 | EventKind::ReactorTick
                 | EventKind::BatchRead
+                | EventKind::PeerFetch
         )
     }
 }
@@ -275,14 +293,17 @@ mod tests {
     #[test]
     fn categories_cover_all_kinds() {
         for k in EventKind::ALL {
-            assert!(matches!(k.category(), "fetch" | "cache" | "frame" | "breaker" | "serve"));
+            assert!(matches!(
+                k.category(),
+                "fetch" | "cache" | "frame" | "breaker" | "serve" | "cluster"
+            ));
         }
     }
 
     #[test]
     fn span_kinds_are_exactly_the_duration_carriers() {
         let spans: Vec<_> = EventKind::ALL.iter().filter(|k| k.is_span()).collect();
-        assert_eq!(spans.len(), 8);
+        assert_eq!(spans.len(), 9);
     }
 
     #[test]

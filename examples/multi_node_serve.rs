@@ -1,0 +1,77 @@
+//! Serving one dataset from four machines: a sharded cluster where every
+//! block has exactly one owner, a client-side router that sends each
+//! demand straight to that owner, and peer forwarding over VSRV for
+//! requests that arrive at the wrong node. Then a node crashes
+//! mid-flight and the demand keeps flowing — the map reassigns the
+//! orphaned shards to the ring successors the router was already using
+//! as fallbacks.
+//!
+//! Uses the deterministic in-process cluster (virtual clock, synchronous
+//! transports) so the run replays exactly; swap the [`TestCluster`] for
+//! [`viz_appaware::cluster::ClusterNode`] + `TcpServer::bind_with` +
+//! [`viz_appaware::cluster::TcpPeerLink`] to deploy over real sockets
+//! (see `crates/bench/src/bin/cluster.rs` for that wiring).
+//!
+//! Run with: `cargo run --release --example multi_node_serve`
+
+use viz_appaware::cluster::{NodeId, ShardStrategy, TestCluster};
+use viz_appaware::volume::{BlockKey, BrickLayout, Dims3};
+
+fn main() {
+    // A bricked volume sharded over four nodes. Subtree placement keeps
+    // each 2x2x2 sibling cell of the octree on one owner, so a viewer
+    // refining into a region talks to one node, not four.
+    let layout = BrickLayout::with_target_blocks(Dims3::cube(128), 256);
+    let grid = [layout.grid.nx as u32, layout.grid.ny as u32, layout.grid.nz as u32];
+    let cluster = TestCluster::new(4, ShardStrategy::Subtree { bits: 1, grid });
+    let keys: Vec<BlockKey> = layout
+        .block_ids()
+        .map(|id| {
+            let k = BlockKey::scalar(id);
+            cluster.insert(k, vec![id.0 as f32; 64]);
+            k
+        })
+        .collect();
+    println!("{} blocks sharded over 4 nodes (map v{})", keys.len(), cluster.map().version());
+
+    // The viewer's router fans each frame out to the owners in per-node
+    // batches and merges the replies back into request order.
+    let mut router = cluster.router("viewer");
+    let frame: Vec<BlockKey> = keys.iter().copied().take(64).collect();
+    let prefetch: Vec<(BlockKey, f64)> =
+        keys.iter().copied().skip(64).take(64).map(|k| (k, 0.5)).collect();
+    let reply = router.fetch(frame.clone(), prefetch);
+    assert!(reply.blocks.iter().all(|b| b.result.is_ok()));
+    println!(
+        "frame 1: {} demand blocks in {} round(s), {} shed",
+        reply.blocks.len(),
+        reply.rounds,
+        reply.shed
+    );
+    for n in 0..4 {
+        println!("  node {n}: {} storage reads", cluster.reads(NodeId(n)));
+    }
+
+    // A node dies. The map drops it (v2) and its shards move to the ring
+    // successors; the router notices the dead transport, refreshes the
+    // map from a survivor, and replays the orphaned keys — the viewer
+    // sees a slower frame, never a failed one.
+    let mut cluster = cluster;
+    let dead = NodeId(2);
+    cluster.fail_node(dead);
+    println!("node {dead} crashed; map now v{}", cluster.map().version());
+
+    let reply = router.fetch(frame, vec![]);
+    assert!(reply.blocks.iter().all(|b| b.result.is_ok()), "failover must not drop demand");
+    println!(
+        "frame 2: {} demand blocks in {} round(s) despite the crash",
+        reply.blocks.len(),
+        reply.rounds
+    );
+    println!("router learned map v{}; down: {:?}", router.map().version(), router.down_nodes());
+    for n in cluster.live_nodes() {
+        let m = cluster.node(n).unwrap().server().metrics();
+        assert_eq!(m.demand_errors, 0);
+    }
+    println!("zero demand errors on every survivor");
+}

@@ -14,11 +14,15 @@
 //! - [`serve`] — multi-client block/frame server: CRC-framed wire
 //!   protocol, session registry, deficit-round-robin fairness, load
 //!   shedding, cross-session request coalescing.
+//! - [`cluster`] — sharded multi-node serving: consistent-hash shard
+//!   map (with an octree-subtree variant), node-to-node peer fetch over
+//!   the same wire protocol, and a client-side owner router.
 //! - [`telemetry`] — zero-dependency tracing: per-thread event rings,
 //!   log-bucketed histograms, Chrome-trace / Prometheus / summary
 //!   exporters.
 
 pub use viz_cache as cache;
+pub use viz_cluster as cluster;
 pub use viz_core as core;
 pub use viz_fetch as fetch;
 pub use viz_geom as geom;
