@@ -18,9 +18,18 @@
 //! - [`router`] — the client side: split a frame's demand per owner,
 //!   merge replies, fail over along the ring-successor order the map
 //!   itself defines, spill to a replica when the owner is overloaded.
+//! - [`membership`] — deadline-based failure detection over `Ping` /
+//!   `Pong` heartbeats: suspected nodes route around *before* a demand
+//!   read pays a timeout, and re-admit the moment a probe succeeds.
+//!   Heartbeats piggyback shard-map versions, so stale participants
+//!   pull a newer map immediately (anti-entropy).
 //! - [`testing`] — a deterministic in-process [`TestCluster`]: N nodes
 //!   over one shared store on a virtual clock, synchronous transports,
-//!   crash/drain-and-reassign in one call.
+//!   crash/restart/join, fabric partitions, slow storage, and corrupted
+//!   reply frames in one call each.
+//! - [`chaos`] — seeded, replayable fault schedules ([`ChaosPlan`])
+//!   driven through the test cluster by [`chaos::run_plan`], reporting
+//!   detection/recovery latency and the zero-demand-errors invariant.
 //!
 //! The deployment model is shared storage (every node can read every
 //! block, as on a parallel file system): ownership concentrates each
@@ -50,12 +59,16 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod membership;
 pub mod node;
 pub mod peer;
 pub mod router;
 pub mod shard;
 pub mod testing;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosOptions, ChaosPlan, ChaosReport};
+pub use membership::{Membership, MembershipConfig};
 pub use node::{ClusterConfig, ClusterNode, RoutedSource};
 pub use peer::{Connector, LinkFactory, PeerClient, PeerConfig, PeerLink, TcpPeerLink};
 pub use router::{Router, RouterConfig, RouterReply};

@@ -25,13 +25,15 @@
 //! errors because of cluster topology; skew costs locality, not
 //! availability.
 
+use crate::membership::{Membership, MembershipConfig};
 use crate::peer::{note_fallback, Connector, PeerClient, PeerConfig};
 use crate::shard::{NodeId, ShardMap};
 use std::collections::HashMap;
 use std::io;
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock};
+use std::time::Duration;
 use viz_fetch::{BlockPool, FetchConfig, FetchEngine};
-use viz_serve::proto::errkind_code;
+use viz_serve::proto::{errkind_code, PING_FROM_CLIENT};
 use viz_serve::{
     handle_request, BlockReply, Outcome, Request, RequestDispatch, Response, ServeConfig, Server,
 };
@@ -50,11 +52,30 @@ pub struct ClusterConfig {
     /// 0` engine inline (the deterministic test cluster); `false` blocks
     /// on worker threads (real deployments).
     pub deterministic: bool,
+    /// Replica candidates a demand read considers: the key's owner plus
+    /// `read_replicas - 1` ring successors. The read goes to the first
+    /// candidate the failure detector calls healthy, so a suspected
+    /// owner costs nothing — the read routes around it up front.
+    pub read_replicas: usize,
+    /// When set, a remote demand read that has not answered within this
+    /// wall-clock threshold triggers a hedged second read (the next
+    /// replica — under shared storage, the local copy) and the first
+    /// result wins. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Failure-detector tuning (heartbeat suspicion deadline).
+    pub membership: MembershipConfig,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { peer: PeerConfig::default(), max_hops: 2, deterministic: false }
+        ClusterConfig {
+            peer: PeerConfig::default(),
+            max_hops: 2,
+            deterministic: false,
+            read_replicas: 2,
+            hedge_after: None,
+            membership: MembershipConfig::default(),
+        }
     }
 }
 
@@ -64,8 +85,8 @@ impl ClusterConfig {
     pub fn deterministic() -> Self {
         ClusterConfig {
             peer: PeerConfig { retry: viz_fetch::RetryPolicy::none(), ..PeerConfig::default() },
-            max_hops: 2,
             deterministic: true,
+            ..ClusterConfig::default()
         }
     }
 }
@@ -85,11 +106,36 @@ struct ClusterShared {
     /// concurrent fetches to *different* peers proceed in parallel while
     /// fetches to the same peer serialize on its one connection.
     peers: Mutex<HashMap<u32, Arc<Mutex<PeerClient>>>>,
+    /// The failure detector. Only the heartbeat path records evidence
+    /// (note_ok / note_fail / sweep); the demand read path *consults* it
+    /// ([`Membership::is_suspect`]) but never writes, so per-peer fetch
+    /// fault handling (retry, breaker) keeps its own semantics.
+    membership: Mutex<Membership>,
+    read_replicas: usize,
+    hedge_after: Option<Duration>,
 }
 
 impl ClusterShared {
     fn map(&self) -> Arc<ShardMap> {
         self.map.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Pick the node that serves a demand read of `key`: the first
+    /// replica candidate (owner, then ring successors) that is either us
+    /// or not currently suspect. Falls back to local — shared storage
+    /// makes a local read always correct — when every candidate is
+    /// suspect.
+    fn route(&self, map: &ShardMap, key: BlockKey) -> NodeId {
+        let candidates = map.owners(key, self.read_replicas.max(1));
+        if candidates.is_empty() {
+            return self.self_id;
+        }
+        let mem = relock(&self.membership);
+        candidates
+            .iter()
+            .copied()
+            .find(|&n| n == self.self_id || !mem.is_suspect(n))
+            .unwrap_or(self.self_id)
     }
 
     fn peer(&self, id: NodeId) -> Arc<Mutex<PeerClient>> {
@@ -108,9 +154,56 @@ impl ClusterShared {
             .clone()
     }
 
+    /// Race a peer fetch against a local read: the primary runs on a
+    /// detached thread (a scoped join would block on the slow peer —
+    /// exactly what hedging exists to avoid); if it has not answered
+    /// within `threshold`, the calling thread reads locally and the
+    /// first result wins. `Ok` is the primary's outcome (possibly late
+    /// but preferred once it landed); `Err` carries local results that
+    /// already resolved the read. The detached thread holds that peer's
+    /// client lock until the slow fetch returns, so later fetches to the
+    /// same peer serialize behind it — the price of not abandoning the
+    /// connection.
+    fn hedged_fetch(
+        &self,
+        owner: NodeId,
+        keys: &[BlockKey],
+        threshold: Duration,
+        local: &Arc<dyn BlockSource>,
+    ) -> Result<io::Result<Vec<BlockReply>>, Vec<io::Result<Vec<f32>>>> {
+        let (tx, rx) = mpsc::channel();
+        let peer = self.peer(owner);
+        let keys_owned = keys.to_vec();
+        std::thread::spawn(move || {
+            let mut peer = relock(&peer);
+            // The receiver gives up after its own local read; ignore a
+            // closed channel.
+            let _ = tx.send(peer.fetch(&keys_owned));
+        });
+        match rx.recv_timeout(threshold) {
+            Ok(fetched) => Ok(fetched),
+            Err(_) => {
+                let local_results = local.read_blocks(keys);
+                // Prefer a primary that landed while we were reading —
+                // it came from the owner's warm pool.
+                match rx.try_recv() {
+                    Ok(Ok(blocks)) => {
+                        instant(Ev::HedgedRead, u64::from(owner.0), 0);
+                        Ok(Ok(blocks))
+                    }
+                    _ => {
+                        instant(Ev::HedgedRead, u64::from(owner.0), 1);
+                        Err(local_results)
+                    }
+                }
+            }
+        }
+    }
+
     /// Fetch `keys` from `owner`, falling back to `local` per key (or
     /// whole-batch) on any peer failure. Results land in `out` at the
-    /// positions named by `idxs`.
+    /// positions named by `idxs`. Records no membership evidence: the
+    /// heartbeat path owns suspicion, the read path only routes by it.
     fn peer_or_local(
         &self,
         owner: NodeId,
@@ -119,10 +212,21 @@ impl ClusterShared {
         local: &Arc<dyn BlockSource>,
         out: &mut [Option<io::Result<Vec<f32>>>],
     ) {
-        let fetched = {
-            let peer = self.peer(owner);
-            let mut peer = relock(&peer);
-            peer.fetch(keys)
+        let fetched = match self.hedge_after {
+            Some(threshold) => match self.hedged_fetch(owner, keys, threshold, local) {
+                Ok(f) => f,
+                Err(local_results) => {
+                    for (slot, r) in idxs.iter().zip(local_results) {
+                        out[*slot] = Some(r);
+                    }
+                    return;
+                }
+            },
+            None => {
+                let peer = self.peer(owner);
+                let mut peer = relock(&peer);
+                peer.fetch(keys)
+            }
         };
         match fetched {
             Ok(blocks) if blocks.len() == keys.len() => {
@@ -153,7 +257,8 @@ impl ClusterShared {
 }
 
 /// The node's [`BlockSource`]: owned keys read `local`, remote keys
-/// round-trip to their owner with local fallback (see module docs).
+/// round-trip to the first *healthy* replica (owner, then ring
+/// successors) with local fallback (see module docs).
 pub struct RoutedSource {
     local: Arc<dyn BlockSource>,
     shared: Arc<ClusterShared>,
@@ -162,13 +267,13 @@ pub struct RoutedSource {
 impl BlockSource for RoutedSource {
     fn read_block(&self, key: BlockKey) -> io::Result<Vec<f32>> {
         let map = self.shared.map();
-        match map.owner(key) {
-            Some(owner) if owner != self.shared.self_id => {
-                let mut out = [None];
-                self.shared.peer_or_local(owner, &[key], &[0], &self.local, &mut out);
-                out[0].take().expect("peer_or_local fills every slot")
-            }
-            _ => self.local.read_block(key),
+        let target = self.shared.route(&map, key);
+        if target != self.shared.self_id {
+            let mut out = [None];
+            self.shared.peer_or_local(target, &[key], &[0], &self.local, &mut out);
+            out[0].take().expect("peer_or_local fills every slot")
+        } else {
+            self.local.read_block(key)
         }
     }
 
@@ -182,22 +287,20 @@ impl BlockSource for RoutedSource {
         let map = self.shared.map();
         let mut out: Vec<Option<io::Result<Vec<f32>>>> = Vec::new();
         out.resize_with(keys.len(), || None);
-        // Group request positions per owner, preserving request order
-        // within each group.
+        // Group request positions per routed target (first healthy
+        // replica), preserving request order within each group.
         let mut local_keys = Vec::new();
         let mut local_idxs = Vec::new();
         let mut remote: HashMap<u32, (Vec<BlockKey>, Vec<usize>)> = HashMap::new();
         for (i, &key) in keys.iter().enumerate() {
-            match map.owner(key) {
-                Some(owner) if owner != self.shared.self_id => {
-                    let entry = remote.entry(owner.0).or_default();
-                    entry.0.push(key);
-                    entry.1.push(i);
-                }
-                _ => {
-                    local_keys.push(key);
-                    local_idxs.push(i);
-                }
+            let target = self.shared.route(&map, key);
+            if target != self.shared.self_id {
+                let entry = remote.entry(target.0).or_default();
+                entry.0.push(key);
+                entry.1.push(i);
+            } else {
+                local_keys.push(key);
+                local_idxs.push(i);
             }
         }
         if !local_keys.is_empty() {
@@ -246,6 +349,9 @@ impl ClusterNode {
             connect: Arc::new(connect),
             peer_cfg: cfg.peer.clone(),
             peers: Mutex::new(HashMap::new()),
+            membership: Mutex::new(Membership::new(cfg.membership)),
+            read_replicas: cfg.read_replicas,
+            hedge_after: cfg.hedge_after,
         });
         let routed = Arc::new(RoutedSource { local: local.clone(), shared: shared.clone() });
         let engine = FetchEngine::spawn(routed, Arc::new(BlockPool::new()), fetch_cfg);
@@ -274,6 +380,74 @@ impl ClusterNode {
     pub fn peer_breaker_counters(&self, peer: NodeId) -> Option<(u64, u64, u64, u64)> {
         let peers = relock(&self.shared.peers);
         peers.get(&peer.0).map(|p| relock(p).breaker_counters())
+    }
+
+    /// Peers this node's failure detector currently suspects, sorted.
+    pub fn suspects(&self) -> Vec<NodeId> {
+        relock(&self.shared.membership).suspects()
+    }
+
+    /// Whether this node's failure detector currently suspects `peer`.
+    pub fn is_suspect(&self, peer: NodeId) -> bool {
+        relock(&self.shared.membership).is_suspect(peer)
+    }
+
+    /// One membership round at `now` (the caller's monotonic clock —
+    /// virtual ticks in tests, wall-clock milliseconds in deployments):
+    /// ping every map peer, record the evidence, pull a newer shard map
+    /// from any peer that advertises one (anti-entropy), then apply the
+    /// suspicion deadline. Returns `(alive, suspect)` counts over the
+    /// map's peers.
+    pub fn heartbeat_tick(&self, now: u64) -> (usize, usize) {
+        let map = self.shared.map();
+        let mut alive = 0usize;
+        for &peer in map.nodes() {
+            if peer == self.id {
+                continue;
+            }
+            let my_version = self.shared.map().version();
+            let pinged = {
+                let client = self.shared.peer(peer);
+                let mut client = relock(&client);
+                client.ping(my_version)
+            };
+            match pinged {
+                Ok((_, their_version)) => {
+                    alive += 1;
+                    relock(&self.shared.membership).note_ok(peer, now);
+                    if their_version > my_version {
+                        // The peer is ahead: pull its map now rather
+                        // than waiting to fail a misrouted fetch.
+                        let _ = self.pull_map_from(peer);
+                    }
+                }
+                Err(_) => {
+                    relock(&self.shared.membership).note_fail(peer);
+                }
+            }
+        }
+        let suspect = {
+            let mut mem = relock(&self.shared.membership);
+            mem.sweep(now);
+            mem.suspects().into_iter().filter(|&n| map.contains(n)).count()
+        };
+        (alive, suspect)
+    }
+
+    /// Pull `peer`'s shard map and install it if newer than ours.
+    /// Returns whether a newer map was installed.
+    pub fn pull_map_from(&self, peer: NodeId) -> io::Result<bool> {
+        let (version, bytes) = {
+            let client = self.shared.peer(peer);
+            let mut client = relock(&client);
+            client.map_get()?
+        };
+        if version <= self.shared.map().version() {
+            return Ok(false);
+        }
+        let map = crate::shard::ShardMap::decode(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(self.install_map(map))
     }
 
     /// Install `map` if it is newer than the current one; returns whether
@@ -336,6 +510,23 @@ impl RequestDispatch for ClusterNode {
             Request::MapGet => {
                 let m = self.shared.map();
                 Outcome::Ready(Response::MapReply { version: m.version(), map_bytes: m.encode() })
+            }
+            Request::Ping { from, map_version } => {
+                // Anti-entropy runs in both directions: we pull if the
+                // sender is ahead; a behind sender pulls off our Pong.
+                // Deliberately NOT positive membership evidence: under
+                // an asymmetric partition the isolated node's outbound
+                // pings still arrive, and admitting them would keep
+                // clearing the suspicion that routes reads around it.
+                // Evidence is directional — only our own probe
+                // succeeding proves *we* can reach the peer.
+                if from != PING_FROM_CLIENT && map_version > self.shared.map().version() {
+                    let _ = self.pull_map_from(NodeId(from));
+                }
+                Outcome::Ready(Response::Pong {
+                    node: self.id.0,
+                    map_version: self.shared.map().version(),
+                })
             }
             Request::PeerFetch { session, hops, demand } => {
                 let map = self.shared.map();

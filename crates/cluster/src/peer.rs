@@ -82,6 +82,7 @@ impl Default for PeerConfig {
 
 /// A resilient client for one peer node (see module docs).
 pub struct PeerClient {
+    self_id: NodeId,
     peer: NodeId,
     /// Session name on the peer; the `peer/` prefix tags the session as
     /// cluster traffic in the peer's registry and stats.
@@ -97,6 +98,7 @@ impl PeerClient {
     /// A client for `peer`, identifying itself as `self_id`.
     pub fn new(self_id: NodeId, peer: NodeId, factory: LinkFactory, cfg: PeerConfig) -> PeerClient {
         PeerClient {
+            self_id,
             peer,
             name: format!("peer/{self_id}"),
             factory,
@@ -231,6 +233,23 @@ impl PeerClient {
                     return Err(e);
                 }
             }
+        }
+    }
+
+    /// One membership heartbeat: send `Ping` carrying our `map_version`,
+    /// return the peer's `(node, map_version)` from its `Pong`.
+    /// Sessionless and not breaker-gated — the heartbeat *is* the probe
+    /// that detects recovery, so it must keep flowing while the breaker
+    /// holds fetches back. Emits [`Ev::HeartbeatSent`] per attempt.
+    pub fn ping(&mut self, map_version: u64) -> io::Result<(u32, u64)> {
+        instant(Ev::HeartbeatSent, u64::from(self.peer.0), map_version);
+        let from = self.self_id.0;
+        match self.call(&Request::Ping { from, map_version })? {
+            Response::Pong { node, map_version } => Ok((node, map_version)),
+            Response::Error { message, .. } => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, message))
+            }
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, "expected Pong")),
         }
     }
 

@@ -36,8 +36,9 @@ use crate::shard::{NodeId, ShardMap};
 use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
-use viz_serve::proto::{ERR_DRAINING, ERR_UNKNOWN_SESSION};
+use viz_serve::proto::{ERR_DRAINING, ERR_UNKNOWN_SESSION, PING_FROM_CLIENT};
 use viz_serve::{BlockReply, Request, Response};
+use viz_telemetry::{instant, EventKind as Ev};
 use viz_volume::BlockKey;
 
 /// Hop count stamped on an off-owner batch: past every node's
@@ -58,11 +59,15 @@ pub struct RouterConfig {
     /// Send a batch to the first fallback instead of the owner when the
     /// owner's queue backlog exceeds the fallback's by more than this.
     pub spill_depth: u64,
+    /// While any node is marked down, probe it with a `Ping` every this
+    /// many frames (0 disables) — a crashed-then-restarted node resumes
+    /// taking traffic without waiting for a map change.
+    pub probe_every: u32,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { candidates: 2, max_rounds: 3, spill_depth: 512 }
+        RouterConfig { candidates: 2, max_rounds: 3, spill_depth: 512, probe_every: 8 }
     }
 }
 
@@ -103,6 +108,8 @@ pub struct Router {
     /// Last observed queue backlog per node (from `Stats`, or
     /// [`Router::note_load`] in tests).
     loads: HashMap<u32, u64>,
+    /// Frames routed so far (drives the periodic down-node probe).
+    frames: u64,
 }
 
 impl Router {
@@ -116,6 +123,7 @@ impl Router {
             cfg,
             conns: HashMap::new(),
             loads: HashMap::new(),
+            frames: 0,
         }
     }
 
@@ -198,6 +206,65 @@ impl Router {
         false
     }
 
+    /// Probe every map node with a `Ping` heartbeat: an answer re-admits
+    /// a node previously marked down (emitting [`Ev::NodeRecovered`]),
+    /// and a node advertising a newer shard map gets its map pulled and
+    /// installed before any demand fetch pays for the skew. Returns the
+    /// number of nodes that answered.
+    pub fn heartbeat(&mut self) -> usize {
+        let nodes: Vec<NodeId> = self.map.nodes().to_vec();
+        nodes.into_iter().filter(|&n| self.probe(n)).count()
+    }
+
+    /// Probe only the nodes currently marked down (the cheap revival
+    /// path [`Router::fetch`] runs every [`RouterConfig::probe_every`]
+    /// frames). Returns how many recovered.
+    pub fn probe_down(&mut self) -> usize {
+        self.down_nodes().into_iter().filter(|&n| self.probe(n)).count()
+    }
+
+    /// One `Ping` round trip to `node`, attempted even while it is
+    /// marked down — the probe *is* how a down node earns its way back.
+    fn probe(&mut self, node: NodeId) -> bool {
+        let my_version = self.map.version();
+        let was_down = {
+            let conn = self.conn(node);
+            let was = conn.down;
+            // Clear the down gate for the attempt; a transport failure
+            // inside `round_trip` re-marks it.
+            conn.down = false;
+            was
+        };
+        let req = Request::Ping { from: PING_FROM_CLIENT, map_version: my_version };
+        match self.round_trip(node, &req) {
+            Ok(Response::Pong { map_version, .. }) => {
+                if was_down {
+                    instant(Ev::NodeRecovered, u64::from(node.0), 0);
+                }
+                if map_version > my_version {
+                    // The node is ahead of us: pull its map now so the
+                    // next frame routes under current membership.
+                    if let Ok(Response::MapReply { version, map_bytes }) =
+                        self.round_trip(node, &Request::MapGet)
+                    {
+                        if version > self.map.version() {
+                            if let Ok(m) = ShardMap::decode(&map_bytes) {
+                                self.install_map(m);
+                            }
+                        }
+                    }
+                }
+                true
+            }
+            Ok(_) => {
+                // Answered, but not with a Pong: keep the prior verdict.
+                self.conn(node).down = was_down;
+                false
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Route one frame: demand split per owner, prefetch attached to
     /// each key's owner batch, failed batches retried against ring
     /// successors across up to [`RouterConfig::max_rounds`] rounds (with
@@ -205,6 +272,13 @@ impl Router {
     /// keys report `TimedOut`; the call itself only errs when *no* node
     /// is reachable at all.
     pub fn fetch(&mut self, demand: Vec<BlockKey>, prefetch: Vec<(BlockKey, f64)>) -> RouterReply {
+        self.frames = self.frames.wrapping_add(1);
+        if self.cfg.probe_every > 0
+            && self.frames.is_multiple_of(u64::from(self.cfg.probe_every))
+            && self.conns.values().any(|c| c.down)
+        {
+            self.probe_down();
+        }
         let mut results: Vec<Option<Result<Arc<Vec<f32>>, u16>>> = Vec::new();
         results.resize_with(demand.len(), || None);
         let mut attempted: Vec<Vec<NodeId>> = vec![Vec::new(); demand.len()];

@@ -87,8 +87,9 @@ const MAP_MAGIC: [u8; 4] = *b"VMAP";
 const MAP_CODEC_VERSION: u16 = 1;
 
 /// Local copy of the splitmix64 finalizer (viz-fetch keeps its own
-/// crate-private); used for both ring points and key hashes.
-fn splitmix64(x: u64) -> u64 {
+/// crate-private); used for ring points, key hashes, and the chaos
+/// harness's seeded schedules.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

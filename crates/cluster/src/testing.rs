@@ -15,9 +15,9 @@
 use crate::node::{ClusterConfig, ClusterNode};
 use crate::peer::{Connector, PeerLink};
 use crate::router::{Router, RouterConfig};
-use crate::shard::{NodeId, ShardMap, ShardStrategy};
+use crate::shard::{splitmix64, NodeId, ShardMap, ShardStrategy};
 use std::cell::Cell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -26,8 +26,24 @@ use viz_serve::proto::{decode_response, encode_request};
 use viz_serve::{Request, Response, ServeClient, ServeConfig, Transport};
 use viz_volume::{BlockKey, MemBlockStore};
 
-/// Live nodes by id; removal is how the harness models a crash.
-type NodeRegistry = Arc<Mutex<HashMap<u32, Arc<ClusterNode>>>>;
+/// The in-process "network": live nodes plus per-target fault state.
+/// Removal from `nodes` models a crash (callers see
+/// `ConnectionRefused`); `blocked` models a partition at the fabric
+/// (the node stays alive but inbound frames refuse); `corrupt` flips
+/// one byte in every reply a target serves (the "bad NIC" fault — CRC
+/// framing rejects it at the caller).
+#[derive(Default)]
+struct Fabric {
+    nodes: Mutex<HashMap<u32, Arc<ClusterNode>>>,
+    blocked: Mutex<HashSet<u32>>,
+    /// Corrupting targets, each with a counter seeding the
+    /// deterministic flip position.
+    corrupt: Mutex<HashMap<u32, u64>>,
+}
+
+/// Shared handle to the fabric every link and transport resolves
+/// through.
+type NodeRegistry = Arc<Fabric>;
 
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
@@ -45,21 +61,35 @@ thread_local! {
 const MAX_SERVE_DEPTH: u32 = 4;
 
 fn lookup(registry: &NodeRegistry, id: NodeId) -> io::Result<Arc<ClusterNode>> {
-    relock(registry)
+    relock(&registry.nodes)
         .get(&id.0)
         .cloned()
         .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionRefused, format!("{id} is offline")))
 }
 
 fn serve_sync(registry: &NodeRegistry, id: NodeId, frame: &[u8]) -> io::Result<Vec<u8>> {
+    if relock(&registry.blocked).contains(&id.0) {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("{id} is partitioned"),
+        ));
+    }
     let node = lookup(registry, id)?;
     let depth = SERVE_DEPTH.with(|d| d.get());
     if depth >= MAX_SERVE_DEPTH {
         return Err(io::Error::new(io::ErrorKind::WouldBlock, "synchronous serve recursion cap"));
     }
     SERVE_DEPTH.with(|d| d.set(depth + 1));
-    let reply = node.serve_frame(frame);
+    let mut reply = node.serve_frame(frame);
     SERVE_DEPTH.with(|d| d.set(depth));
+    if let Some(count) = relock(&registry.corrupt).get_mut(&id.0) {
+        // One deterministic byte flip anywhere in the frame breaks
+        // either the length prefix or the CRC, so the caller always
+        // sees a decode failure rather than silently bad data.
+        let pos = (splitmix64(*count) as usize) % reply.len();
+        reply[pos] ^= 0x40;
+        *count += 1;
+    }
     Ok(reply)
 }
 
@@ -114,6 +144,8 @@ pub struct TestCluster {
     registry: NodeRegistry,
     taps: HashMap<u32, Arc<InstrumentedSource>>,
     map: ShardMap,
+    serve_cfg: ServeConfig,
+    cluster_cfg: ClusterConfig,
 }
 
 impl TestCluster {
@@ -123,35 +155,51 @@ impl TestCluster {
     }
 
     /// [`TestCluster::new`] with explicit per-node serve and cluster
-    /// configs.
+    /// configs (also used when rebuilding a node on restart or join).
     pub fn with_configs(
         n: u32,
         strategy: ShardStrategy,
         serve_cfg: ServeConfig,
         cluster_cfg: ClusterConfig,
     ) -> TestCluster {
-        let store = Arc::new(MemBlockStore::new());
-        let clock = Arc::new(VirtualClock::new());
         let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
-        let map = ShardMap::new(&ids, 64, strategy);
-        let registry: NodeRegistry = Arc::new(Mutex::new(HashMap::new()));
-        let mut taps = HashMap::new();
+        let mut cluster = TestCluster {
+            store: Arc::new(MemBlockStore::new()),
+            clock: Arc::new(VirtualClock::new()),
+            registry: Arc::new(Fabric::default()),
+            taps: HashMap::new(),
+            map: ShardMap::new(&ids, 64, strategy),
+            serve_cfg,
+            cluster_cfg,
+        };
         for id in ids {
-            let timed = VirtualClockSource::uniform(store.clone(), clock.clone(), 1);
-            let tap = Arc::new(InstrumentedSource::new(Arc::new(timed), Duration::ZERO));
-            taps.insert(id.0, tap.clone());
-            let node = ClusterNode::new(
-                id,
-                tap,
-                map.clone(),
-                Self::make_connector(registry.clone()),
-                FetchConfig::deterministic(),
-                serve_cfg.clone(),
-                cluster_cfg.clone(),
-            );
-            relock(&registry).insert(id.0, node);
+            cluster.build_node(id);
         }
-        TestCluster { store, clock, registry, taps, map }
+        cluster
+    }
+
+    /// Build (or rebuild) node `id` over the shared store under the
+    /// current map, reusing its tap if it had one so read accounting
+    /// spans restarts.
+    fn build_node(&mut self, id: NodeId) {
+        let tap = self
+            .taps
+            .entry(id.0)
+            .or_insert_with(|| {
+                let timed = VirtualClockSource::uniform(self.store.clone(), self.clock.clone(), 1);
+                Arc::new(InstrumentedSource::new(Arc::new(timed), Duration::ZERO))
+            })
+            .clone();
+        let node = ClusterNode::new(
+            id,
+            tap,
+            self.map.clone(),
+            Self::make_connector(self.registry.clone()),
+            FetchConfig::deterministic(),
+            self.serve_cfg.clone(),
+            self.cluster_cfg.clone(),
+        );
+        relock(&self.registry.nodes).insert(id.0, node);
     }
 
     fn make_connector(
@@ -184,12 +232,13 @@ impl TestCluster {
 
     /// A live node, if it has not been failed.
     pub fn node(&self, id: NodeId) -> Option<Arc<ClusterNode>> {
-        relock(&self.registry).get(&id.0).cloned()
+        relock(&self.registry.nodes).get(&id.0).cloned()
     }
 
     /// Live node ids, sorted.
     pub fn live_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = relock(&self.registry).keys().map(|&id| NodeId(id)).collect();
+        let mut v: Vec<NodeId> =
+            relock(&self.registry.nodes).keys().map(|&id| NodeId(id)).collect();
         v.sort();
         v
     }
@@ -230,7 +279,7 @@ impl TestCluster {
     /// and the version bumped — installs on every survivor. Returns the
     /// new map version.
     pub fn fail_node(&mut self, id: NodeId) -> u64 {
-        relock(&self.registry).remove(&id.0);
+        relock(&self.registry.nodes).remove(&id.0);
         self.reassign_without(id)
     }
 
@@ -239,7 +288,89 @@ impl TestCluster {
     /// control plane noticing. Peer fetches to it fail, fall back to
     /// local reads, and open the callers' breakers.
     pub fn partition_node(&mut self, id: NodeId) {
-        relock(&self.registry).remove(&id.0);
+        relock(&self.registry.nodes).remove(&id.0);
+    }
+
+    /// Partition `id` at the fabric: inbound frames refuse while the
+    /// node object stays alive, so its own outbound traffic still flows
+    /// — the asymmetric half of a real network partition.
+    /// [`TestCluster::heal`] reconnects it.
+    pub fn isolate(&self, id: NodeId) {
+        relock(&self.registry.blocked).insert(id.0);
+    }
+
+    /// Reconnect a node isolated by [`TestCluster::isolate`].
+    pub fn heal(&self, id: NodeId) {
+        relock(&self.registry.blocked).remove(&id.0);
+    }
+
+    /// Start (`on`) or stop corrupting every reply frame `id` serves:
+    /// one deterministically-seeded byte flip per frame, which CRC
+    /// framing converts into a decode failure at the caller.
+    pub fn corrupt_from(&self, id: NodeId, on: bool) {
+        let mut corrupt = relock(&self.registry.corrupt);
+        if on {
+            corrupt.entry(id.0).or_insert(0);
+        } else {
+            corrupt.remove(&id.0);
+        }
+    }
+
+    /// Inject `delay` of real wall-clock sleep into every storage read
+    /// `id` performs — the slow-node fault. `Duration::ZERO` restores
+    /// full speed.
+    pub fn set_read_delay(&self, id: NodeId, delay: Duration) {
+        if let Some(tap) = self.taps.get(&id.0) {
+            tap.set_delay(delay);
+        }
+    }
+
+    /// Restart a crashed node: rebuild it over the shared store (same
+    /// tap, so read accounting spans the restart) under the current map
+    /// — re-adding it via [`ShardMap::with`] if a reassignment dropped
+    /// it — and push that map to every live node. Returns the map
+    /// version in force afterwards.
+    pub fn restart_node(&mut self, id: NodeId) -> u64 {
+        if !self.map.contains(id) {
+            self.map = self.map.with(id);
+        }
+        self.build_node(id);
+        self.push_map();
+        self.map.version()
+    }
+
+    /// Grow the cluster: a brand-new node joins under [`ShardMap::with`]
+    /// (bounded movement — only keys whose ring positions land on the
+    /// newcomer move) and the new map pushes everywhere. Returns the new
+    /// map version.
+    pub fn join_node(&mut self, id: NodeId) -> u64 {
+        self.map = self.map.with(id);
+        self.build_node(id);
+        self.push_map();
+        self.map.version()
+    }
+
+    /// One membership round at the current virtual tick: every live
+    /// node, in id order, runs [`ClusterNode::heartbeat_tick`]. Returns
+    /// each node's `(id, alive, suspect)` counts.
+    pub fn heartbeat_all(&self) -> Vec<(NodeId, usize, usize)> {
+        let now = self.clock.now();
+        self.live_nodes()
+            .into_iter()
+            .filter_map(|id| {
+                self.node(id).map(|n| {
+                    let (alive, suspect) = n.heartbeat_tick(now);
+                    (id, alive, suspect)
+                })
+            })
+            .collect()
+    }
+
+    fn push_map(&self) {
+        let nodes: Vec<Arc<ClusterNode>> = relock(&self.registry.nodes).values().cloned().collect();
+        for node in nodes {
+            node.install_map(self.map.clone());
+        }
     }
 
     /// Gracefully retire `id`: drain its server first (flushing queued
@@ -254,10 +385,7 @@ impl TestCluster {
 
     fn reassign_without(&mut self, id: NodeId) -> u64 {
         self.map = self.map.without(id);
-        let survivors: Vec<Arc<ClusterNode>> = relock(&self.registry).values().cloned().collect();
-        for node in survivors {
-            node.install_map(self.map.clone());
-        }
+        self.push_map();
         self.map.version()
     }
 }

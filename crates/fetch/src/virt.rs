@@ -168,7 +168,9 @@ impl BlockSource for VirtualClockSource {
 /// if request coalescing works.
 pub struct InstrumentedSource {
     inner: Arc<dyn BlockSource>,
-    delay: Option<Duration>,
+    /// Injected per-read sleep, in nanoseconds (0 = none). Atomic so
+    /// chaos scripts can slow a node mid-run without a rebuild.
+    delay_nanos: AtomicU64,
     active: Mutex<HashSet<BlockKey>>,
     reads: AtomicU64,
     concurrent_dups: AtomicU64,
@@ -181,12 +183,19 @@ impl InstrumentedSource {
     pub fn new(inner: Arc<dyn BlockSource>, delay: Duration) -> Self {
         InstrumentedSource {
             inner,
-            delay: (!delay.is_zero()).then_some(delay),
+            delay_nanos: AtomicU64::new(delay.as_nanos() as u64),
             active: Mutex::new(HashSet::new()),
             reads: AtomicU64::new(0),
             concurrent_dups: AtomicU64::new(0),
             max_concurrency: AtomicU64::new(0),
         }
+    }
+
+    /// Change the injected per-read delay (slow-node fault scripts;
+    /// `Duration::ZERO` restores full speed). Applies to reads that
+    /// start after the call.
+    pub fn set_delay(&self, delay: Duration) {
+        self.delay_nanos.store(delay.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Total reads issued to the inner source.
@@ -217,8 +226,9 @@ impl BlockSource for InstrumentedSource {
             }
             self.max_concurrency.fetch_max(active.len() as u64, Ordering::Relaxed);
         }
-        if let Some(d) = self.delay {
-            std::thread::sleep(d);
+        let delay = self.delay_nanos.load(Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_nanos(delay));
         }
         let res = self.inner.read_block(key);
         self.active.lock().unwrap_or_else(PoisonError::into_inner).remove(&key);

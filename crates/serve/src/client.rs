@@ -148,6 +148,19 @@ impl<T: Transport> ServeClient<T> {
         }
     }
 
+    /// Membership heartbeat: probe the server's liveness and shard-map
+    /// version. `from` is the caller's node id, or
+    /// [`crate::proto::PING_FROM_CLIENT`] for a plain client probe.
+    /// Returns the responder's `(node, map_version)`.
+    pub fn ping(&mut self, from: u32, map_version: u64) -> Result<(u32, u64), ClientError> {
+        self.send(&Request::Ping { from, map_version })?;
+        match self.recv_response()? {
+            Response::Pong { node, map_version } => Ok((node, map_version)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("Pong")),
+        }
+    }
+
     /// Node-to-node demand forward: resolve `demand` on this server as
     /// the owner. Requires an open (peer) session.
     pub fn peer_fetch(

@@ -5,12 +5,13 @@
 //! where `crc` is the CRC-32 of `body` (the same polynomial the block
 //! store frames use, via [`viz_volume::crc32`]). The body opens with the
 //! `b"VSRV"` magic, a `u16` protocol version, and a one-byte message tag,
-//! followed by the tag-specific payload. Requests use tags `0x01..=0x07`,
-//! responses mirror them at `0x81..=0x86`, and `0xFF` is the typed error
+//! followed by the tag-specific payload. Requests use tags `0x01..=0x08`,
+//! responses mirror them at `0x81..=0x87`, and `0xFF` is the typed error
 //! reply. The cluster layer rides the same version: `MapGet`/`MapReply`
-//! exchange the opaque CRC-framed shard map, and `PeerFetch` is the
+//! exchange the opaque CRC-framed shard map, `PeerFetch` is the
 //! node-to-node demand forward (a hop counter bounds forwarding cycles
-//! under shard-map skew).
+//! under shard-map skew), and `Ping`/`Pong` carry membership heartbeats
+//! with piggybacked map versions for anti-entropy.
 //!
 //! Corruption never panics: truncation, a flipped CRC byte, an unknown
 //! tag, and version skew each map to a distinct [`ProtoError`] variant,
@@ -39,12 +40,14 @@ const TAG_ADVANCE: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
 const TAG_MAP_GET: u8 = 0x06;
 const TAG_PEER_FETCH: u8 = 0x07;
+const TAG_PING: u8 = 0x08;
 const TAG_OPEN_ACK: u8 = 0x81;
 const TAG_CLOSE_ACK: u8 = 0x82;
 const TAG_FETCH_REPLY: u8 = 0x83;
 const TAG_ADVANCE_ACK: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_MAP_REPLY: u8 = 0x86;
+const TAG_PONG: u8 = 0x87;
 const TAG_ERROR: u8 = 0xFF;
 
 /// Wire error code: malformed frame or payload.
@@ -190,7 +193,23 @@ pub enum Request {
         /// Demand keys to resolve on the owner.
         demand: Vec<BlockKey>,
     },
+    /// Membership heartbeat: "I am alive, and my shard map is at this
+    /// version." Sessionless, answered with [`Response::Pong`]. Both
+    /// sides use the piggybacked versions for map anti-entropy: whichever
+    /// party is behind pulls the newer map with `MapGet` immediately
+    /// instead of learning about the skew on a failed fetch.
+    Ping {
+        /// Sender's node id, or [`PING_FROM_CLIENT`] for a router/client
+        /// probe that has no node identity.
+        from: u32,
+        /// Sender's current shard-map version (0 = none installed).
+        map_version: u64,
+    },
 }
+
+/// The `from` value a router or external client puts in a
+/// [`Request::Ping`]: probes liveness without claiming a node id.
+pub const PING_FROM_CLIENT: u32 = u32::MAX;
 
 /// One demand key's outcome inside a [`Response::FetchReply`].
 #[derive(Debug, Clone, PartialEq)]
@@ -246,6 +265,14 @@ pub enum Response {
         version: u64,
         /// Encoded shard map (the cluster crate's VMAP frame).
         map_bytes: Vec<u8>,
+    },
+    /// Heartbeat ack: the responder's identity and shard-map version.
+    Pong {
+        /// Responder's node id, or [`PING_FROM_CLIENT`] from a plain
+        /// single-node server with no cluster identity.
+        node: u32,
+        /// Responder's current shard-map version (0 = none installed).
+        map_version: u64,
     },
     /// Typed failure; the connection stays usable.
     Error {
@@ -482,6 +509,11 @@ pub fn encode_request_versioned(req: &Request, version: u16) -> Vec<u8> {
                 put_key(&mut b, k);
             }
         }
+        Request::Ping { from, map_version } => {
+            b = body_header(version, TAG_PING);
+            put_u32(&mut b, *from);
+            put_u64(&mut b, *map_version);
+        }
     }
     frame(b)
 }
@@ -531,6 +563,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtoError> {
             }
             Request::PeerFetch { session, hops, demand }
         }
+        TAG_PING => Request::Ping { from: r.u32()?, map_version: r.u64()? },
         t => return Err(ProtoError::UnknownTag(t)),
     };
     r.finish()?;
@@ -591,6 +624,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut b, *version);
             put_u32(&mut b, map_bytes.len() as u32);
             b.extend_from_slice(map_bytes);
+        }
+        Response::Pong { node, map_version } => {
+            b = body_header(PROTO_VERSION, TAG_PONG);
+            put_u32(&mut b, *node);
+            put_u64(&mut b, *map_version);
         }
         Response::Error { code, message } => {
             b = body_header(PROTO_VERSION, TAG_ERROR);
@@ -655,6 +693,7 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, ProtoError> {
             let map_bytes = r.take(n)?.to_vec();
             Response::MapReply { version, map_bytes }
         }
+        TAG_PONG => Response::Pong { node: r.u32()?, map_version: r.u64()? },
         TAG_ERROR => {
             let code = r.u16()?;
             let len = r.u16()? as usize;
@@ -691,6 +730,8 @@ mod tests {
             Request::Stats,
             Request::MapGet,
             Request::PeerFetch { session: 9, hops: 1, demand: vec![key(3), key(4)] },
+            Request::Ping { from: 2, map_version: 13 },
+            Request::Ping { from: PING_FROM_CLIENT, map_version: 0 },
         ]
     }
 
@@ -712,6 +753,7 @@ mod tests {
                 counters: vec![("serve_sessions_opened".into(), 3), ("x".into(), 0)],
             },
             Response::MapReply { version: 11, map_bytes: vec![0x56, 0x4D, 0x41, 0x50, 0x00] },
+            Response::Pong { node: 1, map_version: 11 },
             Response::Error { code: ERR_DRAINING, message: "draining".into() },
         ]
     }

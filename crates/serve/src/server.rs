@@ -870,6 +870,13 @@ pub fn handle_request(server: &Server, req: Request) -> Outcome {
                 }
             }
         }
+        // A plain server has no node identity or shard map; it still
+        // answers the heartbeat (liveness is liveness) with the sentinel
+        // id and version 0. The cluster dispatcher intercepts this tag to
+        // fill in real values and feed its failure detector.
+        Request::Ping { .. } => {
+            Outcome::Ready(Response::Pong { node: proto::PING_FROM_CLIENT, map_version: 0 })
+        }
     }
 }
 

@@ -110,10 +110,24 @@ pub enum EventKind {
     /// A node or router installed a newer shard map (instant; `key` =
     /// node id, `arg` = new map version).
     MapUpdate,
+    /// A membership heartbeat (`Ping`) went out to a peer (instant;
+    /// `key` = peer node id, `arg` = the sender's map version).
+    HeartbeatSent,
+    /// Failure detection marked a peer suspect — missed heartbeat
+    /// deadline or a hard transport failure (instant; `key` = suspected
+    /// node id, `arg` = 1 for a hard failure, 0 for a deadline lapse).
+    SuspectNode,
+    /// A suspected or down node answered a probe and was re-admitted to
+    /// routing (instant; `key` = recovered node id).
+    NodeRecovered,
+    /// A demand read hedged to a second replica after the primary passed
+    /// the latency threshold (instant; `key` = primary node id, `arg` =
+    /// 1 when the hedge result was used, 0 when the primary still won).
+    HedgedRead,
 }
 
 /// Number of event kinds (array sizing for per-kind aggregation).
-pub const KIND_COUNT: usize = 36;
+pub const KIND_COUNT: usize = 40;
 
 impl EventKind {
     /// Every kind, in declaration order.
@@ -154,6 +168,10 @@ impl EventKind {
         EventKind::PeerFetch,
         EventKind::PeerFallback,
         EventKind::MapUpdate,
+        EventKind::HeartbeatSent,
+        EventKind::SuspectNode,
+        EventKind::NodeRecovered,
+        EventKind::HedgedRead,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -195,6 +213,10 @@ impl EventKind {
             EventKind::PeerFetch => "peer_fetch",
             EventKind::PeerFallback => "peer_fallback",
             EventKind::MapUpdate => "map_update",
+            EventKind::HeartbeatSent => "heartbeat_sent",
+            EventKind::SuspectNode => "suspect_node",
+            EventKind::NodeRecovered => "node_recovered",
+            EventKind::HedgedRead => "hedged_read",
         }
     }
 
@@ -231,7 +253,13 @@ impl EventKind {
             | EventKind::RequestShed
             | EventKind::CrossClientCoalesce
             | EventKind::ReactorTick => "serve",
-            EventKind::PeerFetch | EventKind::PeerFallback | EventKind::MapUpdate => "cluster",
+            EventKind::PeerFetch
+            | EventKind::PeerFallback
+            | EventKind::MapUpdate
+            | EventKind::HeartbeatSent
+            | EventKind::SuspectNode
+            | EventKind::NodeRecovered
+            | EventKind::HedgedRead => "cluster",
         }
     }
 

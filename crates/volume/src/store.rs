@@ -218,6 +218,9 @@ impl DiskBlockStore {
     /// frame that would surface later as a CRC `InvalidData` miss. Unique
     /// staging names (pid + per-process counter) also keep concurrent
     /// writers of the same key from interleaving into one temp file.
+    /// After the rename the parent directory is fsynced too — the rename
+    /// itself lives in directory metadata, and without that sync a power
+    /// loss could silently roll a key back to its previous frame.
     pub fn write_block(&self, key: BlockKey, dims: Dims3, data: &[f32]) -> io::Result<()> {
         static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let bytes = match self.codec {
@@ -232,7 +235,9 @@ impl DiskBlockStore {
             f.write_all(&bytes)?;
             f.sync_all()
         })();
-        let res = staged.and_then(|()| fs::rename(&tmp, &path));
+        let res = staged
+            .and_then(|()| fs::rename(&tmp, &path))
+            .and_then(|()| fs::File::open(&self.root)?.sync_all());
         if res.is_err() {
             let _ = fs::remove_file(&tmp);
         }
@@ -501,6 +506,26 @@ mod tests {
         fs::write(dir.join("v0_t0_b4.1234.0.tmp"), &[0u8; 5]).unwrap();
         let err = store.read_block(BlockKey::scalar(BlockId(4))).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_overwrite_commits_and_leaves_no_staging_litter() {
+        let dir = tmpdir("durable");
+        let store = DiskBlockStore::open(&dir).unwrap();
+        let key = BlockKey::scalar(BlockId(11));
+        store.write_block(key, Dims3::new(2, 1, 1), &[1.0, 2.0]).unwrap();
+        // Overwriting the same key exercises the full stage → fsync →
+        // rename → parent-dir fsync path with a pre-existing final file.
+        store.write_block(key, Dims3::new(2, 1, 1), &[3.0, 4.0]).unwrap();
+        assert_eq!(store.read_block(key).unwrap(), vec![3.0, 4.0]);
+        // Successful writes clean up after themselves: only the committed
+        // frame remains, no `.tmp` staging litter.
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec!["v0_t0_b11.vblk".to_string()]);
         fs::remove_dir_all(&dir).unwrap();
     }
 
