@@ -1,0 +1,30 @@
+//! Structural check for checked-in Chrome-trace artifacts: each file
+//! named on the command line must parse under the exporters' own JSON
+//! validator and look like a trace-event document. Exits non-zero on
+//! the first failure, so CI catches a hand-edited or truncated artifact.
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate_traces FILE.json [FILE.json ...]");
+        std::process::exit(2);
+    }
+    for path in &files {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = viz_telemetry::json::validate(&doc) {
+            eprintln!("{path}: invalid JSON: {e}");
+            std::process::exit(1);
+        }
+        if !doc.contains("\"traceEvents\"") {
+            eprintln!("{path}: not a Chrome trace-event document");
+            std::process::exit(1);
+        }
+        println!("{path}: ok ({} bytes)", doc.len());
+    }
+}

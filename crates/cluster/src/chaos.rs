@@ -19,6 +19,7 @@ use crate::router::Router;
 use crate::shard::{splitmix64, NodeId};
 use crate::testing::TestCluster;
 use std::time::Duration;
+use viz_telemetry::{instant, EventKind as Ev};
 use viz_volume::{BlockId, BlockKey};
 
 /// One fault (or repair) the harness can apply to a node.
@@ -47,6 +48,23 @@ pub enum ChaosAction {
 }
 
 impl ChaosAction {
+    /// `(fault family, is_repair)` for telemetry: families are Crash 0,
+    /// Isolate 1, Slow 2, Corrupt 3; the repair bit marks the undo
+    /// action. Packed into [`Ev::FaultInjected`]'s `arg` as
+    /// `family << 1 | repair`.
+    pub fn wire_code(&self) -> (u64, bool) {
+        match *self {
+            ChaosAction::Crash(_) => (0, false),
+            ChaosAction::Restart(_) => (0, true),
+            ChaosAction::Isolate(_) => (1, false),
+            ChaosAction::Heal(_) => (1, true),
+            ChaosAction::Slow(..) => (2, false),
+            ChaosAction::Unslow(_) => (2, true),
+            ChaosAction::Corrupt(_) => (3, false),
+            ChaosAction::Uncorrupt(_) => (3, true),
+        }
+    }
+
     /// The node this action targets.
     pub fn target(&self) -> NodeId {
         match *self {
@@ -132,11 +150,17 @@ pub struct ChaosOptions {
     /// Virtual ticks the clock advances per step (drives suspicion
     /// deadlines).
     pub ticks_per_step: u64,
+    /// When set, the first flight-recorder trigger observed during the
+    /// run writes a cluster flight dump here
+    /// ([`crate::obs::write_flight_dump`]) — the injected fault's
+    /// cross-node timeline, reconstructable offline. Requires the
+    /// telemetry gate on to observe anything.
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ChaosOptions {
     fn default() -> Self {
-        ChaosOptions { demand_per_step: 8, key_space: 64, ticks_per_step: 10 }
+        ChaosOptions { demand_per_step: 8, key_space: 64, ticks_per_step: 10, flight_dump: None }
     }
 }
 
@@ -160,6 +184,12 @@ pub struct ChaosReport {
     /// Wall-clock seconds each step's demand frame took. Deterministic
     /// assertions use the virtual numbers; benches read these.
     pub frame_wall_s: Vec<f64>,
+    /// Flight-recorder triggers observed during the run (0 with the
+    /// telemetry gate off).
+    pub triggers: u64,
+    /// Events written to the flight dump, when one was triggered and
+    /// [`ChaosOptions::flight_dump`] named a path.
+    pub dump_events: u64,
 }
 
 fn chaos_key(i: u32) -> BlockKey {
@@ -199,6 +229,10 @@ pub fn run_plan(
     for step in 0..steps {
         for ev in plan.events.iter().filter(|e| e.step == step) {
             let target = ev.action.target();
+            // The injection lands on the timeline *before* its effects,
+            // so a reconstructed trace shows cause then symptom.
+            let (family, repair) = ev.action.wire_code();
+            instant(Ev::FaultInjected, u64::from(target.0), family << 1 | u64::from(repair));
             match ev.action {
                 ChaosAction::Crash(n) => cluster.partition_node(n),
                 ChaosAction::Restart(n) => {
@@ -258,6 +292,23 @@ pub fn run_plan(
                 true
             }
         });
+        // Pump the rings through the flight recorder and poll its
+        // triggers: the first one during the run cuts the dump.
+        if viz_telemetry::enabled() {
+            let _ = viz_telemetry::drain();
+            let fired = viz_telemetry::flight::take_triggers();
+            report.triggers += fired.len() as u64;
+            if !fired.is_empty() && report.dump_events == 0 {
+                if let Some(path) = &opts.flight_dump {
+                    let mut snap = viz_telemetry::flight::snapshot_history();
+                    snap.triggers = fired;
+                    let sections = crate::obs::sections_from_snapshot(&snap);
+                    if let Ok(n) = crate::obs::write_flight_dump(path, &sections) {
+                        report.dump_events = n;
+                    }
+                }
+            }
+        }
     }
     report.steps = steps;
     report

@@ -30,6 +30,9 @@
 //! - [`chaos`] — seeded, replayable fault schedules ([`ChaosPlan`])
 //!   driven through the test cluster by [`chaos::run_plan`], reporting
 //!   detection/recovery latency and the zero-demand-errors invariant.
+//! - [`obs`] — cluster observability glue: `TelemetryGet` replies →
+//!   [`viz_telemetry::collect`] drains (Perfetto merge + Prometheus
+//!   rollup), and the CRC-framed flight-recorder dump file.
 //!
 //! The deployment model is shared storage (every node can read every
 //! block, as on a parallel file system): ownership concentrates each
@@ -62,6 +65,7 @@
 pub mod chaos;
 pub mod membership;
 pub mod node;
+pub mod obs;
 pub mod peer;
 pub mod router;
 pub mod shard;
@@ -70,6 +74,10 @@ pub mod testing;
 pub use chaos::{ChaosAction, ChaosEvent, ChaosOptions, ChaosPlan, ChaosReport};
 pub use membership::{Membership, MembershipConfig};
 pub use node::{ClusterConfig, ClusterNode, RoutedSource};
+pub use obs::{
+    drain_from_wire, read_flight_dump, section_from_drain, sections_from_snapshot,
+    write_flight_dump, DumpSection,
+};
 pub use peer::{Connector, LinkFactory, PeerClient, PeerConfig, PeerLink, TcpPeerLink};
 pub use router::{Router, RouterConfig, RouterReply};
 pub use shard::{MapError, NodeId, ShardMap, ShardStrategy};

@@ -464,27 +464,41 @@ impl ClusterNode {
         true
     }
 
+    /// The node id as stamped on telemetry events: `NodeId + 1`, so node
+    /// 0 stays the "client / unattributed" sentinel in merged traces.
+    fn node_tag(&self) -> u16 {
+        (self.id.0 as u16).saturating_add(1)
+    }
+
     /// Serve one already-framed request synchronously on the calling
     /// thread — the deterministic in-process transport. Fetches pump the
     /// scheduler and step the inline engine to idle (recursing into peer
     /// nodes through their own `serve_frame` when a read forwards).
+    /// Replies at the requester's claimed protocol version, and stamps
+    /// every telemetry event emitted while serving with this node's id.
     pub fn serve_frame(&self, frame: &[u8]) -> Vec<u8> {
-        let resp = match viz_serve::proto::decode_request(frame) {
-            Ok(req) => match self.dispatch(&self.server, req) {
-                Outcome::Ready(r) => r,
-                Outcome::Fetch(p) => {
-                    self.server.pump();
-                    if self.cfg.deterministic {
-                        self.server.engine().run_until_idle();
-                        p.resolve_now(&self.server)
-                    } else {
-                        p.wait(&self.server)
+        viz_telemetry::with_node(self.node_tag(), || {
+            let mut ver = viz_serve::proto::PROTO_VERSION;
+            let resp = match viz_serve::proto::decode_request_full(frame) {
+                Ok((v, req)) => {
+                    ver = v;
+                    match self.dispatch(&self.server, req) {
+                        Outcome::Ready(r) => r,
+                        Outcome::Fetch(p) => {
+                            self.server.pump();
+                            if self.cfg.deterministic {
+                                self.server.engine().run_until_idle();
+                                p.resolve_now(&self.server)
+                            } else {
+                                p.wait(&self.server)
+                            }
+                        }
                     }
                 }
-            },
-            Err(pe) => Response::Error { code: pe.code(), message: pe.to_string() },
-        };
-        viz_serve::proto::encode_response(&resp)
+                Err(pe) => Response::Error { code: pe.code(), message: pe.to_string() },
+            };
+            viz_serve::proto::encode_response_versioned(&resp, ver)
+        })
     }
 
     /// Answer a `PeerFetch` without engine submission: straight local
@@ -506,10 +520,24 @@ impl ClusterNode {
 
 impl RequestDispatch for ClusterNode {
     fn dispatch(&self, server: &Arc<Server>, req: Request) -> Outcome {
+        // Every event emitted while this node serves — dispatch, pump,
+        // inline engine steps — carries the node's id, so a merged
+        // cluster trace can tell the owner's spans from the peer's.
+        viz_telemetry::with_node(self.node_tag(), || self.dispatch_inner(server, req))
+    }
+}
+
+impl ClusterNode {
+    fn dispatch_inner(&self, server: &Arc<Server>, req: Request) -> Outcome {
         match req {
             Request::MapGet => {
                 let m = self.shared.map();
                 Outcome::Ready(Response::MapReply { version: m.version(), map_bytes: m.encode() })
+            }
+            Request::TelemetryGet => {
+                // The serve layer answers with the client sentinel; the
+                // cluster layer knows which node it is.
+                Outcome::Ready(Response::TelemetryReply(server.wire_telemetry(self.id.0)))
             }
             Request::Ping { from, map_version } => {
                 // Anti-entropy runs in both directions: we pull if the
@@ -526,15 +554,18 @@ impl RequestDispatch for ClusterNode {
                 Outcome::Ready(Response::Pong {
                     node: self.id.0,
                     map_version: self.shared.map().version(),
+                    now_ns: viz_telemetry::now_ns(),
                 })
             }
-            Request::PeerFetch { session, hops, demand } => {
+            Request::PeerFetch { session, hops, demand, trace } => {
                 let map = self.shared.map();
                 let all_owned = demand.iter().all(|&k| map.owner(k) == Some(self.id));
                 if hops < self.cfg.max_hops && all_owned {
                     // Normal ownership: resolve through the engine so
                     // concurrent peers coalesce and the pool warms.
-                    handle_request(server, Request::PeerFetch { session, hops, demand })
+                    handle_request(server, Request::PeerFetch { session, hops, demand, trace })
+                } else if trace.is_some() {
+                    viz_telemetry::with_trace(trace.trace, || self.peer_direct(session, demand))
                 } else {
                     self.peer_direct(session, demand)
                 }

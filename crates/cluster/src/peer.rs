@@ -20,7 +20,7 @@ use viz_fetch::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 use viz_serve::proto::{
     decode_response, encode_request, ERR_DRAINING, ERR_NO_MAP, ERR_UNKNOWN_SESSION,
 };
-use viz_serve::{BlockReply, Request, Response, TcpTransport, Transport};
+use viz_serve::{BlockReply, Request, Response, TcpTransport, TraceCtx, Transport, WireTelemetry};
 use viz_telemetry::{instant, span, EventKind as Ev};
 use viz_volume::BlockKey;
 
@@ -164,7 +164,11 @@ impl PeerClient {
 
     fn try_fetch(&mut self, demand: &[BlockKey]) -> io::Result<Vec<BlockReply>> {
         let session = self.ensure_session()?;
-        let req = Request::PeerFetch { session, hops: self.cfg.hops, demand: demand.to_vec() };
+        // Forwarded demand keeps the originating client's trace id so the
+        // owner's spans join the same cross-node tree.
+        let trace = TraceCtx { trace: viz_telemetry::current_trace(), span: 0 };
+        let req =
+            Request::PeerFetch { session, hops: self.cfg.hops, demand: demand.to_vec(), trace };
         match self.call(&req)? {
             Response::FetchReply { blocks, .. } => Ok(blocks),
             Response::Error { code, message } if code == ERR_UNKNOWN_SESSION => {
@@ -242,14 +246,37 @@ impl PeerClient {
     /// that detects recovery, so it must keep flowing while the breaker
     /// holds fetches back. Emits [`Ev::HeartbeatSent`] per attempt.
     pub fn ping(&mut self, map_version: u64) -> io::Result<(u32, u64)> {
+        self.ping_timed(map_version).map(|(node, ver, _)| (node, ver))
+    }
+
+    /// [`PeerClient::ping`] that also returns the peer's telemetry clock
+    /// (`now_ns`; 0 from a v1 peer) — paired with the local send/receive
+    /// instants it yields an RTT-midpoint clock-offset estimate for
+    /// cross-node trace alignment.
+    pub fn ping_timed(&mut self, map_version: u64) -> io::Result<(u32, u64, u64)> {
         instant(Ev::HeartbeatSent, u64::from(self.peer.0), map_version);
         let from = self.self_id.0;
         match self.call(&Request::Ping { from, map_version })? {
-            Response::Pong { node, map_version } => Ok((node, map_version)),
+            Response::Pong { node, map_version, now_ns } => Ok((node, map_version, now_ns)),
             Response::Error { message, .. } => {
                 Err(io::Error::new(io::ErrorKind::InvalidData, message))
             }
             _ => Err(io::Error::new(io::ErrorKind::InvalidData, "expected Pong")),
+        }
+    }
+
+    /// Drain the peer's telemetry plane (events, histograms, counters) —
+    /// the scrape collector's per-node round trip. Sessionless and not
+    /// breaker-gated: observability must keep working while fetches are
+    /// held back, or the trace of the outage loses exactly the node that
+    /// matters.
+    pub fn telemetry_get(&mut self) -> io::Result<WireTelemetry> {
+        match self.call(&Request::TelemetryGet)? {
+            Response::TelemetryReply(t) => Ok(t),
+            Response::Error { message, .. } => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, message))
+            }
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, "expected TelemetryReply")),
         }
     }
 

@@ -37,8 +37,8 @@ use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
 use viz_serve::proto::{ERR_DRAINING, ERR_UNKNOWN_SESSION, PING_FROM_CLIENT};
-use viz_serve::{BlockReply, Request, Response};
-use viz_telemetry::{instant, EventKind as Ev};
+use viz_serve::{BlockReply, Request, Response, TraceCtx};
+use viz_telemetry::{instant, span, EventKind as Ev};
 use viz_volume::BlockKey;
 
 /// Hop count stamped on an off-owner batch: past every node's
@@ -110,6 +110,26 @@ pub struct Router {
     loads: HashMap<u32, u64>,
     /// Frames routed so far (drives the periodic down-node probe).
     frames: u64,
+    /// Per-node clock-offset estimates from [`Router::sync_clocks`]
+    /// (ns to add to that node's event timestamps).
+    offsets: HashMap<u32, i64>,
+}
+
+/// Mint the trace id for one routed frame: a hash of the router's name
+/// and its frame counter, so concurrent routers mint distinct ids and a
+/// deterministic test run mints the same ids every time. Never 0 (the
+/// "untraced" sentinel).
+fn mint_trace(name: &str, frame: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finisher over (name hash ⊕ frame).
+    let mut z = h ^ frame.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z.max(1)
 }
 
 impl Router {
@@ -124,6 +144,7 @@ impl Router {
             conns: HashMap::new(),
             loads: HashMap::new(),
             frames: 0,
+            offsets: HashMap::new(),
         }
     }
 
@@ -273,6 +294,12 @@ impl Router {
     /// is reachable at all.
     pub fn fetch(&mut self, demand: Vec<BlockKey>, prefetch: Vec<(BlockKey, f64)>) -> RouterReply {
         self.frames = self.frames.wrapping_add(1);
+        // Every frame gets one trace id, stamped on every batch it fans
+        // out — the root of the cross-node span tree.
+        let trace = mint_trace(&self.name, self.frames);
+        let ctx = TraceCtx { trace, span: 0 };
+        let t0 = viz_telemetry::start();
+        let demand_n = demand.len() as u64;
         if self.cfg.probe_every > 0
             && self.frames.is_multiple_of(u64::from(self.cfg.probe_every))
             && self.conns.values().any(|c| c.down)
@@ -369,6 +396,7 @@ impl Router {
                                         keys,
                                         pf,
                                         direct,
+                                        ctx,
                                     );
                                     (idxs, pf_n, r)
                                 })
@@ -425,7 +453,7 @@ impl Router {
         for nid in leftover {
             let entries = prefetch_by_node.remove(&nid).unwrap_or_default();
             let n = entries.len() as u64;
-            match self.exchange(NodeId(nid), Vec::new(), entries, false) {
+            match self.exchange(NodeId(nid), Vec::new(), entries, false, ctx) {
                 Ok((_, s, d)) => {
                     shed += u64::from(s);
                     downgraded += u64::from(d);
@@ -440,6 +468,11 @@ impl Router {
             .zip(results)
             .map(|(key, r)| BlockReply { key, result: r.unwrap_or(Err(timed_out)) })
             .collect();
+        // The frame's root span: key = the minted trace id, arg packs
+        // demand size and the rounds the frame needed.
+        viz_telemetry::with_trace(trace, || {
+            span(Ev::RouterFetch, trace, (demand_n << 8) | u64::from(rounds.min(255)), t0);
+        });
         RouterReply { blocks, shed, downgraded, rounds }
     }
 
@@ -477,10 +510,11 @@ impl Router {
         keys: Vec<BlockKey>,
         prefetch: Vec<(BlockKey, f64)>,
         direct: bool,
+        trace: TraceCtx,
     ) -> io::Result<(Vec<BlockReply>, u32, u32)> {
         let connect = self.connect.clone();
         let name = self.name.clone();
-        exchange_on(connect.as_ref(), &name, node, self.conn(node), keys, prefetch, direct)
+        exchange_on(connect.as_ref(), &name, node, self.conn(node), keys, prefetch, direct, trace)
     }
 
     fn conn(&mut self, node: NodeId) -> &mut NodeConn {
@@ -492,6 +526,58 @@ impl Router {
         let connect = self.connect.clone();
         round_trip_on(connect.as_ref(), node, self.conn(node), req)
     }
+
+    /// Estimate every live node's clock offset from one `Ping` round
+    /// trip each (RTT-midpoint,
+    /// [`viz_telemetry::collect::offset_from_rtt`]); the estimates align
+    /// scraped drains onto the router's timeline. A v1 node (reporting
+    /// `now_ns = 0`) keeps its previous estimate. Returns nodes synced.
+    pub fn sync_clocks(&mut self) -> usize {
+        let my_version = self.map.version();
+        let mut synced = 0;
+        for node in self.map.clone().nodes() {
+            if self.conns.get(&node.0).is_some_and(|c| c.down) {
+                continue;
+            }
+            let t_send = viz_telemetry::now_ns();
+            let req = Request::Ping { from: PING_FROM_CLIENT, map_version: my_version };
+            if let Ok(Response::Pong { now_ns, .. }) = self.round_trip(*node, &req) {
+                let t_recv = viz_telemetry::now_ns();
+                if now_ns != 0 {
+                    let off = viz_telemetry::collect::offset_from_rtt(t_send, t_recv, now_ns);
+                    self.offsets.insert(node.0, off);
+                    synced += 1;
+                }
+            }
+        }
+        synced
+    }
+
+    /// The last [`Router::sync_clocks`] estimate for `node` (ns to add
+    /// to its event timestamps; 0 until synced).
+    pub fn clock_offset(&self, node: NodeId) -> i64 {
+        self.offsets.get(&node.0).copied().unwrap_or(0)
+    }
+
+    /// Drain every live node's telemetry plane (`TelemetryGet`) into
+    /// collector drains, clock-aligned with the last
+    /// [`Router::sync_clocks`] estimates — the scrape half of
+    /// [`viz_telemetry::collect::cluster_chrome_trace`] /
+    /// [`cluster_prometheus`](viz_telemetry::collect::cluster_prometheus).
+    pub fn scrape(&mut self) -> Vec<viz_telemetry::collect::NodeDrain> {
+        let mut drains = Vec::new();
+        for node in self.map.clone().nodes() {
+            if self.conns.get(&node.0).is_some_and(|c| c.down) {
+                continue;
+            }
+            if let Ok(Response::TelemetryReply(w)) = self.round_trip(*node, &Request::TelemetryGet)
+            {
+                let off = self.clock_offset(*node);
+                drains.push(crate::obs::drain_from_wire(&w, off));
+            }
+        }
+        drains
+    }
 }
 
 /// One batch round trip to `node` on its connection — a plain `Fetch`
@@ -500,6 +586,7 @@ impl Router {
 /// transport failures mark the node down. A free function over the
 /// node's [`NodeConn`] so a fan-out thread can run it while the `Router`
 /// itself stays on the caller's thread.
+#[allow(clippy::too_many_arguments)]
 fn exchange_on(
     connect: &Connector,
     name: &str,
@@ -508,17 +595,19 @@ fn exchange_on(
     keys: Vec<BlockKey>,
     prefetch: Vec<(BlockKey, f64)>,
     direct: bool,
+    trace: TraceCtx,
 ) -> io::Result<(Vec<BlockReply>, u32, u32)> {
     for attempt in 0..2 {
         let session = ensure_session_on(connect, name, node, conn)?;
         let req = if direct {
-            Request::PeerFetch { session, hops: DIRECT_HOPS, demand: keys.clone() }
+            Request::PeerFetch { session, hops: DIRECT_HOPS, demand: keys.clone(), trace }
         } else {
             Request::Fetch {
                 session,
                 generation: 0,
                 demand: keys.clone(),
                 prefetch: prefetch.clone(),
+                trace,
             }
         };
         match round_trip_on(connect, node, conn, &req) {

@@ -263,6 +263,15 @@ struct Pending {
     /// Enqueue time when telemetry was enabled at admission (closes the
     /// `QueueWait` span at dispatch).
     enq: Option<Instant>,
+    /// Trace context of the caller that created this entry (0 = untraced).
+    /// Restored on the servicing thread so `SourceRead` / `FetchService` /
+    /// `PoolInsert` attribute to the originating client request. A traced
+    /// demand upgrade adopts an untraced entry's attribution; other
+    /// cross-trace coalescers are recorded as [`Ev::TraceJoin`] edges.
+    trace: u64,
+    /// Node id of the admitting context (0 = client/router process),
+    /// restored alongside `trace` while servicing.
+    node: u16,
     waiters: Vec<Sender<FetchResult>>,
 }
 
@@ -270,6 +279,8 @@ struct Pending {
 /// coalescers arriving mid-read are still attributed.
 struct Inflight {
     tag: u32,
+    /// Owning trace for [`Ev::TraceJoin`] edges from late coalescers.
+    trace: u64,
     waiters: Vec<Sender<FetchResult>>,
 }
 
@@ -486,6 +497,10 @@ pub struct FetchEngine {
 struct Job {
     key: BlockKey,
     demand: bool,
+    /// Admitting caller's trace context, restored while servicing.
+    trace: u64,
+    /// Admitting caller's node id, restored while servicing.
+    node: u16,
 }
 
 impl FetchEngine {
@@ -647,8 +662,10 @@ impl FetchEngine {
             s.m.coalesced.inc();
             viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 1);
             let owner = inf.tag;
+            let owner_trace = inf.trace;
             inf.waiters.push(tx);
             note_cross_tag(s, key, owner, tag);
+            note_trace_join(key, owner_trace);
             return Ticket(TicketInner::Waiting(rx));
         }
         if st.pending.contains_key(&key) {
@@ -659,6 +676,13 @@ impl FetchEngine {
             let (seq, stamp) = (st.seq, st.stamp);
             let p = st.pending.get_mut(&key).unwrap();
             note_cross_tag(s, key, p.tag, tag);
+            note_trace_join(key, p.trace);
+            if p.trace == 0 {
+                // The demand caller takes over attribution of an entry
+                // admitted untraced (typically a speculative prefetch).
+                p.trace = viz_telemetry::current_trace();
+                p.node = viz_telemetry::current_node();
+            }
             p.waiters.push(tx);
             if !p.demand {
                 p.demand = true;
@@ -679,7 +703,17 @@ impl FetchEngine {
         let enq = viz_telemetry::start();
         st.pending.insert(
             key,
-            Pending { demand: true, pri: 0.0, gen, stamp, tag, enq, waiters: vec![tx] },
+            Pending {
+                demand: true,
+                pri: 0.0,
+                gen,
+                stamp,
+                tag,
+                enq,
+                trace: viz_telemetry::current_trace(),
+                node: viz_telemetry::current_node(),
+                waiters: vec![tx],
+            },
         );
         st.heap.push(HeapEntry { demand: true, pri: 0.0, seq, stamp, key });
         drop(st);
@@ -977,6 +1011,7 @@ fn prefetch_locked(
         s.m.coalesced.inc();
         viz_telemetry::instant(Ev::FetchCoalesce, key_salt(key), 1);
         note_cross_tag(s, key, inf.tag, tag);
+        note_trace_join(key, inf.trace);
         return (true, false);
     }
     if st.pending.contains_key(&key) {
@@ -987,6 +1022,7 @@ fn prefetch_locked(
         let (seq, stamp) = (st.seq, st.stamp);
         let p = st.pending.get_mut(&key).unwrap();
         note_cross_tag(s, key, p.tag, tag);
+        note_trace_join(key, p.trace);
         // Re-requested now: wanted by the current generation even if it
         // was first queued before a camera step.
         p.gen = gen;
@@ -1016,7 +1052,17 @@ fn prefetch_locked(
     let enq = viz_telemetry::start();
     st.pending.insert(
         key,
-        Pending { demand: false, pri: priority, gen, stamp, tag, enq, waiters: Vec::new() },
+        Pending {
+            demand: false,
+            pri: priority,
+            gen,
+            stamp,
+            tag,
+            enq,
+            trace: viz_telemetry::current_trace(),
+            node: viz_telemetry::current_node(),
+            waiters: Vec::new(),
+        },
     );
     st.pending_prefetch += 1;
     st.heap.push(HeapEntry { demand: false, pri: priority, seq, stamp, key });
@@ -1057,8 +1103,8 @@ fn try_dequeue(s: &Shared, st: &mut MutexGuard<'_, State>) -> Option<Job> {
             s.breaker.on_demand_dispatch();
         }
         viz_telemetry::span(Ev::QueueWait, key_salt(e.key), u64::from(p.demand), p.enq);
-        st.inflight.insert(e.key, Inflight { tag: p.tag, waiters: p.waiters });
-        return Some(Job { key: e.key, demand: p.demand });
+        st.inflight.insert(e.key, Inflight { tag: p.tag, trace: p.trace, waiters: p.waiters });
+        return Some(Job { key: e.key, demand: p.demand, trace: p.trace, node: p.node });
     }
     None
 }
@@ -1103,6 +1149,22 @@ fn try_dequeue_batch(s: &Shared, st: &mut MutexGuard<'_, State>, max: usize) -> 
 fn notify_if_idle(s: &Shared, st: &MutexGuard<'_, State>) {
     if st.pending.is_empty() && st.inflight.is_empty() {
         s.idle.notify_all();
+    }
+}
+
+/// Record a cross-trace coalesce: the calling thread's ambient trace
+/// joins a read owned by `owner_trace`. Emitted on the joining caller's
+/// thread so the event auto-stamps the joining trace id; `arg` carries
+/// the owner's. Silent when either side is untraced or both are the
+/// same request — the join edge is what lets a merged cluster trace
+/// connect every client whose demand was served by one source read.
+fn note_trace_join(key: BlockKey, owner_trace: u64) {
+    if !viz_telemetry::enabled() {
+        return;
+    }
+    let joining = viz_telemetry::current_trace();
+    if joining != 0 && owner_trace != 0 && joining != owner_trace {
+        viz_telemetry::instant(Ev::TraceJoin, key_salt(key), owner_trace);
     }
 }
 
@@ -1194,9 +1256,13 @@ fn engine_shutting_down(s: &Shared) -> bool {
 /// state lock so a concurrent `request` either sees the in-flight entry
 /// or the resident block, never neither.
 fn service(s: &Arc<Shared>, job: Job) {
-    let t0 = Instant::now();
-    let res = read_retrying(s, job.key, 0);
-    publish_one(s, &job, res, t0);
+    viz_telemetry::with_node(job.node, || {
+        viz_telemetry::with_trace(job.trace, || {
+            let t0 = Instant::now();
+            let res = read_retrying(s, job.key, 0);
+            publish_one(s, &job, res, t0);
+        })
+    });
 }
 
 /// Read one key, retrying transient failures per `cfg.retry` starting at
@@ -1309,15 +1375,19 @@ fn service_batch(s: &Arc<Shared>, jobs: Vec<Job>) {
         tb,
     );
     for (job, first) in jobs.into_iter().zip(results) {
-        let res = match first {
-            Ok(v) => Ok(v),
-            Err(e) if s.cfg.retry.should_retry(e.kind, 0) && !engine_shutting_down(s) => {
-                count_retry(s, key_salt(job.key), 0);
-                read_retrying(s, job.key, 1)
-            }
-            Err(e) => Err(e),
-        };
-        publish_one(s, &job, res, t0);
+        viz_telemetry::with_node(job.node, || {
+            viz_telemetry::with_trace(job.trace, || {
+                let res = match first {
+                    Ok(v) => Ok(v),
+                    Err(e) if s.cfg.retry.should_retry(e.kind, 0) && !engine_shutting_down(s) => {
+                        count_retry(s, key_salt(job.key), 0);
+                        read_retrying(s, job.key, 1)
+                    }
+                    Err(e) => Err(e),
+                };
+                publish_one(s, &job, res, t0);
+            })
+        });
     }
 }
 

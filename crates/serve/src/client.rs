@@ -8,7 +8,10 @@
 //! must be on the wire *before* the test steps the
 //! [`crate::server::InProcServer`], and the reply is only read after.
 
-use crate::proto::{decode_response, encode_request, BlockReply, ProtoError, Request, Response};
+use crate::proto::{
+    decode_response, encode_request, BlockReply, ProtoError, Request, Response, TraceCtx,
+    WireTelemetry,
+};
 use crate::transport::Transport;
 use std::io;
 use viz_volume::BlockKey;
@@ -71,17 +74,30 @@ pub struct FetchOutcome {
 pub struct ServeClient<T: Transport> {
     t: T,
     session: Option<u32>,
+    trace: TraceCtx,
 }
 
 impl<T: Transport> ServeClient<T> {
     /// Wrap a connected transport.
     pub fn new(t: T) -> Self {
-        ServeClient { t, session: None }
+        ServeClient { t, session: None, trace: TraceCtx::NONE }
     }
 
     /// The open session id, once [`ServeClient::open`] succeeded.
     pub fn session(&self) -> Option<u32> {
         self.session
+    }
+
+    /// Set the trace context stamped on subsequent `Fetch` / `Advance` /
+    /// `PeerFetch` frames (the Router mints one per client request).
+    /// Returns the previous context.
+    pub fn set_trace_ctx(&mut self, trace: TraceCtx) -> TraceCtx {
+        std::mem::replace(&mut self.trace, trace)
+    }
+
+    /// The trace context currently stamped on traced requests.
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.trace
     }
 
     fn sid(&self) -> Result<u32, ClientError> {
@@ -153,11 +169,33 @@ impl<T: Transport> ServeClient<T> {
     /// [`crate::proto::PING_FROM_CLIENT`] for a plain client probe.
     /// Returns the responder's `(node, map_version)`.
     pub fn ping(&mut self, from: u32, map_version: u64) -> Result<(u32, u64), ClientError> {
+        self.ping_timed(from, map_version).map(|(node, ver, _)| (node, ver))
+    }
+
+    /// [`ServeClient::ping`] that also returns the responder's telemetry
+    /// clock (`now_ns`, v2) — the raw material for an RTT-midpoint clock
+    /// offset estimate. A v1 responder reports 0.
+    pub fn ping_timed(
+        &mut self,
+        from: u32,
+        map_version: u64,
+    ) -> Result<(u32, u64, u64), ClientError> {
         self.send(&Request::Ping { from, map_version })?;
         match self.recv_response()? {
-            Response::Pong { node, map_version } => Ok((node, map_version)),
+            Response::Pong { node, map_version, now_ns } => Ok((node, map_version, now_ns)),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::Unexpected("Pong")),
+        }
+    }
+
+    /// Drain the server's telemetry plane: events, span histograms, and
+    /// counters in one round trip.
+    pub fn telemetry_get(&mut self) -> Result<WireTelemetry, ClientError> {
+        self.send(&Request::TelemetryGet)?;
+        match self.recv_response()? {
+            Response::TelemetryReply(t) => Ok(t),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("TelemetryReply")),
         }
     }
 
@@ -169,7 +207,8 @@ impl<T: Transport> ServeClient<T> {
         demand: Vec<BlockKey>,
     ) -> Result<FetchOutcome, ClientError> {
         let session = self.sid()?;
-        self.send(&Request::PeerFetch { session, hops, demand })?;
+        let trace = self.trace;
+        self.send(&Request::PeerFetch { session, hops, demand, trace })?;
         self.recv_fetch()
     }
 
@@ -201,13 +240,15 @@ impl<T: Transport> ServeClient<T> {
         prefetch: Vec<(BlockKey, f64)>,
     ) -> Result<(), ClientError> {
         let session = self.sid()?;
-        self.send(&Request::Fetch { session, generation, demand, prefetch })
+        let trace = self.trace;
+        self.send(&Request::Fetch { session, generation, demand, prefetch, trace })
     }
 
     /// Put an `Advance` on the wire without waiting for the ack.
     pub fn send_advance(&mut self) -> Result<(), ClientError> {
         let session = self.sid()?;
-        self.send(&Request::Advance { session })
+        let trace = self.trace;
+        self.send(&Request::Advance { session, trace })
     }
 
     /// Put a `Stats` on the wire without waiting for the reply.

@@ -15,20 +15,41 @@
 //!
 //! Corruption never panics: truncation, a flipped CRC byte, an unknown
 //! tag, and version skew each map to a distinct [`ProtoError`] variant,
-//! mirroring the persist codecs' corruption contract. A v2 client hitting
-//! a v1 server (or vice versa) gets [`ProtoError::VersionSkew`] and the
+//! mirroring the persist codecs' corruption contract. A v3 client hitting
+//! a v2 server (or vice versa) gets [`ProtoError::VersionSkew`] and the
 //! server answers with a [`Response::Error`] carrying [`ERR_VERSION`]
 //! instead of dropping the connection.
+//!
+//! ## Version 2 (additive)
+//!
+//! v2 appends distributed-tracing fields; every v1 frame still decodes
+//! (the new fields default to zero) and [`encode_request_versioned`] at
+//! version 1 reproduces the v1 byte layout exactly:
+//!
+//! - `Fetch` / `Advance` / `PeerFetch` carry a trailing [`TraceCtx`]
+//!   (trace id + parent span id) so server-side work is attributable to
+//!   the originating client request across node boundaries.
+//! - `Pong` carries the responder's telemetry clock (`now_ns`), giving
+//!   heartbeat exchanges an RTT-midpoint clock-offset estimate for
+//!   merged traces.
+//! - `TelemetryGet`/`TelemetryReply` scrape a node's event rings,
+//!   summary histograms, and wire counters in one round trip.
+//!
+//! Servers answer at the version the request claimed, so a v1 client
+//! against a v2 server keeps working.
 
 use std::fmt;
 use std::io;
 use std::sync::Arc;
+use viz_telemetry::{EventKind, TraceEvent};
 use viz_volume::{crc32, BlockId, BlockKey};
 
 /// Frame magic, first four body bytes.
 pub const MAGIC: [u8; 4] = *b"VSRV";
 /// Protocol version this build speaks.
-pub const PROTO_VERSION: u16 = 1;
+pub const PROTO_VERSION: u16 = 2;
+/// Oldest protocol version this build still decodes.
+pub const MIN_PROTO_VERSION: u16 = 1;
 /// Upper bound on one frame body; larger length prefixes are rejected
 /// before any allocation.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
@@ -41,6 +62,7 @@ const TAG_STATS: u8 = 0x05;
 const TAG_MAP_GET: u8 = 0x06;
 const TAG_PEER_FETCH: u8 = 0x07;
 const TAG_PING: u8 = 0x08;
+const TAG_TELEMETRY_GET: u8 = 0x09;
 const TAG_OPEN_ACK: u8 = 0x81;
 const TAG_CLOSE_ACK: u8 = 0x82;
 const TAG_FETCH_REPLY: u8 = 0x83;
@@ -48,7 +70,30 @@ const TAG_ADVANCE_ACK: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_MAP_REPLY: u8 = 0x86;
 const TAG_PONG: u8 = 0x87;
+const TAG_TELEMETRY_REPLY: u8 = 0x88;
 const TAG_ERROR: u8 = 0xFF;
+
+/// Distributed-trace context carried on v2 `Fetch`/`Advance`/`PeerFetch`
+/// frames: the 64-bit trace id minted by the originating client/Router
+/// and the parent span id within that trace. All-zero ([`TraceCtx::NONE`])
+/// means "untraced" — what every v1 frame decodes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Trace id (0 = none).
+    pub trace: u64,
+    /// Parent span id within the trace (0 = root).
+    pub span: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context.
+    pub const NONE: TraceCtx = TraceCtx { trace: 0, span: 0 };
+
+    /// Whether this context names a trace.
+    pub fn is_some(self) -> bool {
+        self.trace != 0
+    }
+}
 
 /// Wire error code: malformed frame or payload.
 pub const ERR_PROTO: u16 = 1;
@@ -167,6 +212,8 @@ pub enum Request {
         demand: Vec<BlockKey>,
         /// Prefetch keys with `T_important` priorities.
         prefetch: Vec<(BlockKey, f64)>,
+        /// Trace context (v2; [`TraceCtx::NONE`] on v1 frames).
+        trace: TraceCtx,
     },
     /// Advance the session's frame generation (camera stepped): queued
     /// prefetch from earlier generations is purged, and a server-side
@@ -175,6 +222,8 @@ pub enum Request {
     Advance {
         /// Session to advance.
         session: u32,
+        /// Trace context (v2; [`TraceCtx::NONE`] on v1 frames).
+        trace: TraceCtx,
     },
     /// Snapshot server + engine counters.
     Stats,
@@ -192,6 +241,9 @@ pub enum Request {
         hops: u8,
         /// Demand keys to resolve on the owner.
         demand: Vec<BlockKey>,
+        /// Trace context of the originating client request, so the
+        /// owner's work lands in the same cross-node trace (v2).
+        trace: TraceCtx,
     },
     /// Membership heartbeat: "I am alive, and my shard map is at this
     /// version." Sessionless, answered with [`Response::Pong`]. Both
@@ -205,11 +257,82 @@ pub enum Request {
         /// Sender's current shard-map version (0 = none installed).
         map_version: u64,
     },
+    /// Drain the responding node's telemetry plane — event rings (routed
+    /// through the flight recorder's history on the way), per-span-kind
+    /// summary histograms, and wire counters — in one round trip (v2).
+    TelemetryGet,
+}
+
+impl Request {
+    /// The wire tag this request encodes with — the stable code the
+    /// `RpcServe` telemetry span carries as its arg.
+    pub fn tag_code(&self) -> u8 {
+        match self {
+            Request::Open { .. } => TAG_OPEN,
+            Request::Close { .. } => TAG_CLOSE,
+            Request::Fetch { .. } => TAG_FETCH,
+            Request::Advance { .. } => TAG_ADVANCE,
+            Request::Stats => TAG_STATS,
+            Request::MapGet => TAG_MAP_GET,
+            Request::PeerFetch { .. } => TAG_PEER_FETCH,
+            Request::Ping { .. } => TAG_PING,
+            Request::TelemetryGet => TAG_TELEMETRY_GET,
+        }
+    }
+
+    /// The trace context a request carries ([`TraceCtx::NONE`] for
+    /// untraced tags).
+    pub fn trace_ctx(&self) -> TraceCtx {
+        match self {
+            Request::Fetch { trace, .. }
+            | Request::Advance { trace, .. }
+            | Request::PeerFetch { trace, .. } => *trace,
+            _ => TraceCtx::NONE,
+        }
+    }
 }
 
 /// The `from` value a router or external client puts in a
 /// [`Request::Ping`]: probes liveness without claiming a node id.
 pub const PING_FROM_CLIENT: u32 = u32::MAX;
+
+/// One span kind's latency summary inside a [`Response::TelemetryReply`]:
+/// the sparse wire form of a `viz_telemetry` log2 histogram (only
+/// occupied buckets travel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Stable [`EventKind`] code (`kind as u8`).
+    pub kind: u8,
+    /// `(bucket index, count)` pairs for occupied buckets.
+    pub pairs: Vec<(u16, u64)>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples (ns).
+    pub sum: u64,
+    /// Smallest sample (ns); meaningless when `count == 0`.
+    pub min: u64,
+    /// Largest sample (ns).
+    pub max: u64,
+}
+
+/// Payload of a [`Response::TelemetryReply`]: one node's telemetry drain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTelemetry {
+    /// Responder's node id, or [`PING_FROM_CLIENT`] from a plain
+    /// single-node server with no cluster identity.
+    pub node: u32,
+    /// Responder's telemetry clock when the drain was taken, for
+    /// clock-offset alignment at the collector.
+    pub now_ns: u64,
+    /// Cumulative ring-overflow drops on the responder.
+    pub dropped: u64,
+    /// Drained trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Per-span-kind latency summaries.
+    pub hists: Vec<HistSnapshot>,
+    /// Wire + engine counters, as in [`Response::StatsReply`].
+    pub counters: Vec<(String, u64)>,
+}
 
 /// One demand key's outcome inside a [`Response::FetchReply`].
 #[derive(Debug, Clone, PartialEq)]
@@ -273,7 +396,14 @@ pub enum Response {
         node: u32,
         /// Responder's current shard-map version (0 = none installed).
         map_version: u64,
+        /// Responder's telemetry clock at answer time (v2; 0 on v1
+        /// frames). With the requester's local send/receive stamps this
+        /// yields an RTT-midpoint clock-offset estimate.
+        now_ns: u64,
     },
+    /// One node's telemetry drain (v2), answering
+    /// [`Request::TelemetryGet`].
+    TelemetryReply(WireTelemetry),
     /// Typed failure; the connection stays usable.
     Error {
         /// One of the `ERR_*` codes.
@@ -442,7 +572,7 @@ fn body_header(version: u16, tag: u8) -> Vec<u8> {
     b
 }
 
-fn open_body(buf: &[u8]) -> Result<(u8, Reader<'_>), ProtoError> {
+fn open_body(buf: &[u8]) -> Result<(u8, u16, Reader<'_>), ProtoError> {
     let body = frame_body(buf)?;
     let mut r = Reader::new(body);
     let magic: [u8; 4] = r.take(4)?.try_into().unwrap();
@@ -450,11 +580,26 @@ fn open_body(buf: &[u8]) -> Result<(u8, Reader<'_>), ProtoError> {
         return Err(ProtoError::BadMagic(magic));
     }
     let version = r.u16()?;
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(ProtoError::VersionSkew { got: version, supported: PROTO_VERSION });
     }
     let tag = r.u8()?;
-    Ok((tag, r))
+    Ok((tag, version, r))
+}
+
+fn put_trace(b: &mut Vec<u8>, version: u16, t: TraceCtx) {
+    if version >= 2 {
+        put_u64(b, t.trace);
+        put_u64(b, t.span);
+    }
+}
+
+fn read_trace(r: &mut Reader<'_>, version: u16) -> Result<TraceCtx, ProtoError> {
+    if version >= 2 {
+        Ok(TraceCtx { trace: r.u64()?, span: r.u64()? })
+    } else {
+        Ok(TraceCtx::NONE)
+    }
 }
 
 /// Encode a request at [`PROTO_VERSION`].
@@ -476,7 +621,7 @@ pub fn encode_request_versioned(req: &Request, version: u16) -> Vec<u8> {
             b = body_header(version, TAG_CLOSE);
             put_u32(&mut b, *session);
         }
-        Request::Fetch { session, generation, demand, prefetch } => {
+        Request::Fetch { session, generation, demand, prefetch, trace } => {
             b = body_header(version, TAG_FETCH);
             put_u32(&mut b, *session);
             put_u64(&mut b, *generation);
@@ -489,10 +634,12 @@ pub fn encode_request_versioned(req: &Request, version: u16) -> Vec<u8> {
                 put_key(&mut b, k);
                 put_u64(&mut b, pri.to_bits());
             }
+            put_trace(&mut b, version, *trace);
         }
-        Request::Advance { session } => {
+        Request::Advance { session, trace } => {
             b = body_header(version, TAG_ADVANCE);
             put_u32(&mut b, *session);
+            put_trace(&mut b, version, *trace);
         }
         Request::Stats => {
             b = body_header(version, TAG_STATS);
@@ -500,7 +647,7 @@ pub fn encode_request_versioned(req: &Request, version: u16) -> Vec<u8> {
         Request::MapGet => {
             b = body_header(version, TAG_MAP_GET);
         }
-        Request::PeerFetch { session, hops, demand } => {
+        Request::PeerFetch { session, hops, demand, trace } => {
             b = body_header(version, TAG_PEER_FETCH);
             put_u32(&mut b, *session);
             b.push(*hops);
@@ -508,11 +655,15 @@ pub fn encode_request_versioned(req: &Request, version: u16) -> Vec<u8> {
             for &k in demand {
                 put_key(&mut b, k);
             }
+            put_trace(&mut b, version, *trace);
         }
         Request::Ping { from, map_version } => {
             b = body_header(version, TAG_PING);
             put_u32(&mut b, *from);
             put_u64(&mut b, *map_version);
+        }
+        Request::TelemetryGet => {
+            b = body_header(version, TAG_TELEMETRY_GET);
         }
     }
     frame(b)
@@ -520,7 +671,13 @@ pub fn encode_request_versioned(req: &Request, version: u16) -> Vec<u8> {
 
 /// Decode a request frame.
 pub fn decode_request(buf: &[u8]) -> Result<Request, ProtoError> {
-    let (tag, mut r) = open_body(buf)?;
+    decode_request_full(buf).map(|(_, req)| req)
+}
+
+/// Decode a request frame and report the protocol version it claimed, so
+/// servers can answer v1 clients with v1 replies.
+pub fn decode_request_full(buf: &[u8]) -> Result<(u16, Request), ProtoError> {
+    let (tag, version, mut r) = open_body(buf)?;
     let req = match tag {
         TAG_OPEN => {
             let n = r.u16()? as usize;
@@ -547,9 +704,14 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtoError> {
                 let k = r.key()?;
                 prefetch.push((k, f64::from_bits(r.u64()?)));
             }
-            Request::Fetch { session, generation, demand, prefetch }
+            let trace = read_trace(&mut r, version)?;
+            Request::Fetch { session, generation, demand, prefetch, trace }
         }
-        TAG_ADVANCE => Request::Advance { session: r.u32()? },
+        TAG_ADVANCE => {
+            let session = r.u32()?;
+            let trace = read_trace(&mut r, version)?;
+            Request::Advance { session, trace }
+        }
         TAG_STATS => Request::Stats,
         TAG_MAP_GET => Request::MapGet,
         TAG_PEER_FETCH => {
@@ -561,29 +723,38 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, ProtoError> {
             for _ in 0..n {
                 demand.push(r.key()?);
             }
-            Request::PeerFetch { session, hops, demand }
+            let trace = read_trace(&mut r, version)?;
+            Request::PeerFetch { session, hops, demand, trace }
         }
         TAG_PING => Request::Ping { from: r.u32()?, map_version: r.u64()? },
+        TAG_TELEMETRY_GET => Request::TelemetryGet,
         t => return Err(ProtoError::UnknownTag(t)),
     };
     r.finish()?;
-    Ok(req)
+    Ok((version, req))
 }
 
 /// Encode a response at [`PROTO_VERSION`].
 pub fn encode_response(resp: &Response) -> Vec<u8> {
+    encode_response_versioned(resp, PROTO_VERSION)
+}
+
+/// Encode a response claiming `version`, omitting fields the version
+/// predates — servers answer at the version the request claimed so v1
+/// clients keep decoding replies.
+pub fn encode_response_versioned(resp: &Response, version: u16) -> Vec<u8> {
     let mut b;
     match resp {
         Response::OpenAck { session } => {
-            b = body_header(PROTO_VERSION, TAG_OPEN_ACK);
+            b = body_header(version, TAG_OPEN_ACK);
             put_u32(&mut b, *session);
         }
         Response::CloseAck { session } => {
-            b = body_header(PROTO_VERSION, TAG_CLOSE_ACK);
+            b = body_header(version, TAG_CLOSE_ACK);
             put_u32(&mut b, *session);
         }
         Response::FetchReply { session, blocks, shed, downgraded } => {
-            b = body_header(PROTO_VERSION, TAG_FETCH_REPLY);
+            b = body_header(version, TAG_FETCH_REPLY);
             put_u32(&mut b, *session);
             put_u32(&mut b, *shed);
             put_u32(&mut b, *downgraded);
@@ -606,12 +777,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
         }
         Response::AdvanceAck { session, generation } => {
-            b = body_header(PROTO_VERSION, TAG_ADVANCE_ACK);
+            b = body_header(version, TAG_ADVANCE_ACK);
             put_u32(&mut b, *session);
             put_u64(&mut b, *generation);
         }
         Response::StatsReply { counters } => {
-            b = body_header(PROTO_VERSION, TAG_STATS_REPLY);
+            b = body_header(version, TAG_STATS_REPLY);
             put_u32(&mut b, counters.len() as u32);
             for (name, value) in counters {
                 put_u16(&mut b, name.len() as u16);
@@ -619,19 +790,58 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_u64(&mut b, *value);
             }
         }
-        Response::MapReply { version, map_bytes } => {
-            b = body_header(PROTO_VERSION, TAG_MAP_REPLY);
-            put_u64(&mut b, *version);
+        Response::MapReply { version: map_ver, map_bytes } => {
+            b = body_header(version, TAG_MAP_REPLY);
+            put_u64(&mut b, *map_ver);
             put_u32(&mut b, map_bytes.len() as u32);
             b.extend_from_slice(map_bytes);
         }
-        Response::Pong { node, map_version } => {
-            b = body_header(PROTO_VERSION, TAG_PONG);
+        Response::Pong { node, map_version, now_ns } => {
+            b = body_header(version, TAG_PONG);
             put_u32(&mut b, *node);
             put_u64(&mut b, *map_version);
+            if version >= 2 {
+                put_u64(&mut b, *now_ns);
+            }
+        }
+        Response::TelemetryReply(t) => {
+            b = body_header(version, TAG_TELEMETRY_REPLY);
+            put_u32(&mut b, t.node);
+            put_u64(&mut b, t.now_ns);
+            put_u64(&mut b, t.dropped);
+            put_u32(&mut b, t.events.len() as u32);
+            for e in &t.events {
+                put_u64(&mut b, e.t_ns);
+                put_u64(&mut b, e.dur_ns);
+                put_u64(&mut b, e.key);
+                put_u64(&mut b, e.arg);
+                put_u64(&mut b, e.trace);
+                b.push(e.kind as u8);
+                put_u16(&mut b, e.tid);
+                put_u16(&mut b, e.node);
+            }
+            put_u32(&mut b, t.hists.len() as u32);
+            for h in &t.hists {
+                b.push(h.kind);
+                put_u64(&mut b, h.count);
+                put_u64(&mut b, h.sum);
+                put_u64(&mut b, h.min);
+                put_u64(&mut b, h.max);
+                put_u32(&mut b, h.pairs.len() as u32);
+                for &(i, c) in &h.pairs {
+                    put_u16(&mut b, i);
+                    put_u64(&mut b, c);
+                }
+            }
+            put_u32(&mut b, t.counters.len() as u32);
+            for (name, value) in &t.counters {
+                put_u16(&mut b, name.len() as u16);
+                b.extend_from_slice(name.as_bytes());
+                put_u64(&mut b, *value);
+            }
         }
         Response::Error { code, message } => {
-            b = body_header(PROTO_VERSION, TAG_ERROR);
+            b = body_header(version, TAG_ERROR);
             put_u16(&mut b, *code);
             put_u16(&mut b, message.len() as u16);
             b.extend_from_slice(message.as_bytes());
@@ -642,7 +852,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 
 /// Decode a response frame.
 pub fn decode_response(buf: &[u8]) -> Result<Response, ProtoError> {
-    let (tag, mut r) = open_body(buf)?;
+    let (tag, version, mut r) = open_body(buf)?;
     let resp = match tag {
         TAG_OPEN_ACK => Response::OpenAck { session: r.u32()? },
         TAG_CLOSE_ACK => Response::CloseAck { session: r.u32()? },
@@ -693,7 +903,70 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, ProtoError> {
             let map_bytes = r.take(n)?.to_vec();
             Response::MapReply { version, map_bytes }
         }
-        TAG_PONG => Response::Pong { node: r.u32()?, map_version: r.u64()? },
+        TAG_PONG => {
+            let node = r.u32()?;
+            let map_version = r.u64()?;
+            let now_ns = if version >= 2 { r.u64()? } else { 0 };
+            Response::Pong { node, map_version, now_ns }
+        }
+        TAG_TELEMETRY_REPLY => {
+            let node = r.u32()?;
+            let now_ns = r.u64()?;
+            let dropped = r.u64()?;
+            let ne = r.u32()?;
+            let ne = r.count(ne, 45)?;
+            let mut events = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                let t_ns = r.u64()?;
+                let dur_ns = r.u64()?;
+                let key = r.u64()?;
+                let arg = r.u64()?;
+                let trace = r.u64()?;
+                let code = r.u8()?;
+                let kind = *EventKind::ALL
+                    .get(code as usize)
+                    .ok_or(ProtoError::Malformed("unknown event kind code"))?;
+                let tid = r.u16()?;
+                let enode = r.u16()?;
+                events.push(TraceEvent { t_ns, dur_ns, key, arg, trace, kind, tid, node: enode });
+            }
+            let nh = r.u32()?;
+            let nh = r.count(nh, 37)?;
+            let mut hists = Vec::with_capacity(nh);
+            for _ in 0..nh {
+                let kind = r.u8()?;
+                let count = r.u64()?;
+                let sum = r.u64()?;
+                let min = r.u64()?;
+                let max = r.u64()?;
+                let np = r.u32()?;
+                let np = r.count(np, 10)?;
+                let mut pairs = Vec::with_capacity(np);
+                for _ in 0..np {
+                    let i = r.u16()?;
+                    pairs.push((i, r.u64()?));
+                }
+                hists.push(HistSnapshot { kind, pairs, count, sum, min, max });
+            }
+            let nc = r.u32()?;
+            let nc = r.count(nc, 10)?;
+            let mut counters = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                let len = r.u16()? as usize;
+                let name = std::str::from_utf8(r.take(len)?)
+                    .map_err(|_| ProtoError::Malformed("counter name is not UTF-8"))?
+                    .to_string();
+                counters.push((name, r.u64()?));
+            }
+            Response::TelemetryReply(WireTelemetry {
+                node,
+                now_ns,
+                dropped,
+                events,
+                hists,
+                counters,
+            })
+        }
         TAG_ERROR => {
             let code = r.u16()?;
             let len = r.u16()? as usize;
@@ -716,6 +989,10 @@ mod tests {
         BlockKey::new(1, 2, BlockId(i))
     }
 
+    fn ctx(trace: u64, span: u64) -> TraceCtx {
+        TraceCtx { trace, span }
+    }
+
     fn sample_requests() -> Vec<Request> {
         vec![
             Request::Open { name: "viewer-a".into() },
@@ -725,13 +1002,20 @@ mod tests {
                 generation: 41,
                 demand: vec![key(0), key(5)],
                 prefetch: vec![(key(9), 2.25), (key(10), 0.0)],
+                trace: ctx(0xABCD_EF01_2345_6789, 77),
             },
-            Request::Advance { session: 7 },
+            Request::Advance { session: 7, trace: ctx(0x1111, 0) },
             Request::Stats,
             Request::MapGet,
-            Request::PeerFetch { session: 9, hops: 1, demand: vec![key(3), key(4)] },
+            Request::PeerFetch {
+                session: 9,
+                hops: 1,
+                demand: vec![key(3), key(4)],
+                trace: ctx(0x2222, 3),
+            },
             Request::Ping { from: 2, map_version: 13 },
             Request::Ping { from: PING_FROM_CLIENT, map_version: 0 },
+            Request::TelemetryGet,
         ]
     }
 
@@ -753,7 +1037,31 @@ mod tests {
                 counters: vec![("serve_sessions_opened".into(), 3), ("x".into(), 0)],
             },
             Response::MapReply { version: 11, map_bytes: vec![0x56, 0x4D, 0x41, 0x50, 0x00] },
-            Response::Pong { node: 1, map_version: 11 },
+            Response::Pong { node: 1, map_version: 11, now_ns: 123_456_789 },
+            Response::TelemetryReply(WireTelemetry {
+                node: 2,
+                now_ns: 9_000,
+                dropped: 5,
+                events: vec![TraceEvent {
+                    t_ns: 100,
+                    dur_ns: 40,
+                    key: 0xFEED,
+                    arg: 1,
+                    trace: 0xABCD,
+                    kind: EventKind::SourceRead,
+                    tid: 3,
+                    node: 3,
+                }],
+                hists: vec![HistSnapshot {
+                    kind: EventKind::FetchService as u8,
+                    pairs: vec![(10, 4), (31, 1)],
+                    count: 5,
+                    sum: 1_000,
+                    min: 12,
+                    max: 600,
+                }],
+                counters: vec![("serve_requests".into(), 17)],
+            }),
             Response::Error { code: ERR_DRAINING, message: "draining".into() },
         ]
     }
@@ -776,11 +1084,84 @@ mod tests {
 
     #[test]
     fn version_skew_is_typed() {
-        let frame = encode_request_versioned(&Request::Stats, 2);
+        let frame = encode_request_versioned(&Request::Stats, 3);
         assert_eq!(
             decode_request(&frame).unwrap_err(),
-            ProtoError::VersionSkew { got: 2, supported: PROTO_VERSION }
+            ProtoError::VersionSkew { got: 3, supported: PROTO_VERSION }
         );
+        let frame = encode_request_versioned(&Request::Stats, 0);
+        assert_eq!(
+            decode_request(&frame).unwrap_err(),
+            ProtoError::VersionSkew { got: 0, supported: PROTO_VERSION }
+        );
+    }
+
+    #[test]
+    fn v1_frames_still_decode_with_defaulted_trace() {
+        // A v1 encode drops the trace tail; the v2 decoder must accept
+        // the frame and default the context to NONE.
+        for req in sample_requests() {
+            if matches!(req, Request::TelemetryGet) {
+                continue; // v2-only tag; a real v1 client never sends it
+            }
+            let frame = encode_request_versioned(&req, 1);
+            let (ver, got) = decode_request_full(&frame).unwrap();
+            assert_eq!(ver, 1);
+            let expect = match req {
+                Request::Fetch { session, generation, demand, prefetch, .. } => {
+                    Request::Fetch { session, generation, demand, prefetch, trace: TraceCtx::NONE }
+                }
+                Request::Advance { session, .. } => {
+                    Request::Advance { session, trace: TraceCtx::NONE }
+                }
+                Request::PeerFetch { session, hops, demand, .. } => {
+                    Request::PeerFetch { session, hops, demand, trace: TraceCtx::NONE }
+                }
+                other => other,
+            };
+            assert_eq!(got, expect);
+        }
+        // Responses answered at v1 drop now_ns.
+        let pong = Response::Pong { node: 1, map_version: 11, now_ns: 777 };
+        let frame = encode_response_versioned(&pong, 1);
+        assert_eq!(
+            decode_response(&frame).unwrap(),
+            Response::Pong { node: 1, map_version: 11, now_ns: 0 }
+        );
+    }
+
+    #[test]
+    fn v1_encoding_is_byte_identical_to_the_v1_layout() {
+        // Golden v1 Advance frame: magic, version 1, tag 0x04, session 7.
+        let frame = encode_request_versioned(&Request::Advance { session: 7, trace: ctx(9, 9) }, 1);
+        let body = frame_body(&frame).unwrap();
+        let mut expect = Vec::new();
+        expect.extend_from_slice(b"VSRV");
+        expect.extend_from_slice(&1u16.to_le_bytes());
+        expect.push(0x04);
+        expect.extend_from_slice(&7u32.to_le_bytes());
+        assert_eq!(body, &expect[..]);
+        // And the v2 encoding of the same request is exactly 16 bytes
+        // (trace + span) longer.
+        let frame2 =
+            encode_request_versioned(&Request::Advance { session: 7, trace: ctx(9, 9) }, 2);
+        assert_eq!(frame_body(&frame2).unwrap().len(), expect.len() + 16);
+    }
+
+    #[test]
+    fn trace_context_rides_v2_frames() {
+        let req = Request::PeerFetch {
+            session: 4,
+            hops: 0,
+            demand: vec![key(1)],
+            trace: ctx(0xD00D, 42),
+        };
+        let (ver, got) = decode_request_full(&encode_request(&req)).unwrap();
+        assert_eq!(ver, PROTO_VERSION);
+        match got {
+            Request::PeerFetch { trace, .. } => assert_eq!(trace, ctx(0xD00D, 42)),
+            other => panic!("wrong variant {other:?}"),
+        }
     }
 
     #[test]

@@ -52,11 +52,14 @@ struct ConnState {
     owned: Vec<SessionId>,
     parked: Option<Parked>,
     dead: bool,
+    /// Protocol version the peer's last request claimed; replies answer
+    /// at it so a v1 client keeps decoding them.
+    ver: u16,
 }
 
 impl ConnState {
     fn new() -> Self {
-        ConnState { owned: Vec::new(), parked: None, dead: false }
+        ConnState { owned: Vec::new(), parked: None, dead: false, ver: proto::PROTO_VERSION }
     }
 
     /// Track session ownership from a response about to be sent, so the
@@ -75,19 +78,22 @@ impl ConnState {
 fn dispatch(
     server: &Arc<Server>,
     st: &mut ConnState,
-    req: Result<Request, proto::ProtoError>,
+    req: Result<(u16, Request), proto::ProtoError>,
 ) -> Option<Response> {
     let resp = match req {
-        Ok(req) => match handle_request(server, req) {
-            Outcome::Ready(r) => r,
-            Outcome::Fetch(fetch) => {
-                // Issue the demand now so the engine starts on it this
-                // tick; the reply completes when the tickets resolve.
-                server.pump();
-                st.parked = Some(Parked { fetch, timer: None });
-                return None;
+        Ok((ver, req)) => {
+            st.ver = ver;
+            match handle_request(server, req) {
+                Outcome::Ready(r) => r,
+                Outcome::Fetch(fetch) => {
+                    // Issue the demand now so the engine starts on it this
+                    // tick; the reply completes when the tickets resolve.
+                    server.pump();
+                    st.parked = Some(Parked { fetch, timer: None });
+                    return None;
+                }
             }
-        },
+        }
         Err(pe) => Response::Error { code: pe.code(), message: pe.to_string() },
     };
     st.note_response(&resp);
@@ -362,7 +368,7 @@ fn process_buffered(
                 break;
             }
         };
-        match dispatch(server, &mut c.st, proto::decode_request(&frame)) {
+        match dispatch(server, &mut c.st, proto::decode_request_full(&frame)) {
             Some(resp) => send_response(c, &resp),
             None => {
                 // Parked: arm the demand deadline, if the config sets one.
@@ -395,7 +401,7 @@ fn unpark_ready(server: &Arc<Server>, wheel: &mut TimerWheel, c: &mut TcpConn) -
 }
 
 fn send_response(c: &mut TcpConn, resp: &Response) {
-    c.wbuf.extend_from_slice(&proto::encode_response(resp));
+    c.wbuf.extend_from_slice(&proto::encode_response_versioned(resp, c.st.ver));
     flush_wbuf(c);
 }
 
@@ -560,9 +566,9 @@ impl ReactorInProcServer {
                 }
             };
             n += 1;
-            match dispatch(&self.server, &mut c.st, proto::decode_request(&frame)) {
+            match dispatch(&self.server, &mut c.st, proto::decode_request_full(&frame)) {
                 Some(resp) => {
-                    if c.t.send(&proto::encode_response(&resp)).is_err() {
+                    if c.t.send(&proto::encode_response_versioned(&resp, c.st.ver)).is_err() {
                         c.st.dead = true;
                     }
                 }
@@ -596,7 +602,7 @@ impl ReactorInProcServer {
             }
             let resp = p.fetch.resolve_now(&self.server);
             c.st.note_response(&resp);
-            if c.t.send(&proto::encode_response(&resp)).is_err() {
+            if c.t.send(&proto::encode_response_versioned(&resp, c.st.ver)).is_err() {
                 c.st.dead = true;
             } else {
                 sent += 1;
@@ -614,7 +620,7 @@ impl ReactorInProcServer {
             let Some(p) = c.st.parked.take() else { continue };
             let resp = p.fetch.resolve_timed_out(&self.server);
             c.st.note_response(&resp);
-            if c.t.send(&proto::encode_response(&resp)).is_err() {
+            if c.t.send(&proto::encode_response_versioned(&resp, c.st.ver)).is_err() {
                 c.st.dead = true;
             }
             fired += 1;

@@ -21,6 +21,10 @@ use viz_volume::BlockKey;
 pub(crate) struct DemandEntry {
     pub key: BlockKey,
     pub tx: Sender<(BlockKey, Ticket)>,
+    /// Trace context of the submitting request; the pump restores it
+    /// around engine admission so the engine's events stay attributed
+    /// even though they run on the pump thread.
+    pub trace: u64,
 }
 
 /// A queued prefetch request.
@@ -224,7 +228,10 @@ mod tests {
         let mut s = Scheduler::new();
         let (tx, _rx) = channel();
         for i in 0..4 {
-            s.push_demand(1, DemandEntry { key: BlockKey::scalar(BlockId(i)), tx: tx.clone() });
+            s.push_demand(
+                1,
+                DemandEntry { key: BlockKey::scalar(BlockId(i)), tx: tx.clone(), trace: 0 },
+            );
         }
         s.push_prefetch(2, pe(9, 0));
         assert_eq!(s.queued_demand_total(), 4);
@@ -249,7 +256,7 @@ mod tests {
     fn remove_session_reports_dropped_entries() {
         let mut s = Scheduler::new();
         let (tx, _rx) = channel();
-        s.push_demand(5, DemandEntry { key: BlockKey::scalar(BlockId(0)), tx });
+        s.push_demand(5, DemandEntry { key: BlockKey::scalar(BlockId(0)), tx, trace: 0 });
         s.push_prefetch(5, pe(1, 0));
         s.push_prefetch(5, pe(2, 0));
         assert_eq!(s.remove_session(5), (1, 2));

@@ -393,9 +393,10 @@ impl Server {
         let (tx, rx) = channel();
         let demand_n = demand.len();
         {
+            let trace = viz_telemetry::current_trace();
             let mut sched = relock(&self.sched);
             for &key in &demand {
-                sched.push_demand(id.0, DemandEntry { key, tx: tx.clone() });
+                sched.push_demand(id.0, DemandEntry { key, tx: tx.clone(), trace });
             }
         }
         self.stats.demand_admitted.add(demand_n as u64);
@@ -507,7 +508,10 @@ impl Server {
         loop {
             let e = relock(&self.sched).pop_next_demand(self.cfg.quantum);
             let Some((sid, e)) = e else { break };
-            let ticket = self.engine.request_tagged(e.key, sid);
+            // Restore the submitting request's trace context around
+            // admission: the engine captures it for the whole job.
+            let ticket =
+                viz_telemetry::with_trace(e.trace, || self.engine.request_tagged(e.key, sid));
             // A dropped receiver (disconnected client) just drops the
             // ticket; the engine still completes the read into the pool.
             let _ = e.tx.send((e.key, ticket));
@@ -614,7 +618,39 @@ impl Server {
         v.push(("engine_queue_demand".to_string(), qd as u64));
         v.push(("engine_queue_prefetch".to_string(), qp as u64));
         v.push(("sessions_active".to_string(), relock(&self.registry).len() as u64));
+        // Telemetry-plane health: is the gate on, and has any per-thread
+        // ring ever overflowed (cumulative — a lost event is permanent).
+        v.push(("telemetry_enabled".to_string(), u64::from(viz_telemetry::enabled())));
+        v.push(("telemetry_ring_dropped_total".to_string(), viz_telemetry::dropped_total()));
         v
+    }
+
+    /// Answer a `TelemetryGet`: drain this process's rings (routing the
+    /// batch through the flight recorder) and package events, per-span
+    /// summary histograms, and wire counters for the collector. `node` is
+    /// the responder's cluster identity ([`proto::PING_FROM_CLIENT`] for
+    /// a plain server).
+    pub fn wire_telemetry(&self, node: u32) -> proto::WireTelemetry {
+        let tr = viz_telemetry::drain();
+        let mut hists = Vec::new();
+        for kind in viz_telemetry::EventKind::ALL {
+            if !kind.is_span() {
+                continue;
+            }
+            let h = tr.histogram(kind);
+            let (pairs, count, sum, min, max) = h.sparse();
+            if count > 0 {
+                hists.push(proto::HistSnapshot { kind: kind as u8, pairs, count, sum, min, max });
+            }
+        }
+        proto::WireTelemetry {
+            node,
+            now_ns: viz_telemetry::now_ns(),
+            dropped: viz_telemetry::dropped_total(),
+            events: tr.events,
+            hists,
+            counters: self.wire_counters(),
+        }
     }
 
     /// Count a peer-forward answered from local storage without engine
@@ -781,6 +817,14 @@ pub enum Outcome {
 pub struct PendingFetch {
     session: u32,
     sub: Submission,
+    /// Span clock opened at dispatch; the resolving call closes the
+    /// `RpcServe` span with it.
+    t0: Option<std::time::Instant>,
+    /// Wire tag of the originating request (the `RpcServe` arg).
+    tag: u8,
+    /// Trace context of the originating request, re-established when the
+    /// reply resolves (resolution runs outside the dispatch scope).
+    trace: u64,
 }
 
 impl PendingFetch {
@@ -795,17 +839,27 @@ impl PendingFetch {
         self.sub.poll_ready()
     }
 
+    fn rpc_span(t0: Option<std::time::Instant>, session: u32, tag: u8, trace: u64) {
+        viz_telemetry::with_trace(trace, || {
+            viz_telemetry::span(Ev::RpcServe, u64::from(session), u64::from(tag), t0);
+        });
+    }
+
     /// Block until the reply is complete (threaded servers).
     pub fn wait(self, server: &Server) -> Response {
         let (shed, downgraded) = (self.sub.shed, self.sub.downgraded);
+        let (t0, tag, trace) = (self.t0, self.tag, self.trace);
         let blocks = self.sub.collect(server);
+        Self::rpc_span(t0, self.session, tag, trace);
         Response::FetchReply { session: self.session, blocks, shed, downgraded }
     }
 
     /// Resolve from whatever is ready (deterministic stepper).
     pub fn resolve_now(self, server: &Server) -> Response {
         let (shed, downgraded) = (self.sub.shed, self.sub.downgraded);
+        let (t0, tag, trace) = (self.t0, self.tag, self.trace);
         let blocks = self.sub.collect_ready(server);
+        Self::rpc_span(t0, self.session, tag, trace);
         Response::FetchReply { session: self.session, blocks, shed, downgraded }
     }
 
@@ -815,13 +869,29 @@ impl PendingFetch {
     /// per-ticket deadline).
     pub fn resolve_timed_out(self, server: &Server) -> Response {
         let (shed, downgraded) = (self.sub.shed, self.sub.downgraded);
+        let (t0, tag, trace) = (self.t0, self.tag, self.trace);
         let blocks = self.sub.collect_timed_out(server);
+        Self::rpc_span(t0, self.session, tag, trace);
         Response::FetchReply { session: self.session, blocks, shed, downgraded }
     }
 }
 
-/// Dispatch one decoded request against a server.
+/// Dispatch one decoded request against a server. Requests carrying a
+/// v2 trace context run with the thread's trace context set to it, so
+/// everything recorded during admission — and, via [`DemandEntry`], the
+/// engine work pumped later — is attributed to the originating client
+/// request.
 pub fn handle_request(server: &Server, req: Request) -> Outcome {
+    let ctx = req.trace_ctx();
+    if ctx.is_some() {
+        viz_telemetry::with_trace(ctx.trace, || handle_request_inner(server, req))
+    } else {
+        handle_request_inner(server, req)
+    }
+}
+
+fn handle_request_inner(server: &Server, req: Request) -> Outcome {
+    let tag = req.tag_code();
     match req {
         Request::Open { name } => Outcome::Ready(match server.open_session(&name) {
             Ok(id) => Response::OpenAck { session: id.0 },
@@ -833,21 +903,29 @@ pub fn handle_request(server: &Server, req: Request) -> Outcome {
             let e = ServeError::UnknownSession;
             Response::Error { code: e.code(), message: e.to_string() }
         }),
-        Request::Fetch { session, generation, demand, prefetch } => {
+        Request::Fetch { session, generation, demand, prefetch, trace } => {
+            let t0 = viz_telemetry::start();
             match server.submit(SessionId(session), generation, demand, prefetch) {
-                Ok(sub) => Outcome::Fetch(PendingFetch { session, sub }),
+                Ok(sub) => {
+                    Outcome::Fetch(PendingFetch { session, sub, t0, tag, trace: trace.trace })
+                }
                 Err(e) => {
                     Outcome::Ready(Response::Error { code: e.code(), message: e.to_string() })
                 }
             }
         }
-        Request::Advance { session } => Outcome::Ready(match server.advance(SessionId(session)) {
-            Some(generation) => Response::AdvanceAck { session, generation },
-            None => {
-                let e = ServeError::UnknownSession;
-                Response::Error { code: e.code(), message: e.to_string() }
-            }
-        }),
+        Request::Advance { session, trace: _ } => {
+            let t0 = viz_telemetry::start();
+            let resp = match server.advance(SessionId(session)) {
+                Some(generation) => Response::AdvanceAck { session, generation },
+                None => {
+                    let e = ServeError::UnknownSession;
+                    Response::Error { code: e.code(), message: e.to_string() }
+                }
+            };
+            viz_telemetry::span(Ev::RpcServe, u64::from(session), u64::from(tag), t0);
+            Outcome::Ready(resp)
+        }
         Request::Stats => Outcome::Ready(Response::StatsReply { counters: server.wire_counters() }),
         // A plain single-node server has no shard map to hand out; the
         // cluster layer's dispatcher intercepts this tag before it lands
@@ -860,11 +938,14 @@ pub fn handle_request(server: &Server, req: Request) -> Outcome {
         // fetch: every key reads locally (shared storage), no further
         // forwarding. Generation 0 is fine — the stale check only
         // guards prefetch and a peer forward carries none.
-        Request::PeerFetch { session, hops: _, demand } => {
+        Request::PeerFetch { session, hops: _, demand, trace } => {
+            let t0 = viz_telemetry::start();
             server.stats.peer_requests.inc();
             server.stats.peer_demand_keys.add(demand.len() as u64);
             match server.submit(SessionId(session), 0, demand, Vec::new()) {
-                Ok(sub) => Outcome::Fetch(PendingFetch { session, sub }),
+                Ok(sub) => {
+                    Outcome::Fetch(PendingFetch { session, sub, t0, tag, trace: trace.trace })
+                }
                 Err(e) => {
                     Outcome::Ready(Response::Error { code: e.code(), message: e.to_string() })
                 }
@@ -874,8 +955,15 @@ pub fn handle_request(server: &Server, req: Request) -> Outcome {
         // answers the heartbeat (liveness is liveness) with the sentinel
         // id and version 0. The cluster dispatcher intercepts this tag to
         // fill in real values and feed its failure detector.
-        Request::Ping { .. } => {
-            Outcome::Ready(Response::Pong { node: proto::PING_FROM_CLIENT, map_version: 0 })
+        Request::Ping { .. } => Outcome::Ready(Response::Pong {
+            node: proto::PING_FROM_CLIENT,
+            map_version: 0,
+            now_ns: viz_telemetry::now_ns(),
+        }),
+        // Scrape this process's telemetry plane. On a cluster node the
+        // dispatcher intercepts the tag to stamp its real node id.
+        Request::TelemetryGet => {
+            Outcome::Ready(Response::TelemetryReply(server.wire_telemetry(proto::PING_FROM_CLIENT)))
         }
     }
 }
@@ -919,14 +1007,20 @@ pub fn serve_connection_with<T: Transport>(
 ) {
     let mut owned: Vec<SessionId> = Vec::new();
     while let Ok(frame) = t.recv() {
-        let resp = match proto::decode_request(&frame) {
-            Ok(req) => match dispatch.dispatch(server, req) {
-                Outcome::Ready(r) => r,
-                Outcome::Fetch(p) => {
-                    server.pump();
-                    p.wait(server)
+        // Answer at the version the request claimed so a v1 client keeps
+        // decoding replies from a v2 server.
+        let mut ver = proto::PROTO_VERSION;
+        let resp = match proto::decode_request_full(&frame) {
+            Ok((v, req)) => {
+                ver = v;
+                match dispatch.dispatch(server, req) {
+                    Outcome::Ready(r) => r,
+                    Outcome::Fetch(p) => {
+                        server.pump();
+                        p.wait(server)
+                    }
                 }
-            },
+            }
             Err(pe) => Response::Error { code: pe.code(), message: pe.to_string() },
         };
         match &resp {
@@ -934,7 +1028,7 @@ pub fn serve_connection_with<T: Transport>(
             Response::CloseAck { session } => owned.retain(|s| s.0 != *session),
             _ => {}
         }
-        if t.send(&proto::encode_response(&resp)).is_err() {
+        if t.send(&proto::encode_response_versioned(&resp, ver)).is_err() {
             break;
         }
         server.pump();

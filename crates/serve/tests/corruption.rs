@@ -94,8 +94,11 @@ fn unknown_tag_is_rejected() {
 #[test]
 fn version_skew_answers_err_version_and_keeps_the_connection() {
     let (mut s, mut c) = serve();
-    // A "v2 client" greets a v1 server.
-    let future = encode_request_versioned(&Request::Open { name: "from-the-future".into() }, 2);
+    // A client one protocol version ahead greets today's server.
+    let future = encode_request_versioned(
+        &Request::Open { name: "from-the-future".into() },
+        PROTO_VERSION + 1,
+    );
     c.send_raw(&future).unwrap();
     s.tick();
     let msg = expect_error(&mut c, ERR_VERSION);
@@ -119,6 +122,7 @@ fn byte_flip_sweep_never_panics_and_always_answers() {
         generation: 0,
         demand: vec![BlockKey::scalar(BlockId(1))],
         prefetch: vec![(BlockKey::scalar(BlockId(2)), 0.5)],
+        trace: viz_serve::TraceCtx::NONE,
     });
     for i in 0..template.len() {
         let mut frame = template.clone();

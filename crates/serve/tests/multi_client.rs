@@ -103,6 +103,7 @@ fn unknown_session_is_a_typed_error_not_a_dead_connection() {
         generation: 0,
         demand: vec![key(0)],
         prefetch: vec![],
+        trace: viz_serve::TraceCtx::NONE,
     }))
     .unwrap();
     inproc.tick();

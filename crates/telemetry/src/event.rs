@@ -124,10 +124,28 @@ pub enum EventKind {
     /// the latency threshold (instant; `key` = primary node id, `arg` =
     /// 1 when the hedge result was used, 0 when the primary still won).
     HedgedRead,
+    /// One router-side fetch round — mint trace id, fan out to owners,
+    /// collect replies (span; `key` = minted trace id, `arg` =
+    /// `demand_keys << 8 | rounds`).
+    RouterFetch,
+    /// Server-side handling of one traced request frame, decode → reply
+    /// (span; `key` = session id, `arg` = request tag code).
+    RpcServe,
+    /// A traced request joined an already-pending or in-flight fetch for
+    /// the same key; the event's own `trace` is the joining request, `arg`
+    /// is the primary trace it merged into (instant; `key` = salted block
+    /// key).
+    TraceJoin,
+    /// The flight recorder captured a triggered snapshot (instant; `key`
+    /// = trigger code, `arg` = events captured).
+    FlightDump,
+    /// The chaos harness injected or repaired a fault (instant; `key` =
+    /// target node id, `arg` = `action code << 1 | 1 when repair`).
+    FaultInjected,
 }
 
 /// Number of event kinds (array sizing for per-kind aggregation).
-pub const KIND_COUNT: usize = 40;
+pub const KIND_COUNT: usize = 45;
 
 impl EventKind {
     /// Every kind, in declaration order.
@@ -172,6 +190,11 @@ impl EventKind {
         EventKind::SuspectNode,
         EventKind::NodeRecovered,
         EventKind::HedgedRead,
+        EventKind::RouterFetch,
+        EventKind::RpcServe,
+        EventKind::TraceJoin,
+        EventKind::FlightDump,
+        EventKind::FaultInjected,
     ];
 
     /// Stable snake_case name used by every exporter.
@@ -217,6 +240,11 @@ impl EventKind {
             EventKind::SuspectNode => "suspect_node",
             EventKind::NodeRecovered => "node_recovered",
             EventKind::HedgedRead => "hedged_read",
+            EventKind::RouterFetch => "router_fetch",
+            EventKind::RpcServe => "rpc_serve",
+            EventKind::TraceJoin => "trace_join",
+            EventKind::FlightDump => "flight_dump",
+            EventKind::FaultInjected => "fault_injected",
         }
     }
 
@@ -240,6 +268,7 @@ impl EventKind {
             | EventKind::SourceTimeout
             | EventKind::DeadlineMiss
             | EventKind::WorkerPanic
+            | EventKind::TraceJoin
             | EventKind::BatchRead => "fetch",
             EventKind::CacheHit | EventKind::CacheMiss | EventKind::CacheEvict => "cache",
             EventKind::Frame | EventKind::RenderPass => "frame",
@@ -252,14 +281,18 @@ impl EventKind {
             | EventKind::RequestAdmit
             | EventKind::RequestShed
             | EventKind::CrossClientCoalesce
-            | EventKind::ReactorTick => "serve",
+            | EventKind::ReactorTick
+            | EventKind::RpcServe => "serve",
             EventKind::PeerFetch
             | EventKind::PeerFallback
             | EventKind::MapUpdate
             | EventKind::HeartbeatSent
             | EventKind::SuspectNode
             | EventKind::NodeRecovered
-            | EventKind::HedgedRead => "cluster",
+            | EventKind::HedgedRead
+            | EventKind::RouterFetch
+            | EventKind::FlightDump
+            | EventKind::FaultInjected => "cluster",
         }
     }
 
@@ -276,11 +309,13 @@ impl EventKind {
                 | EventKind::ReactorTick
                 | EventKind::BatchRead
                 | EventKind::PeerFetch
+                | EventKind::RouterFetch
+                | EventKind::RpcServe
         )
     }
 }
 
-/// One recorded event. 32 bytes, `Copy`, no heap: what the per-thread
+/// One recorded event. 48 bytes, `Copy`, no heap: what the per-thread
 /// rings store and what [`crate::drain`] hands back.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -293,10 +328,17 @@ pub struct TraceEvent {
     pub key: u64,
     /// Kind-specific argument (see each [`EventKind`]'s docs).
     pub arg: u64,
+    /// Distributed trace id this event is attributed to (the thread's
+    /// trace context at record time, see [`crate::set_trace`]); 0 when
+    /// the work was not serving any traced request.
+    pub trace: u64,
     /// What happened.
     pub kind: EventKind,
     /// Recording thread, as a small dense id assigned at first use.
-    pub tid: u32,
+    pub tid: u16,
+    /// Recording node's attribution id ([`crate::set_node`]); 0 for
+    /// client/unattributed work, cluster nodes record `NodeId + 1`.
+    pub node: u16,
 }
 
 #[cfg(test)]
@@ -331,11 +373,11 @@ mod tests {
     #[test]
     fn span_kinds_are_exactly_the_duration_carriers() {
         let spans: Vec<_> = EventKind::ALL.iter().filter(|k| k.is_span()).collect();
-        assert_eq!(spans.len(), 9);
+        assert_eq!(spans.len(), 11);
     }
 
     #[test]
     fn trace_event_is_small() {
-        assert!(std::mem::size_of::<TraceEvent>() <= 40);
+        assert!(std::mem::size_of::<TraceEvent>() <= 48);
     }
 }

@@ -45,26 +45,7 @@ impl Trace {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03}",
-                e.kind.label(),
-                e.kind.category(),
-                e.tid,
-                e.t_ns / 1_000,
-                e.t_ns % 1_000
-            );
-            if e.kind.is_span() {
-                let _ = write!(
-                    out,
-                    ",\"ph\":\"X\",\"dur\":{}.{:03}",
-                    e.dur_ns / 1_000,
-                    e.dur_ns % 1_000
-                );
-            } else {
-                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
-            }
-            let _ = write!(out, ",\"args\":{{\"key\":\"{:#x}\",\"arg\":{}}}}}", e.key, e.arg);
+            write_chrome_event(&mut out, e, 1, 0);
         }
         let _ = write!(out, "],\"otherData\":{{\"dropped\":{}}}}}", self.dropped);
         out
@@ -136,8 +117,57 @@ impl Trace {
         }
         counters.extend_from_slice(extra);
         let hist_refs: Vec<(&str, &LogHistogram)> = hists.iter().map(|(n, h)| (*n, h)).collect();
-        prometheus_text(&counters, &hist_refs)
+        let mut out = prometheus_text(&counters, &hist_refs);
+        out.push_str(&gate_prometheus_text());
+        out
     }
+}
+
+/// The always-present self-diagnostics exposition: the telemetry gate
+/// state and the cumulative ring-overflow drop count, so a scraper can
+/// tell silent event loss from a quiet system.
+pub fn gate_prometheus_text() -> String {
+    let mut out = String::new();
+    out.push_str("# HELP viz_telemetry_gate Event recording gate (1 on, 0 off).\n");
+    out.push_str("# TYPE viz_telemetry_gate gauge\n");
+    let _ = writeln!(out, "viz_telemetry_gate {}", u64::from(crate::enabled()));
+    out.push_str("# HELP viz_telemetry_ring_dropped_total Events lost to ring overflow since process start.\n");
+    out.push_str("# TYPE viz_telemetry_ring_dropped_total counter\n");
+    let _ = writeln!(out, "viz_telemetry_ring_dropped_total {}", crate::dropped_total());
+    out
+}
+
+/// Write one event as a Chrome trace-event object under process `pid`,
+/// with `offset_ns` added to its timestamp (clock alignment when merging
+/// nodes). Shared by [`Trace::chrome_trace_json`] (pid 1, no offset) and
+/// the cluster aggregator ([`crate::collect`]).
+pub(crate) fn write_chrome_event(out: &mut String, e: &TraceEvent, pid: u32, offset_ns: i64) {
+    let t_ns = e.t_ns.saturating_add_signed(offset_ns);
+    out.push_str("{\"name\":\"");
+    json::escape_into(e.kind.label(), out);
+    out.push_str("\",\"cat\":\"");
+    json::escape_into(e.kind.category(), out);
+    let _ = write!(
+        out,
+        "\",\"pid\":{},\"tid\":{},\"ts\":{}.{:03}",
+        pid,
+        e.tid,
+        t_ns / 1_000,
+        t_ns % 1_000
+    );
+    if e.kind.is_span() {
+        let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}.{:03}", e.dur_ns / 1_000, e.dur_ns % 1_000);
+    } else {
+        out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"args\":{{\"key\":\"{:#x}\",\"arg\":{}", e.key, e.arg);
+    if e.trace != 0 {
+        let _ = write!(out, ",\"trace\":\"{:#x}\"", e.trace);
+    }
+    if e.node != 0 {
+        let _ = write!(out, ",\"node\":{}", e.node - 1);
+    }
+    out.push_str("}}");
 }
 
 /// Prometheus text exposition (format 0.0.4) for a set of named counters
@@ -181,6 +211,34 @@ pub fn prometheus_text(counters: &[(&str, u64)], hists: &[(&str, &LogHistogram)]
 /// is stubbed out. Accepts exactly the RFC 8259 grammar; reports the byte
 /// offset of the first error.
 pub mod json {
+    /// Append `s` to `out` as the body of a JSON string (no surrounding
+    /// quotes), escaping quotes, backslashes, and control characters per
+    /// RFC 8259.
+    pub fn escape_into(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\u{08}' => out.push_str("\\b"),
+                '\u{0C}' => out.push_str("\\f"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// [`escape_into`] returning a fresh `String`.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        escape_into(s, &mut out);
+        out
+    }
+
     /// Validate that `s` is one complete JSON value.
     pub fn validate(s: &str) -> Result<(), String> {
         let b = s.as_bytes();
@@ -358,7 +416,7 @@ mod tests {
     use super::*;
 
     fn span(kind: EventKind, t_ns: u64, dur_ns: u64) -> TraceEvent {
-        TraceEvent { t_ns, dur_ns, key: 0xAB, arg: 3, kind, tid: 2 }
+        TraceEvent { t_ns, dur_ns, key: 0xAB, arg: 3, trace: 0xDEAD, kind, tid: 2, node: 3 }
     }
 
     fn sample_trace() -> Trace {
@@ -387,6 +445,9 @@ mod tests {
         assert!(j.contains("\"dropped\":2"));
         // 1500 ns -> 1.500 us
         assert!(j.contains("\"dur\":1.500"), "ns precision kept: {j}");
+        // Trace/node attribution lands in args (node shown as NodeId).
+        assert!(j.contains("\"trace\":\"0xdead\""), "trace id in args: {j}");
+        assert!(j.contains("\"node\":2"), "node id in args: {j}");
     }
 
     #[test]
@@ -394,7 +455,41 @@ mod tests {
         let t = Trace::default();
         json::validate(&t.chrome_trace_json()).unwrap();
         json::validate(&t.summary_json()).unwrap();
-        assert_eq!(t.prometheus_text(&[]), "");
+        // Even an empty trace exposes the gate and drop diagnostics.
+        let p = t.prometheus_text(&[]);
+        assert!(p.contains("viz_telemetry_gate "));
+        assert!(p.contains("viz_telemetry_ring_dropped_total "));
+        assert!(!p.contains("viz_counter_total"));
+    }
+
+    #[test]
+    fn json_escape_handles_hostile_names() {
+        assert_eq!(json::escape("plain"), "plain");
+        assert_eq!(json::escape("q\"q"), "q\\\"q");
+        assert_eq!(json::escape("b\\b"), "b\\\\b");
+        assert_eq!(json::escape("n\nn\tt\rr"), "n\\nn\\tt\\rr");
+        assert_eq!(json::escape("\u{08}\u{0c}\u{01}\u{1f}"), "\\b\\f\\u0001\\u001f");
+        // Escaped output embeds into a valid JSON document.
+        for hostile in ["a\"b\\c", "ctl\u{01}\u{02}", "nl\nnl", "\\u0000 literal", "\""] {
+            let doc = format!("{{\"name\":\"{}\"}}", json::escape(hostile));
+            json::validate(&doc).unwrap_or_else(|e| panic!("{hostile:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn chrome_event_writer_escapes_and_aligns() {
+        let e = span(EventKind::SourceRead, 10_000, 500);
+        let mut out = String::new();
+        write_chrome_event(&mut out, &e, 7, 2_000);
+        json::validate(&out).unwrap();
+        assert!(out.contains("\"pid\":7"));
+        assert!(out.contains("\"ts\":12.000"), "offset applied: {out}");
+        let mut neg = String::new();
+        write_chrome_event(&mut neg, &e, 7, -4_000);
+        assert!(neg.contains("\"ts\":6.000"), "negative offset applied: {neg}");
+        let mut clamped = String::new();
+        write_chrome_event(&mut clamped, &e, 7, -100_000);
+        assert!(clamped.contains("\"ts\":0.000"), "clamps at zero: {clamped}");
     }
 
     #[test]

@@ -135,6 +135,37 @@ impl LogHistogram {
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_bound(i), c))
     }
+
+    /// Non-empty buckets as `(bucket index, count)` pairs plus the scalar
+    /// summary — the wire form `TelemetryGet` ships (sparse: a latency
+    /// histogram rarely touches more than a few dozen of the 252
+    /// buckets).
+    pub fn sparse(&self) -> (Vec<(u16, u64)>, u64, u64, u64, u64) {
+        let pairs = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u16, c))
+            .collect();
+        (pairs, self.count, self.sum, self.min(), self.max)
+    }
+
+    /// Rebuild a histogram from its [`LogHistogram::sparse`] form.
+    /// Out-of-range bucket indices are ignored.
+    pub fn from_sparse(pairs: &[(u16, u64)], count: u64, sum: u64, min: u64, max: u64) -> Self {
+        let mut h = LogHistogram::new();
+        for &(i, c) in pairs {
+            if let Some(slot) = h.counts.get_mut(i as usize) {
+                *slot += c;
+            }
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        h
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +266,28 @@ mod tests {
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.min(), 0);
         assert_eq!(h.percentile(0.9), u64::MAX);
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_everything() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 3, 17, 500, 123_456, 9, 1 << 40] {
+            h.record(v);
+        }
+        let (pairs, count, sum, min, max) = h.sparse();
+        let back = LogHistogram::from_sparse(&pairs, count, sum, min, max);
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        for p in [0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+        let (ep, ec, es, emin, emax) = LogHistogram::new().sparse();
+        assert!(ep.is_empty());
+        let empty = LogHistogram::from_sparse(&ep, ec, es, emin, emax);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), 0);
     }
 
     #[test]

@@ -30,9 +30,11 @@
 //! viz_telemetry::set_enabled(false);
 //! ```
 
+pub mod collect;
 mod counter;
 mod event;
 mod export;
+pub mod flight;
 mod hist;
 mod ring;
 
@@ -40,7 +42,9 @@ pub use counter::Counter;
 pub use event::{EventKind, TraceEvent, KIND_COUNT};
 pub use export::{json, prometheus_text, Trace};
 pub use hist::{LogHistogram, BUCKETS};
+pub use ring::{dropped_total, ring_count};
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -81,6 +85,14 @@ pub fn start() -> Option<Instant> {
 
 fn since_epoch(t: Instant) -> u64 {
     t.saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+/// Nanoseconds since the telemetry epoch — the clock every event
+/// timestamp is measured on. Usable with the gate off (the epoch pins on
+/// first use); heartbeat `Pong`s carry it so a collector can estimate
+/// per-node clock offsets from RTT midpoints.
+pub fn now_ns() -> u64 {
+    since_epoch(Instant::now())
 }
 
 /// Record a point event at the current wall-clock time.
@@ -132,22 +144,100 @@ pub fn instant_at(kind: EventKind, key: u64, arg: u64, t_ns: u64) {
     push(kind, key, arg, t_ns, 0);
 }
 
+// ---- trace / node attribution context ------------------------------
+//
+// Both are plain thread-locals read only *after* the gate check, so the
+// gate-off hot path stays one relaxed load. The trace context names the
+// originating client request a thread is currently working for (minted
+// by the Router, carried over VSRV); the node context names which
+// in-process cluster node the thread belongs to, letting one process
+// host many nodes (the deterministic TestCluster) and still split the
+// merged ring drain per node.
+
+thread_local! {
+    static TRACE_CTX: Cell<u64> = const { Cell::new(0) };
+    static NODE_CTX: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Set the calling thread's trace context; every event recorded by this
+/// thread carries it until changed. Returns the previous value so scoped
+/// callers can restore it. 0 means "no traced request".
+#[inline]
+pub fn set_trace(trace: u64) -> u64 {
+    TRACE_CTX.with(|c| c.replace(trace))
+}
+
+/// The calling thread's current trace context (0 when none).
+#[inline]
+pub fn current_trace() -> u64 {
+    TRACE_CTX.with(Cell::get)
+}
+
+/// Set the calling thread's node attribution id (0 = client /
+/// unattributed; cluster nodes record `NodeId + 1`). Returns the
+/// previous value.
+#[inline]
+pub fn set_node(node: u16) -> u16 {
+    NODE_CTX.with(|c| c.replace(node))
+}
+
+/// The calling thread's current node attribution id.
+#[inline]
+pub fn current_node() -> u16 {
+    NODE_CTX.with(Cell::get)
+}
+
+/// Run `f` with the thread's trace context set to `trace`, restoring the
+/// previous context on the way out (panic-safe via the guard's `Drop`).
+pub fn with_trace<R>(trace: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_trace(self.0);
+        }
+    }
+    let _g = Restore(set_trace(trace));
+    f()
+}
+
+/// Run `f` with the thread's node attribution set to `node`, restoring
+/// the previous value on the way out.
+pub fn with_node<R>(node: u16, f: impl FnOnce() -> R) -> R {
+    struct Restore(u16);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_node(self.0);
+        }
+    }
+    let _g = Restore(set_node(node));
+    f()
+}
+
 fn push(kind: EventKind, key: u64, arg: u64, t_ns: u64, dur_ns: u64) {
-    let ev = TraceEvent { t_ns, dur_ns, key, arg, kind, tid: 0 };
+    // Only reached with the gate on; the two TLS reads are the whole
+    // cost of attribution.
+    let trace = current_trace();
+    let node = current_node();
+    let ev = TraceEvent { t_ns, dur_ns, key, arg, trace, kind, tid: 0, node };
     ring::with_local(|r| r.push(ev));
 }
 
 /// Drain every thread's ring into one time-sorted [`Trace`]. Events
-/// recorded after the drain starts land in the next drain.
+/// recorded after the drain starts land in the next drain. Every drained
+/// batch also flows through the flight recorder ([`flight`]), which
+/// retains a bounded recent-history copy and evaluates its triggers.
 pub fn drain() -> Trace {
     let (mut events, dropped) = ring::drain_all();
     events.sort_by_key(|e| (e.t_ns, e.tid));
+    flight::observe(&events, dropped);
     Trace { events, dropped }
 }
 
-/// Discard all buffered events (start a fresh recording window).
+/// Discard all buffered events (start a fresh recording window). Also
+/// clears the flight recorder's history and trigger state.
 pub fn reset() {
     let _ = ring::drain_all();
+    flight::reset();
 }
 
 #[cfg(test)]
@@ -246,8 +336,27 @@ mod tests {
         assert_eq!(mine.len() as u64 + t.dropped, 2_000);
         assert!(t.events.windows(2).all(|w| (w[0].t_ns, w[0].tid) <= (w[1].t_ns, w[1].tid)));
         // Distinct producer threads got distinct tids.
-        let tids: std::collections::HashSet<u32> = mine.iter().map(|e| e.tid).collect();
+        let tids: std::collections::HashSet<u16> = mine.iter().map(|e| e.tid).collect();
         assert!(tids.len() > 1 || mine.len() < 2);
+    }
+
+    #[test]
+    fn trace_and_node_context_stamp_events() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        with_node(3, || {
+            with_trace(0xABCD, || instant(EventKind::CacheHit, 0x7AC0, 1));
+            assert_eq!(current_trace(), 0, "with_trace restored");
+        });
+        assert_eq!(current_node(), 0, "with_node restored");
+        instant(EventKind::CacheMiss, 0x7AC1, 0);
+        let t = drain();
+        set_enabled(false);
+        let hit = t.events.iter().find(|e| e.key == 0x7AC0).unwrap();
+        assert_eq!((hit.trace, hit.node), (0xABCD, 3));
+        let miss = t.events.iter().find(|e| e.key == 0x7AC1).unwrap();
+        assert_eq!((miss.trace, miss.node), (0, 0), "context does not leak");
     }
 
     #[test]

@@ -16,10 +16,27 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
-/// Events per thread ring. Power of two; 8192 × 32 B = 256 KiB per
+/// Events per thread ring. Power of two; 8192 × 48 B = 384 KiB per
 /// recording thread, enough for ~80 ms of saturated fetch traffic between
 /// drains.
 pub(crate) const RING_CAP: usize = 1 << 13;
+
+/// Events dropped across all rings since process start. Unlike each
+/// ring's own counter (reset by every drain so [`crate::Trace::dropped`]
+/// covers just that window), this one only grows — the Prometheus
+/// exporter and serve wire counters read it so silent loss is visible
+/// from a remote scraper even when drains race.
+static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative count of events dropped by full rings, process lifetime.
+pub fn dropped_total() -> u64 {
+    DROPPED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Number of per-thread rings registered so far.
+pub fn ring_count() -> usize {
+    lock_registry().len()
+}
 
 pub(crate) struct Ring {
     buf: Box<[UnsafeCell<TraceEvent>]>,
@@ -30,7 +47,7 @@ pub(crate) struct Ring {
     /// producer sees freed capacity.
     tail: AtomicUsize,
     dropped: AtomicU64,
-    tid: u32,
+    tid: u16,
 }
 
 // SAFETY: slot access is disciplined by the head/tail protocol below —
@@ -42,14 +59,16 @@ unsafe impl Send for Ring {}
 unsafe impl Sync for Ring {}
 
 impl Ring {
-    fn new(tid: u32) -> Ring {
+    fn new(tid: u16) -> Ring {
         let zero = TraceEvent {
             t_ns: 0,
             dur_ns: 0,
             key: 0,
             arg: 0,
+            trace: 0,
             kind: EventKind::FetchAdmitDemand,
             tid: 0,
+            node: 0,
         };
         Ring {
             buf: (0..RING_CAP).map(|_| UnsafeCell::new(zero)).collect(),
@@ -66,8 +85,10 @@ impl Ring {
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Acquire);
         if head.wrapping_sub(tail) >= self.buf.len() {
-            // Full: drop-newest so the producer never stalls.
+            // Full: drop-newest so the producer never stalls. The global
+            // total only moves on this (overflow) path, never per-push.
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            DROPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
             return;
         }
         ev.tid = self.tid;
@@ -116,7 +137,7 @@ static NEXT_TID: AtomicU32 = AtomicU32::new(1);
 
 thread_local! {
     static LOCAL: Arc<Ring> = {
-        let ring = Arc::new(Ring::new(NEXT_TID.fetch_add(1, Ordering::Relaxed)));
+        let ring = Arc::new(Ring::new(NEXT_TID.fetch_add(1, Ordering::Relaxed) as u16));
         lock_registry().push(ring.clone());
         ring
     };
@@ -146,7 +167,16 @@ mod tests {
     use super::*;
 
     fn ev(t_ns: u64) -> TraceEvent {
-        TraceEvent { t_ns, dur_ns: 0, key: 7, arg: 0, kind: EventKind::CacheHit, tid: 0 }
+        TraceEvent {
+            t_ns,
+            dur_ns: 0,
+            key: 7,
+            arg: 0,
+            trace: 0,
+            kind: EventKind::CacheHit,
+            tid: 0,
+            node: 0,
+        }
     }
 
     #[test]
