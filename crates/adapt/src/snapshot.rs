@@ -1,0 +1,168 @@
+//! Signal extraction from the wire-counter plane.
+//!
+//! The serve layer's `Stats` payload ([`viz_serve::Server::wire_counters`])
+//! mixes monotone counters (sheds, errors, admissions) with point-in-time
+//! gauges (queue depths, resident bytes, the demand-p99 window). A
+//! controller wants *rates* for the former — "how many byte-quota sheds
+//! since my last tick", not "since boot" — and current values for the
+//! latter. [`SignalTracker`] does the bookkeeping: feed it each scrape and
+//! it hands back [`Signals`] with deltas already taken.
+//!
+//! The tracker is deliberately ignorant of where the counters came from:
+//! a local `Arc<Server>`, a `Stats` reply over TCP, or a cluster
+//! telemetry scrape all produce the same `Vec<(String, u64)>` shape, so
+//! one tracker per scraped endpoint is the whole protocol.
+
+use std::collections::HashMap;
+
+/// Controller-facing view of one scrape interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Signals {
+    /// p99 of the demand-RTT window at scrape time, ns (gauge; 0 = no
+    /// demand this window).
+    pub demand_p99_ns: u64,
+    /// Samples behind that p99 (gauge) — gate decisions on significance.
+    pub demand_rtt_count: u64,
+    /// Demand keys admitted this interval (delta).
+    pub demand_admitted: u64,
+    /// Demand replies that carried an error this interval (delta).
+    pub demand_errors: u64,
+    /// Prefetch admitted at full priority this interval (delta).
+    pub prefetch_admitted: u64,
+    /// Prefetch admitted downgraded this interval (delta).
+    pub prefetch_downgraded: u64,
+    /// Prefetch shed this interval (delta).
+    pub prefetch_shed: u64,
+    /// Per-reason shed deltas, `(wire name, delta)`, only reasons that
+    /// fired this interval, sorted by name.
+    pub shed_by_reason: Vec<(String, u64)>,
+    /// Engine demand queue depth (gauge).
+    pub queue_demand: u64,
+    /// Engine prefetch queue depth (gauge).
+    pub queue_prefetch: u64,
+    /// Shared pool residency in bytes (gauge).
+    pub pool_resident_bytes: u64,
+    /// Fetch-engine hits answered from the pool this interval (delta of
+    /// `fetch_coalesced` + completed work is engine-specific; this simply
+    /// reports `fetch_completed`).
+    pub fetch_completed: u64,
+    /// Fetch-engine errors this interval (delta).
+    pub fetch_errors: u64,
+    /// Registered sessions (gauge).
+    pub sessions_active: u64,
+}
+
+/// Delta bookkeeping across scrapes (see module docs).
+#[derive(Debug, Default)]
+pub struct SignalTracker {
+    prev: HashMap<String, u64>,
+}
+
+const SHED_REASONS: [&str; 7] = [
+    "serve_shed_breaker",
+    "serve_shed_byte_quota",
+    "serve_shed_draining",
+    "serve_shed_entry_quota",
+    "serve_shed_pool_pressure",
+    "serve_shed_queue_depth",
+    "serve_shed_stale_gen",
+];
+
+impl SignalTracker {
+    /// A tracker with no history: the first `observe` reports the full
+    /// counter values as the first interval's deltas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn delta(&self, counters: &HashMap<String, u64>, name: &str) -> u64 {
+        let now = counters.get(name).copied().unwrap_or(0);
+        let before = self.prev.get(name).copied().unwrap_or(0);
+        now.saturating_sub(before)
+    }
+
+    fn gauge(counters: &HashMap<String, u64>, name: &str) -> u64 {
+        counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fold one scrape into the tracker and report the interval since the
+    /// previous one.
+    pub fn observe(&mut self, counters: &[(String, u64)]) -> Signals {
+        let map: HashMap<String, u64> = counters.iter().map(|(n, v)| (n.clone(), *v)).collect();
+        let mut shed_by_reason: Vec<(String, u64)> = SHED_REASONS
+            .iter()
+            .map(|&r| (r.to_string(), self.delta(&map, r)))
+            .filter(|(_, d)| *d > 0)
+            .collect();
+        shed_by_reason.sort();
+        let s = Signals {
+            demand_p99_ns: Self::gauge(&map, "serve_demand_p99_ns"),
+            demand_rtt_count: Self::gauge(&map, "serve_demand_rtt_count"),
+            demand_admitted: self.delta(&map, "serve_demand_admitted"),
+            demand_errors: self.delta(&map, "serve_demand_errors"),
+            prefetch_admitted: self.delta(&map, "serve_prefetch_admitted"),
+            prefetch_downgraded: self.delta(&map, "serve_prefetch_downgraded"),
+            prefetch_shed: self.delta(&map, "serve_prefetch_shed"),
+            shed_by_reason,
+            queue_demand: Self::gauge(&map, "engine_queue_demand"),
+            queue_prefetch: Self::gauge(&map, "engine_queue_prefetch"),
+            pool_resident_bytes: Self::gauge(&map, "pool_resident_bytes"),
+            fetch_completed: self.delta(&map, "fetch_completed"),
+            fetch_errors: self.delta(&map, "fetch_errors"),
+            sessions_active: Self::gauge(&map, "sessions_active"),
+        };
+        self.prev = map;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn deltas_are_per_interval_and_gauges_pass_through() {
+        let mut t = SignalTracker::new();
+        let s1 = t.observe(&scrape(&[
+            ("serve_prefetch_shed", 10),
+            ("serve_shed_entry_quota", 10),
+            ("engine_queue_prefetch", 5),
+            ("serve_demand_p99_ns", 1_000),
+        ]));
+        assert_eq!(s1.prefetch_shed, 10, "first interval reports from zero");
+        assert_eq!(s1.queue_prefetch, 5);
+        assert_eq!(s1.demand_p99_ns, 1_000);
+        assert_eq!(s1.shed_by_reason, vec![("serve_shed_entry_quota".to_string(), 10)]);
+
+        let s2 = t.observe(&scrape(&[
+            ("serve_prefetch_shed", 13),
+            ("serve_shed_entry_quota", 10),
+            ("serve_shed_byte_quota", 3),
+            ("engine_queue_prefetch", 2),
+            ("serve_demand_p99_ns", 900),
+        ]));
+        assert_eq!(s2.prefetch_shed, 3, "delta, not total");
+        assert_eq!(s2.queue_prefetch, 2, "gauge reflects now");
+        assert_eq!(s2.demand_p99_ns, 900);
+        assert_eq!(s2.shed_by_reason, vec![("serve_shed_byte_quota".to_string(), 3)]);
+    }
+
+    #[test]
+    fn missing_counters_read_zero() {
+        let mut t = SignalTracker::new();
+        let s = t.observe(&scrape(&[]));
+        assert_eq!(s, Signals::default());
+    }
+
+    #[test]
+    fn counter_reset_saturates_instead_of_underflowing() {
+        let mut t = SignalTracker::new();
+        t.observe(&scrape(&[("serve_prefetch_shed", 100)]));
+        let s = t.observe(&scrape(&[("serve_prefetch_shed", 40)]));
+        assert_eq!(s.prefetch_shed, 0, "a restarted peer must not panic the controller");
+    }
+}

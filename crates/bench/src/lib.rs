@@ -7,7 +7,11 @@
 #![warn(missing_docs)]
 
 pub mod env;
+pub mod hostile;
 pub mod opts;
+pub mod replay;
 
 pub use env::{Env, D_MAX, D_MIN, PATH_STEPS, VIEW_ANGLE_DEG};
+pub use hostile::{ClientOp, ScenarioConfig, ScenarioKind, Schedule, SplitMix64};
 pub use opts::Opts;
+pub use replay::{run_schedule, simulate_cache, ReplayOptions, ReplayReport, SimReport};

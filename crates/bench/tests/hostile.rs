@@ -1,0 +1,73 @@
+//! The safety invariant, pinned: under every hostile scenario, with
+//! adaptation enabled, **zero demand sheds and zero demand errors** —
+//! demand admission is structural, not a tuning outcome.
+//!
+//! Replays run over a deterministic in-process server (`workers = 0`,
+//! engine stepped to idle each step) reading through a virtual clock, so
+//! no wall time enters the run. The adaptive arm chases a 1 ns SLO — an
+//! SLO nothing can meet — which pins the ladder at its minimum scale for
+//! the entire run: the harshest configuration the controller can ever
+//! produce. Even there, every demand key of every frame must come back,
+//! and the per-reason shed counters must attribute every shed to a
+//! prefetch rung.
+
+use std::time::Duration;
+use viz_bench::{run_schedule, ReplayOptions, ScenarioConfig, ScenarioKind, Schedule};
+
+fn virtual_opts(slo: Option<u64>) -> ReplayOptions {
+    ReplayOptions { slo_p99_ns: slo, read_delay: Duration::ZERO, virtual_clock: true }
+}
+
+#[test]
+fn no_demand_shed_or_error_under_any_hostile_scenario() {
+    for kind in ScenarioKind::ALL {
+        for seed in [1u64, 0xFEED] {
+            let schedule = Schedule::generate(ScenarioConfig::hostile(kind, seed).fast());
+            // The unmeetable SLO: the ladder spends the run at min scale.
+            let report = run_schedule(&schedule, &virtual_opts(Some(1)));
+            let tag = format!("{} seed {seed}", kind.name());
+            assert_eq!(report.demand_errors, 0, "{tag}: demand errored");
+            assert_eq!(report.demand_ok, report.demand_keys, "{tag}: a demand key never came back");
+            assert_eq!(
+                report.demand_admitted, report.demand_keys,
+                "{tag}: a demand key was not admitted — demand must never shed"
+            );
+            assert!(
+                report.final_scale <= 1.0 / 16.0 + 1e-9,
+                "{tag}: the 1 ns SLO should pin the ladder at min scale, got {}",
+                report.final_scale
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_baseline_holds_the_same_invariant() {
+    // The invariant is not an adaptation feature: fixed defaults hold it
+    // too, which is what makes before/after curves comparable.
+    for kind in ScenarioKind::ALL {
+        let schedule = Schedule::generate(ScenarioConfig::hostile(kind, 5).fast());
+        let report = run_schedule(&schedule, &virtual_opts(None));
+        assert_eq!(report.demand_errors, 0, "{}", kind.name());
+        assert_eq!(report.demand_ok, report.demand_keys, "{}", kind.name());
+        assert_eq!(report.demand_admitted, report.demand_keys, "{}", kind.name());
+        assert!(report.scale_per_tick.is_empty(), "fixed arm must not tick a controller");
+    }
+}
+
+#[test]
+fn sheds_are_always_attributed() {
+    // Whenever the total shed counter moved, the per-reason counters must
+    // account for every single shed — no anonymous drops.
+    for kind in ScenarioKind::ALL {
+        let schedule = Schedule::generate(ScenarioConfig::hostile(kind, 9).fast());
+        let report = run_schedule(&schedule, &virtual_opts(Some(1)));
+        let attributed: u64 = report.shed_by_reason.iter().map(|(_, v)| *v).sum();
+        assert_eq!(
+            attributed,
+            report.prefetch_shed,
+            "{}: shed counters do not reconcile",
+            kind.name()
+        );
+    }
+}

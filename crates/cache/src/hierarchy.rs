@@ -142,6 +142,15 @@ impl<K: Copy + Eq + Hash + Ord + Send + 'static> Hierarchy<K> {
             block_bytes,
         )
     }
+
+    /// Swap tier `i`'s replacement policy in place, keeping its resident
+    /// blocks (see [`CacheLevel::set_policy`]) — the control plane's
+    /// actuator for live policy selection.
+    pub fn set_tier_policy(&mut self, i: usize, kind: PolicyKind) {
+        let tier = &mut self.tiers[i];
+        tier.cache.set_policy(kind);
+        tier.spec.policy = kind;
+    }
 }
 
 impl<K: Copy + Eq + Hash> Hierarchy<K> {
@@ -153,6 +162,11 @@ impl<K: Copy + Eq + Hash> Hierarchy<K> {
     /// Capacity of tier `i` in blocks.
     pub fn tier_capacity(&self, i: usize) -> usize {
         self.tiers[i].spec.capacity
+    }
+
+    /// Policy currently governing tier `i`.
+    pub fn tier_policy(&self, i: usize) -> PolicyKind {
+        self.tiers[i].spec.policy
     }
 
     /// Name of tier `i`.
@@ -468,6 +482,19 @@ mod tests {
         assert!(dram_evicts >= 4, "got {dram_evicts} DRAM evictions");
         assert!(ssd_evicts >= 2, "got {ssd_evicts} SSD evictions");
         assert!(trace.count(Ev::CacheMiss) >= 6);
+    }
+
+    #[test]
+    fn set_tier_policy_keeps_residency() {
+        let mut h = small();
+        h.fetch(1, AccessClass::Demand);
+        h.fetch(2, AccessClass::Demand);
+        assert_eq!(h.tier_policy(0), PolicyKind::Lru);
+        h.set_tier_policy(0, PolicyKind::Lirs);
+        assert_eq!(h.tier_policy(0), PolicyKind::Lirs);
+        assert!(h.in_fastest(&1) && h.in_fastest(&2), "residency lost across swap");
+        let o = h.fetch(1, AccessClass::Demand);
+        assert!(o.fast_hit);
     }
 
     #[test]

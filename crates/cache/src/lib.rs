@@ -39,6 +39,7 @@ pub mod lirs;
 pub mod lru;
 pub mod mru;
 pub mod policy;
+pub mod shadow;
 pub mod slru;
 pub mod stats;
 pub mod twoq;
@@ -48,4 +49,5 @@ pub use cache::{CacheLevel, Lookup};
 pub use cost::{SimTime, TierCost};
 pub use hierarchy::{FetchOutcome, Hierarchy, TierSpec};
 pub use policy::{PolicyKind, ReplacementPolicy};
+pub use shadow::{ShadowScore, ShadowSet};
 pub use stats::{AccessClass, HierarchyStats, LevelStats};

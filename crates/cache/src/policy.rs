@@ -68,6 +68,20 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
+    /// Every built-in policy, in stable code order — the candidate zoo the
+    /// shadow scorer and the adaptive policy selector draw from.
+    pub const ALL: &'static [PolicyKind] = &[
+        PolicyKind::Fifo,
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::Lfu,
+        PolicyKind::Arc,
+        PolicyKind::TwoQ,
+        PolicyKind::Mru,
+        PolicyKind::Lirs,
+        PolicyKind::Slru,
+    ];
+
     /// Instantiate the policy for keys of type `K`.
     pub fn build<K: Copy + Eq + Hash + Ord + Send + 'static>(
         self,

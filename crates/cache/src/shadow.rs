@@ -1,0 +1,214 @@
+//! Shadow-cache scoring: run candidate replacement policies on the live
+//! key trace without holding any data.
+//!
+//! A shadow cache is a [`CacheLevel`] that stores only keys — it sees the
+//! same access stream as the real cache and answers one question: *had we
+//! been running policy X, would this access have hit?* Feeding one shadow
+//! per candidate policy turns "which policy fits this workload" from a
+//! guess into a measurement, for the price of a few hash sets. The
+//! control plane consumes the per-window scores and switches the real
+//! cache (via [`CacheLevel::set_policy`] /
+//! [`crate::Hierarchy::set_tier_policy`]) only when a challenger wins
+//! persistently — the hysteresis lives in the controller, not here.
+//!
+//! Scores are *windowed*: interactive exploration changes phase (orbit →
+//! zoom → scrub), and a policy that won the last ten thousand accesses may
+//! be exactly wrong for the next ten thousand. [`ShadowSet::end_window`]
+//! reports hit counts since the previous call and resets, so the consumer
+//! always compares policies on the same recent slice of the trace.
+
+use crate::cache::{CacheLevel, Lookup};
+use crate::policy::PolicyKind;
+use std::hash::Hash;
+
+/// Per-policy score for one completed window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowScore {
+    /// The candidate policy.
+    pub kind: PolicyKind,
+    /// Accesses observed in the window (identical across candidates).
+    pub accesses: u64,
+    /// Accesses that hit this candidate's shadow.
+    pub hits: u64,
+}
+
+impl ShadowScore {
+    /// Window hit rate in `[0, 1]`; 0 for an empty window.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+struct Shadow<K: Copy + Eq + Hash> {
+    kind: PolicyKind,
+    level: CacheLevel<K>,
+    window_hits: u64,
+}
+
+/// A bank of shadow caches, one per candidate policy, all at the same
+/// capacity, all fed the same trace.
+pub struct ShadowSet<K: Copy + Eq + Hash> {
+    shadows: Vec<Shadow<K>>,
+    window_accesses: u64,
+}
+
+impl<K: Copy + Eq + Hash + Ord + Send + 'static> ShadowSet<K> {
+    /// Shadows for `kinds` at `capacity` entries each (the capacity of the
+    /// real cache being tuned).
+    pub fn new(kinds: &[PolicyKind], capacity: usize) -> Self {
+        assert!(!kinds.is_empty(), "need at least one candidate policy");
+        ShadowSet {
+            shadows: kinds
+                .iter()
+                .map(|&kind| Shadow {
+                    kind,
+                    level: CacheLevel::new(kind, capacity),
+                    window_hits: 0,
+                })
+                .collect(),
+            window_accesses: 0,
+        }
+    }
+
+    /// The full zoo at `capacity` — every [`PolicyKind`] as a candidate.
+    pub fn full_zoo(capacity: usize) -> Self {
+        Self::new(PolicyKind::ALL, capacity)
+    }
+}
+
+impl<K: Copy + Eq + Hash> ShadowSet<K> {
+    /// Candidate policies, in score order.
+    pub fn kinds(&self) -> Vec<PolicyKind> {
+        self.shadows.iter().map(|s| s.kind).collect()
+    }
+
+    /// Feed one access from the live trace: each shadow records a hit or
+    /// simulates the miss fill.
+    pub fn observe(&mut self, key: K) {
+        self.window_accesses += 1;
+        for s in &mut self.shadows {
+            match s.level.access(key) {
+                Lookup::Hit => s.window_hits += 1,
+                Lookup::Miss => {
+                    s.level.insert(key);
+                }
+            }
+        }
+    }
+
+    /// Accesses observed in the current window.
+    pub fn window_accesses(&self) -> u64 {
+        self.window_accesses
+    }
+
+    /// Close the current window: report every candidate's score over it
+    /// and start counting fresh (shadow *residency* carries over — only
+    /// the scores reset, so candidates stay warm across windows).
+    pub fn end_window(&mut self) -> Vec<ShadowScore> {
+        let accesses = self.window_accesses;
+        self.window_accesses = 0;
+        self.shadows
+            .iter_mut()
+            .map(|s| {
+                let hits = s.window_hits;
+                s.window_hits = 0;
+                ShadowScore { kind: s.kind, accesses, hits }
+            })
+            .collect()
+    }
+
+    /// Peek at the current window's scores without closing it.
+    pub fn scores(&self) -> Vec<ShadowScore> {
+        self.shadows
+            .iter()
+            .map(|s| ShadowScore {
+                kind: s.kind,
+                accesses: self.window_accesses,
+                hits: s.window_hits,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_share_the_access_count() {
+        let mut set: ShadowSet<u32> = ShadowSet::new(&[PolicyKind::Lru, PolicyKind::Fifo], 4);
+        for k in [1u32, 2, 3, 1, 2, 3] {
+            set.observe(k);
+        }
+        let scores = set.end_window();
+        assert_eq!(scores.len(), 2);
+        for s in &scores {
+            assert_eq!(s.accesses, 6);
+            // Working set fits both shadows: second pass all hits.
+            assert_eq!(s.hits, 3, "{}", s.kind.label());
+            assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn loop_trace_separates_lru_from_mru() {
+        // The classic LRU pathology: a cyclic scan one element larger than
+        // the cache. LRU hits 0%; MRU keeps most of the loop resident.
+        let mut set: ShadowSet<u32> = ShadowSet::new(&[PolicyKind::Lru, PolicyKind::Mru], 4);
+        for _ in 0..50 {
+            for k in 0..5u32 {
+                set.observe(k);
+            }
+        }
+        let scores = set.end_window();
+        let lru = scores.iter().find(|s| s.kind == PolicyKind::Lru).unwrap();
+        let mru = scores.iter().find(|s| s.kind == PolicyKind::Mru).unwrap();
+        assert_eq!(lru.hits, 0, "LRU must thrash on the loop");
+        assert!(mru.hit_rate() > 0.5, "MRU hit rate {}", mru.hit_rate());
+    }
+
+    #[test]
+    fn windows_reset_scores_but_not_residency() {
+        let mut set: ShadowSet<u32> = ShadowSet::new(&[PolicyKind::Lru], 4);
+        set.observe(1);
+        set.observe(2);
+        let w1 = set.end_window();
+        assert_eq!(w1[0].accesses, 2);
+        assert_eq!(w1[0].hits, 0);
+        // Residency carried over: these are hits in the new window.
+        set.observe(1);
+        set.observe(2);
+        let w2 = set.end_window();
+        assert_eq!(w2[0].accesses, 2);
+        assert_eq!(w2[0].hits, 2);
+    }
+
+    #[test]
+    fn full_zoo_runs_every_policy() {
+        let mut set: ShadowSet<u64> = ShadowSet::full_zoo(8);
+        for k in 0..100u64 {
+            set.observe(k % 16);
+        }
+        let scores = set.end_window();
+        assert_eq!(scores.len(), PolicyKind::ALL.len());
+        for s in &scores {
+            assert_eq!(s.accesses, 100);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_reset() {
+        let mut set: ShadowSet<u32> = ShadowSet::new(&[PolicyKind::Lru], 2);
+        set.observe(1);
+        assert_eq!(set.scores()[0].accesses, 1);
+        assert_eq!(set.window_accesses(), 1);
+        set.observe(1);
+        let s = set.end_window();
+        assert_eq!(s[0].accesses, 2);
+        assert_eq!(s[0].hits, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-node control planes for a sharded cluster.
+//!
+//! Each [`ClusterNode`] carries its own serve-layer signals — its shard's
+//! demand RTTs, its ladder, its sheds — so adaptation is strictly local:
+//! one [`NodeControl`] per node, no consensus, no cross-node coupling. A
+//! hot shard tightens its own ladder while a cold one reopens, which is
+//! exactly the behaviour a shared controller would have to approximate
+//! anyway.
+//!
+//! The only cluster-wide concern is naming: the gauge registry is
+//! process-global (a [`crate::TestCluster`] runs many nodes in one
+//! process, and a deployment may co-locate several), so each plane
+//! publishes under a `node<N>_` prefix. A telemetry scrape of any node
+//! therefore shows every co-resident controller, unambiguously.
+
+use crate::node::ClusterNode;
+use crate::shard::NodeId;
+use viz_adapt::{ControlPlane, ControlPlaneConfig, TickReport};
+
+/// One node's closed loop: a [`ControlPlane`] over the node's server,
+/// publishing under `node<N>_`.
+pub struct NodeControl {
+    id: NodeId,
+    plane: ControlPlane,
+}
+
+impl NodeControl {
+    /// Attach a plane to `node`, chasing `slo_p99_ns` on its local
+    /// demand traffic.
+    pub fn new(id: NodeId, node: &ClusterNode, slo_p99_ns: u64) -> Self {
+        let mut cfg = ControlPlaneConfig::for_slo(slo_p99_ns);
+        cfg.gauge_prefix = format!("node{}_", id.0);
+        NodeControl { id, plane: ControlPlane::new(node.server().clone(), cfg) }
+    }
+
+    /// The node this plane controls.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Control periods run so far.
+    pub fn ticks(&self) -> u64 {
+        self.plane.ticks()
+    }
+
+    /// Run one control period on this node (scrape → retune → publish).
+    pub fn tick(&mut self) -> TickReport {
+        self.plane.tick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardStrategy;
+    use crate::testing::TestCluster;
+    use viz_volume::{BlockId, BlockKey};
+
+    fn key(i: u32) -> BlockKey {
+        BlockKey::scalar(BlockId(i))
+    }
+
+    #[test]
+    fn nodes_adapt_independently_under_skewed_load() {
+        let cluster = TestCluster::new(2, ShardStrategy::Ring);
+        for i in 0..64u32 {
+            cluster.insert(key(i), vec![i as f32; 8]);
+        }
+        let n0 = cluster.node(NodeId(0)).unwrap();
+        let n1 = cluster.node(NodeId(1)).unwrap();
+        // Node 0 chases an unmeetable SLO (1 ns), node 1 a trivial one
+        // (10 s): after identical traffic their ladders must diverge.
+        let mut c0 = NodeControl::new(NodeId(0), &n0, 1);
+        let mut c1 = NodeControl::new(NodeId(1), &n1, 10_000_000_000);
+        let base0 = n0.server().ladder();
+        let base1 = n1.server().ladder();
+
+        let mut router = cluster.router("viewer");
+        for round in 0..8 {
+            let demand: Vec<BlockKey> = (0..16u32).map(|i| key((round * 16 + i) % 64)).collect();
+            let reply = router.fetch(demand, vec![]);
+            assert!(reply.blocks.iter().all(|b| b.result.is_ok()));
+            c0.tick();
+            c1.tick();
+        }
+
+        let l0 = n0.server().ladder();
+        let l1 = n1.server().ladder();
+        assert!(
+            l0.per_client_queue < base0.per_client_queue,
+            "node 0 is always over its SLO and must tighten"
+        );
+        assert!(
+            l1.per_client_queue >= base1.per_client_queue,
+            "node 1 is always under its SLO and must not tighten"
+        );
+        // Both planes are visible, disambiguated, in ONE scrape — the
+        // registry is process-global and the prefix carries the node id.
+        let stats = n0.server().wire_counters();
+        let g = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(g("node0_adapt_ticks"), Some(8));
+        assert_eq!(g("node1_adapt_ticks"), Some(8));
+        viz_telemetry::stats::clear_gauges();
+    }
+}

@@ -1,14 +1,168 @@
-//! Adaptive σ: closed-loop tuning of the entropy threshold.
+//! Closed-loop controllers: the shared integral-controller abstraction
+//! and the adaptive-σ policy built on it.
 //!
-//! The paper leaves σ as a free parameter. But σ has a natural operational
-//! target: prefetch is free exactly while it hides under rendering
-//! (§IV-D), so the *ideal* σ admits just enough blocks that per-step
-//! prefetch time ≈ render time. This module provides a small integral
-//! controller that chases that target online — raising σ (prefetch less)
-//! when prefetch spills past the render window and lowering it (use the
-//! idle I/O) when the window is under-used.
+//! The paper leaves its knobs — the entropy threshold σ, the vicinal
+//! radius `r`, and (one layer up) the serve admission watermarks — as
+//! free parameters. Each has the same operational shape: a scalar output
+//! bounded to a safe range, chasing a measurable target ("prefetch time ≈
+//! render time", "demand p99 ≤ SLO"), where over- and under-shoot by
+//! equal *factors* deserve equal corrections. [`IntegralController`] is
+//! that shape, extracted once: a log-ratio integral controller whose
+//! integrator *is* the clamped output — the standard conditional
+//! anti-windup, so a controller that sat pinned at a bound for an hour
+//! responds to the first reversal at full gain instead of unwinding an
+//! accumulated error backlog.
+//!
+//! [`SigmaController`] (the original in-process session tuner, and since
+//! the serve wiring also the server-side flight tuner) is a thin facade
+//! over it; the `viz-adapt` control plane builds its ladder and radius
+//! tuners from the same primitive.
 
 use serde::{Deserialize, Serialize};
+
+/// Configuration of a bounded log-ratio integral controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Integral gain, in output units per unit of log-ratio error.
+    pub gain: f64,
+    /// Lower output clamp.
+    pub min: f64,
+    /// Upper output clamp.
+    pub max: f64,
+}
+
+impl ControllerConfig {
+    /// A controller confined to `[min, max]` with `gain`.
+    pub fn new(gain: f64, min: f64, max: f64) -> Self {
+        assert!(gain >= 0.0, "gain must be non-negative");
+        assert!(min <= max, "controller bounds inverted");
+        ControllerConfig { gain, min, max }
+    }
+}
+
+/// A bounded integral controller on log-ratio error (see module docs).
+///
+/// `observe(actual, target)` nudges the output by
+/// `gain · ln(actual/target)` and clamps it into `[min, max]`. Because
+/// the clamped output is the *only* integrator state, saturation cannot
+/// wind up: at a bound the controller simply stays there, and the first
+/// error reversal moves it immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntegralController {
+    cfg: ControllerConfig,
+    output: f64,
+}
+
+impl IntegralController {
+    /// Start from `initial` (clamped into bounds).
+    pub fn new(cfg: ControllerConfig, initial: f64) -> Self {
+        assert!(cfg.gain >= 0.0, "gain must be non-negative");
+        assert!(cfg.min <= cfg.max, "controller bounds inverted");
+        IntegralController { cfg, output: initial.clamp(cfg.min, cfg.max) }
+    }
+
+    /// The current output.
+    pub fn output(&self) -> f64 {
+        self.output
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> ControllerConfig {
+        self.cfg
+    }
+
+    /// `true` when the output sits at its lower bound.
+    pub fn at_min(&self) -> bool {
+        self.output <= self.cfg.min
+    }
+
+    /// `true` when the output sits at its upper bound.
+    pub fn at_max(&self) -> bool {
+        self.output >= self.cfg.max
+    }
+
+    /// Feed one measurement of `actual` against `target`; returns the
+    /// updated output. Raises the output when `actual > target`, lowers
+    /// it when under; non-positive or non-finite inputs carry no signal
+    /// and leave the output unchanged.
+    pub fn observe(&mut self, actual: f64, target: f64) -> f64 {
+        if !(actual.is_finite() && target.is_finite()) || actual <= 0.0 || target <= 0.0 {
+            return self.output;
+        }
+        let error = (actual / target).ln();
+        self.output = (self.output + self.cfg.gain * error).clamp(self.cfg.min, self.cfg.max);
+        self.output
+    }
+
+    /// [`observe`](Self::observe) with the correction sign flipped —
+    /// for plants where a *larger* output should push `actual` up (e.g.
+    /// a watermark scale that must grow when latency is comfortably
+    /// under its SLO).
+    pub fn observe_inverse(&mut self, actual: f64, target: f64) -> f64 {
+        if !(actual.is_finite() && target.is_finite()) || actual <= 0.0 || target <= 0.0 {
+            return self.output;
+        }
+        let error = (target / actual).ln();
+        self.output = (self.output + self.cfg.gain * error).clamp(self.cfg.min, self.cfg.max);
+        self.output
+    }
+}
+
+/// Debounced discrete switching: a challenger must beat the incumbent
+/// for `patience` *consecutive* evaluations before a switch is taken.
+///
+/// Controllers that pick among discrete arms (the policy selector
+/// choosing from the replacement zoo) need this, not a gain: a single
+/// noisy window must never flip a cache policy and throw away residency
+/// state that took thousands of accesses to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hysteresis {
+    patience: u32,
+    streak: u32,
+    candidate: Option<usize>,
+}
+
+impl Hysteresis {
+    /// Require `patience` consecutive wins (≥ 1) before switching.
+    pub fn new(patience: u32) -> Self {
+        assert!(patience >= 1, "patience must be at least 1");
+        Hysteresis { patience, streak: 0, candidate: None }
+    }
+
+    /// Report the winner of one evaluation window: `None` means the
+    /// incumbent held. Returns `Some(arm)` when `arm` has now won
+    /// `patience` consecutive windows and the switch should be taken
+    /// (the streak resets so the next switch needs a fresh run).
+    pub fn observe(&mut self, winner: Option<usize>) -> Option<usize> {
+        match winner {
+            None => {
+                self.streak = 0;
+                self.candidate = None;
+                None
+            }
+            Some(arm) => {
+                if self.candidate == Some(arm) {
+                    self.streak += 1;
+                } else {
+                    self.candidate = Some(arm);
+                    self.streak = 1;
+                }
+                if self.streak >= self.patience {
+                    self.streak = 0;
+                    self.candidate = None;
+                    Some(arm)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Consecutive wins the current candidate holds.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+}
 
 /// Configuration of the σ controller.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -37,25 +191,36 @@ impl AdaptiveSigma {
     }
 }
 
-/// The controller state.
+/// The σ controller: prefetch is free exactly while it hides under
+/// rendering (§IV-D), so the ideal σ admits just enough blocks that
+/// per-step prefetch time ≈ render time. A facade over
+/// [`IntegralController`] — σ rises (prefetch less) when prefetch spills
+/// past the render window, falls (use the idle I/O) when under-used.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SigmaController {
     cfg: AdaptiveSigma,
-    sigma: f64,
+    inner: IntegralController,
 }
 
 impl SigmaController {
     /// Start from an initial σ.
     pub fn new(cfg: AdaptiveSigma, initial_sigma: f64) -> Self {
-        assert!(cfg.gain >= 0.0, "gain must be non-negative");
-        assert!(cfg.min_sigma <= cfg.max_sigma, "sigma bounds inverted");
         assert!(cfg.target_ratio > 0.0, "target ratio must be positive");
-        SigmaController { cfg, sigma: initial_sigma.clamp(cfg.min_sigma, cfg.max_sigma) }
+        let inner = IntegralController::new(
+            ControllerConfig::new(cfg.gain, cfg.min_sigma, cfg.max_sigma),
+            initial_sigma,
+        );
+        SigmaController { cfg, inner }
     }
 
     /// Current threshold.
     pub fn sigma(&self) -> f64 {
-        self.sigma
+        self.inner.output()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> AdaptiveSigma {
+        self.cfg
     }
 
     /// Feed one step's measured prefetch and render durations; returns the
@@ -63,17 +228,16 @@ impl SigmaController {
     /// of equal *factors* produce equal corrections.
     pub fn observe(&mut self, prefetch_s: f64, render_s: f64) -> f64 {
         if render_s <= 0.0 {
-            return self.sigma;
+            return self.sigma();
         }
         let target = self.cfg.target_ratio * render_s;
         // Steps with zero prefetch (everything already resident) carry no
         // signal about σ being too high — treat as a mild "lower σ" nudge
-        // through the epsilon floor.
-        let actual = prefetch_s.max(1e-6 * render_s);
-        let error = (actual / target).ln();
-        self.sigma =
-            (self.sigma + self.cfg.gain * error).clamp(self.cfg.min_sigma, self.cfg.max_sigma);
-        self.sigma
+        // by flooring the reading at half the target, which bounds the
+        // per-step correction to `gain * ln(1/2)` instead of letting a
+        // single empty step slam σ to its minimum clamp.
+        let actual = prefetch_s.max(0.5 * target);
+        self.inner.observe(actual, target)
     }
 }
 
@@ -157,5 +321,132 @@ mod tests {
             AdaptiveSigma { gain: 0.1, min_sigma: 5.0, max_sigma: 1.0, target_ratio: 0.9 },
             2.0,
         );
+    }
+
+    // ---- anti-windup: the satellite's bound-recovery contract --------
+
+    /// How far one reversal step of the given factor must move σ: the
+    /// full `gain · ln(factor)` correction, because a clamped integrator
+    /// holds no hidden backlog to unwind first.
+    fn one_step_correction(gain: f64, factor: f64) -> f64 {
+        gain * factor.ln()
+    }
+
+    #[test]
+    fn no_windup_at_upper_sigma_bound() {
+        let cfg = AdaptiveSigma::default_for_bins(64);
+        let mut c = SigmaController::new(cfg, 3.0);
+        // Saturate hard at max for a long time: prefetch 100x the window.
+        for _ in 0..1_000 {
+            c.observe(5.0, 0.05);
+        }
+        assert!((c.sigma() - cfg.max_sigma).abs() < 1e-12, "pinned at max");
+        // One reversal (prefetch at half target — the floor of the
+        // under-target reading) must immediately move σ down by the full
+        // single-step correction — no accumulated error.
+        let before = c.sigma();
+        c.observe(0.5 * cfg.target_ratio * 0.05, 0.05);
+        let moved = before - c.sigma();
+        let expect = one_step_correction(cfg.gain, 2.0);
+        assert!((moved - expect).abs() < 1e-9, "windup detected: moved {moved} expected {expect}");
+        // Readings below half target are floored there, so even a zero
+        // reading applies the same bounded nudge — an empty step can
+        // never slam σ across its range.
+        let before = c.sigma();
+        c.observe(0.0, 0.05);
+        let moved = before - c.sigma();
+        assert!(
+            (moved - expect).abs() < 1e-9,
+            "empty-step nudge unbounded: moved {moved} expected {expect}"
+        );
+    }
+
+    #[test]
+    fn no_windup_at_lower_sigma_bound() {
+        let cfg = AdaptiveSigma::default_for_bins(64);
+        let mut c = SigmaController::new(cfg, 2.0);
+        // Saturate at min: prefetch far under target for a long time.
+        for _ in 0..1_000 {
+            c.observe(1e-9, 0.05);
+        }
+        assert!((c.sigma() - cfg.min_sigma).abs() < 1e-12, "pinned at min");
+        // One overshoot by 4x must raise σ by the full correction.
+        let before = c.sigma();
+        c.observe(4.0 * cfg.target_ratio * 0.05, 0.05);
+        let moved = c.sigma() - before;
+        let expect = one_step_correction(cfg.gain, 4.0);
+        assert!((moved - expect).abs() < 1e-9, "windup detected: moved {moved} expected {expect}");
+    }
+
+    // ---- the generic controller ------------------------------------
+
+    #[test]
+    fn integral_controller_tracks_and_clamps() {
+        let mut c = IntegralController::new(ControllerConfig::new(0.5, 0.0, 10.0), 5.0);
+        assert_eq!(c.output(), 5.0);
+        c.observe(2.0, 1.0); // over target: raise
+        assert!(c.output() > 5.0);
+        c.observe(1.0, 2.0); // under target: back down
+        assert!((c.output() - 5.0).abs() < 1e-12);
+        for _ in 0..200 {
+            c.observe(100.0, 1.0);
+        }
+        assert!(c.at_max());
+        for _ in 0..200 {
+            c.observe(1.0, 100.0);
+        }
+        assert!(c.at_min());
+    }
+
+    #[test]
+    fn inverse_observation_flips_direction() {
+        let mut c = IntegralController::new(ControllerConfig::new(0.5, 0.0, 10.0), 5.0);
+        c.observe_inverse(2.0, 1.0); // actual above target: inverse lowers
+        assert!(c.output() < 5.0);
+        c.observe_inverse(1.0, 4.0);
+        assert!(c.output() > 5.0 - 0.5 * 2.0f64.ln() + 1e-12 - 1.0, "raises when under");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_noops() {
+        let mut c = IntegralController::new(ControllerConfig::new(0.5, 0.0, 10.0), 5.0);
+        c.observe(0.0, 1.0);
+        c.observe(1.0, 0.0);
+        c.observe(f64::NAN, 1.0);
+        c.observe(1.0, f64::NAN);
+        c.observe_inverse(0.0, 0.0);
+        assert_eq!(c.output(), 5.0);
+    }
+
+    #[test]
+    fn initial_output_is_clamped() {
+        let c = IntegralController::new(ControllerConfig::new(0.1, 1.0, 2.0), 99.0);
+        assert_eq!(c.output(), 2.0);
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_wins() {
+        let mut h = Hysteresis::new(3);
+        assert_eq!(h.observe(Some(1)), None);
+        assert_eq!(h.observe(Some(1)), None);
+        assert_eq!(h.streak(), 2);
+        // A different winner resets the streak.
+        assert_eq!(h.observe(Some(2)), None);
+        assert_eq!(h.streak(), 1);
+        // The incumbent holding resets everything.
+        assert_eq!(h.observe(None), None);
+        assert_eq!(h.streak(), 0);
+        // Three consecutive wins switch, then the state is fresh.
+        assert_eq!(h.observe(Some(2)), None);
+        assert_eq!(h.observe(Some(2)), None);
+        assert_eq!(h.observe(Some(2)), Some(2));
+        assert_eq!(h.streak(), 0);
+        assert_eq!(h.observe(Some(2)), None, "post-switch needs a fresh run");
+    }
+
+    #[test]
+    fn hysteresis_patience_one_switches_immediately() {
+        let mut h = Hysteresis::new(1);
+        assert_eq!(h.observe(Some(4)), Some(4));
     }
 }

@@ -119,6 +119,18 @@ impl ClientFlight {
         self.cursor = 0;
     }
 
+    /// The entropy gate currently applied to predicted blocks.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Retune the entropy gate mid-flight — the σ controller's actuator:
+    /// subsequent frames admit prefetch only for blocks with entropy
+    /// ≥ the new threshold.
+    pub fn set_sigma(&mut self, sigma: f64) {
+        self.sigma = sigma;
+    }
+
     /// Produce the next frame's request, or `None` once the flight ends
     /// (call [`rewind`](Self::rewind) to replay).
     pub fn next_frame(&mut self) -> Option<FrameRequest> {
@@ -195,10 +207,9 @@ mod tests {
         let lax = ClientFlight::new(&layout, poses.clone(), Some((tv.clone(), ti.clone())), -1.0)
             .next_frame()
             .unwrap();
-        let strict =
-            ClientFlight::new(&layout, poses, Some((tv, ti.clone())), f64::INFINITY)
-                .next_frame()
-                .unwrap();
+        let strict = ClientFlight::new(&layout, poses, Some((tv, ti.clone())), f64::INFINITY)
+            .next_frame()
+            .unwrap();
         assert!(!lax.prefetch.is_empty(), "sigma below every entropy admits the prediction");
         assert!(strict.prefetch.is_empty(), "infinite sigma filters everything");
         for (key, pri) in &lax.prefetch {

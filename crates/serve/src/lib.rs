@@ -71,7 +71,7 @@ pub use reactor::{ReactorInProcServer, ReactorTcpServer, TcpFrontend};
 pub use registry::{SessionId, SessionView};
 pub use server::{
     handle_request, serve_connection, serve_connection_with, DefaultDispatch, DrainReport,
-    InProcServer, IoBackend, Outcome, PendingFetch, RequestDispatch, ServeConfig, ServeError,
-    ServeMetrics, Server, ShedReason, Submission, TcpServer,
+    InProcServer, IoBackend, LadderConfig, Outcome, PendingFetch, RequestDispatch, ServeConfig,
+    ServeError, ServeMetrics, Server, ShedReason, Submission, TcpServer,
 };
 pub use transport::{inproc_pair, InProcTransport, TcpTransport, Transport};

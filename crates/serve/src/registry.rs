@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use viz_core::ClientFlight;
+use viz_core::{ClientFlight, SigmaController};
 
 /// Opaque session identifier, assigned at open, never reused within one
 /// server's lifetime.
@@ -33,6 +33,11 @@ pub(crate) struct Session {
     /// Server-side camera flight, when the deployment drives prediction
     /// from the server (attach via `Server::attach_flight`).
     pub flight: Option<ClientFlight>,
+    /// Adaptive-σ loop for the attached flight (attach via
+    /// `Server::attach_adaptive_sigma`): the controller plus its queued-
+    /// prefetch backlog target. Each `Advance` observes the session's
+    /// leftover prefetch backlog and retunes the flight's entropy gate.
+    pub sigma_ctl: Option<(SigmaController, f64)>,
     /// `true` when the client is another cluster node (name opens with
     /// `peer/`): its traffic is demand-only forwarding, counted
     /// separately in the stats so operators can split local load from
@@ -86,6 +91,7 @@ impl Registry {
                 name: name.to_string(),
                 generation: 0,
                 flight: None,
+                sigma_ctl: None,
                 is_peer: name.starts_with("peer/"),
                 demand_submitted: 0,
                 prefetch_submitted: 0,

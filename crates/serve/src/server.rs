@@ -32,13 +32,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
-use viz_core::ClientFlight;
+use std::time::{Duration, Instant};
+use viz_core::{AdaptiveSigma, ClientFlight, SigmaController};
 use viz_fetch::{BreakerState, FetchEngine, Ticket};
+use viz_telemetry::stats::RotatingHist;
 use viz_telemetry::{instant, Counter, EventKind as Ev};
 use viz_volume::BlockKey;
 
@@ -104,6 +105,85 @@ impl Default for ServeConfig {
             backend: IoBackend::Threads,
             pump_batch: 64,
         }
+    }
+}
+
+/// The runtime-mutable subset of [`ServeConfig`]: the shed-ladder
+/// watermarks and per-client quotas. [`ServeConfig`] seeds these at
+/// construction; [`Server::set_ladder`] swaps them while the server runs
+/// — the adaptive control plane's serve-side actuator. Reads are relaxed
+/// atomics: admission sees *a* recent ladder, which is all a watermark
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderConfig {
+    /// Per-session cap on queued prefetch entries.
+    pub per_client_queue: usize,
+    /// Per-session cap on queued prefetch bytes (estimated).
+    pub per_client_bytes: usize,
+    /// Stop pumping prefetch into the engine at this backlog.
+    pub engine_queue_target: usize,
+    /// Shed new prefetch outright at this combined backlog.
+    pub shed_queue_depth: usize,
+    /// Admit prefetch at a quarter priority from this backlog up.
+    pub downgrade_queue_depth: usize,
+    /// Shed new prefetch when the shared pool holds this many bytes.
+    pub shed_resident_bytes: usize,
+}
+
+impl LadderConfig {
+    /// The ladder a [`ServeConfig`] starts with.
+    pub fn from_serve(cfg: &ServeConfig) -> Self {
+        LadderConfig {
+            per_client_queue: cfg.per_client_queue,
+            per_client_bytes: cfg.per_client_bytes,
+            engine_queue_target: cfg.engine_queue_target,
+            shed_queue_depth: cfg.shed_queue_depth,
+            downgrade_queue_depth: cfg.downgrade_queue_depth,
+            shed_resident_bytes: cfg.shed_resident_bytes,
+        }
+    }
+}
+
+/// Atomic cells holding the live ladder (see [`LadderConfig`]).
+struct LadderCells {
+    per_client_queue: AtomicUsize,
+    per_client_bytes: AtomicUsize,
+    engine_queue_target: AtomicUsize,
+    shed_queue_depth: AtomicUsize,
+    downgrade_queue_depth: AtomicUsize,
+    shed_resident_bytes: AtomicUsize,
+}
+
+impl LadderCells {
+    fn new(cfg: LadderConfig) -> Self {
+        LadderCells {
+            per_client_queue: AtomicUsize::new(cfg.per_client_queue),
+            per_client_bytes: AtomicUsize::new(cfg.per_client_bytes),
+            engine_queue_target: AtomicUsize::new(cfg.engine_queue_target),
+            shed_queue_depth: AtomicUsize::new(cfg.shed_queue_depth),
+            downgrade_queue_depth: AtomicUsize::new(cfg.downgrade_queue_depth),
+            shed_resident_bytes: AtomicUsize::new(cfg.shed_resident_bytes),
+        }
+    }
+
+    fn load(&self) -> LadderConfig {
+        LadderConfig {
+            per_client_queue: self.per_client_queue.load(Ordering::Relaxed),
+            per_client_bytes: self.per_client_bytes.load(Ordering::Relaxed),
+            engine_queue_target: self.engine_queue_target.load(Ordering::Relaxed),
+            shed_queue_depth: self.shed_queue_depth.load(Ordering::Relaxed),
+            downgrade_queue_depth: self.downgrade_queue_depth.load(Ordering::Relaxed),
+            shed_resident_bytes: self.shed_resident_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn store(&self, cfg: LadderConfig) {
+        self.per_client_queue.store(cfg.per_client_queue, Ordering::Relaxed);
+        self.per_client_bytes.store(cfg.per_client_bytes, Ordering::Relaxed);
+        self.engine_queue_target.store(cfg.engine_queue_target, Ordering::Relaxed);
+        self.shed_queue_depth.store(cfg.shed_queue_depth, Ordering::Relaxed);
+        self.downgrade_queue_depth.store(cfg.downgrade_queue_depth, Ordering::Relaxed);
+        self.shed_resident_bytes.store(cfg.shed_resident_bytes, Ordering::Relaxed);
     }
 }
 
@@ -191,6 +271,16 @@ struct ServeStats {
     bytes_served: Counter,
     peer_requests: Counter,
     peer_demand_keys: Counter,
+    // Per-reason shed breakdown: the controller and the cluster router
+    // need to know *why* prefetch is being refused (a byte-quota shed
+    // wants a bigger quota; a breaker shed wants nothing at all).
+    shed_draining: Counter,
+    shed_stale_gen: Counter,
+    shed_entry_quota: Counter,
+    shed_byte_quota: Counter,
+    shed_breaker: Counter,
+    shed_queue_depth: Counter,
+    shed_pool_pressure: Counter,
 }
 
 impl ServeStats {
@@ -208,6 +298,25 @@ impl ServeStats {
             bytes_served: Counter::new("serve_bytes_served"),
             peer_requests: Counter::new("serve_peer_requests"),
             peer_demand_keys: Counter::new("serve_peer_demand_keys"),
+            shed_draining: Counter::new("serve_shed_draining"),
+            shed_stale_gen: Counter::new("serve_shed_stale_gen"),
+            shed_entry_quota: Counter::new("serve_shed_entry_quota"),
+            shed_byte_quota: Counter::new("serve_shed_byte_quota"),
+            shed_breaker: Counter::new("serve_shed_breaker"),
+            shed_queue_depth: Counter::new("serve_shed_queue_depth"),
+            shed_pool_pressure: Counter::new("serve_shed_pool_pressure"),
+        }
+    }
+
+    fn shed_counter(&self, reason: ShedReason) -> &Counter {
+        match reason {
+            ShedReason::Draining => &self.shed_draining,
+            ShedReason::StaleGeneration => &self.shed_stale_gen,
+            ShedReason::ClientQuota => &self.shed_entry_quota,
+            ShedReason::ByteQuota => &self.shed_byte_quota,
+            ShedReason::BreakerOpen => &self.shed_breaker,
+            ShedReason::QueueDepth => &self.shed_queue_depth,
+            ShedReason::PoolPressure => &self.shed_pool_pressure,
         }
     }
 
@@ -225,6 +334,13 @@ impl ServeStats {
             &self.bytes_served,
             &self.peer_requests,
             &self.peer_demand_keys,
+            &self.shed_draining,
+            &self.shed_stale_gen,
+            &self.shed_entry_quota,
+            &self.shed_byte_quota,
+            &self.shed_breaker,
+            &self.shed_queue_depth,
+            &self.shed_pool_pressure,
         ]
         .iter()
         .map(|c| (c.name(), c.get()))
@@ -272,9 +388,13 @@ pub struct DrainReport {
 pub struct Server {
     engine: Arc<FetchEngine>,
     cfg: ServeConfig,
+    ladder: LadderCells,
     registry: Mutex<Registry>,
     sched: Mutex<Scheduler>,
     stats: ServeStats,
+    /// Whole-frame demand round trip (submit → last demand outcome), in
+    /// nanoseconds, windowed for the control plane's p99 SLO signal.
+    demand_rtt: RotatingHist,
     draining: AtomicBool,
 }
 
@@ -287,12 +407,15 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 impl Server {
     /// Wrap a shared engine in a server.
     pub fn new(engine: Arc<FetchEngine>, cfg: ServeConfig) -> Arc<Server> {
+        let ladder = LadderCells::new(LadderConfig::from_serve(&cfg));
         Arc::new(Server {
             engine,
             cfg,
+            ladder,
             registry: Mutex::new(Registry::new()),
             sched: Mutex::new(Scheduler::new()),
             stats: ServeStats::new(),
+            demand_rtt: RotatingHist::new(),
             draining: AtomicBool::new(false),
         })
     }
@@ -302,9 +425,33 @@ impl Server {
         &self.engine
     }
 
-    /// The active config.
+    /// The config the server started with. The watermarks and quotas in
+    /// it are *initial* values — [`Server::ladder`] reads the live ones.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The shed ladder currently in force.
+    pub fn ladder(&self) -> LadderConfig {
+        self.ladder.load()
+    }
+
+    /// Replace the live shed ladder (watermarks + per-client quotas).
+    /// Takes effect for the next admission; queued entries are untouched.
+    pub fn set_ladder(&self, cfg: LadderConfig) {
+        self.ladder.store(cfg);
+    }
+
+    /// p99 of the demand-RTT window being accumulated, in ns (0 when no
+    /// demand was served since the window opened).
+    pub fn demand_p99_ns(&self) -> u64 {
+        self.demand_rtt.percentile(0.99)
+    }
+
+    /// Close the demand-RTT window and return it (the control plane's
+    /// per-tick consumption; a fresh window starts accumulating).
+    pub fn take_demand_window(&self) -> viz_telemetry::LogHistogram {
+        self.demand_rtt.take()
     }
 
     /// `true` once [`Server::drain`] has started.
@@ -358,15 +505,63 @@ impl Server {
         }
     }
 
+    /// Put a session's flight under closed-loop σ control: every
+    /// [`Server::advance`] then observes the session's *leftover* queued
+    /// prefetch (entries admitted last frame that the pump never
+    /// consumed — the serve-side analogue of "prefetch time" spilling
+    /// past the render window) against `target_backlog` and retunes the
+    /// flight's entropy gate before producing the next frame. Requires an
+    /// attached flight; returns `false` without one.
+    pub fn attach_adaptive_sigma(
+        &self,
+        id: SessionId,
+        cfg: AdaptiveSigma,
+        target_backlog: f64,
+    ) -> bool {
+        let mut reg = relock(&self.registry);
+        match reg.get_mut(id) {
+            Some(s) => match &s.flight {
+                Some(f) => {
+                    let ctl = SigmaController::new(cfg, f.sigma());
+                    s.sigma_ctl = Some((ctl, target_backlog.max(1.0)));
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// The σ a session's flight currently gates prefetch with (`None`
+    /// for an unknown session or one without a flight).
+    pub fn session_sigma(&self, id: SessionId) -> Option<f64> {
+        relock(&self.registry).get_mut(id)?.flight.as_ref().map(|f| f.sigma())
+    }
+
     /// Bump a session's frame generation: queued prefetch from earlier
     /// generations is purged, and an attached flight contributes the next
     /// frame's prefetch set. Returns the new generation, or `None` for an
     /// unknown session.
+    ///
+    /// With [`Server::attach_adaptive_sigma`] active, the leftover
+    /// prefetch backlog (about to be purged as stale) first feeds the σ
+    /// controller: a backlog persistently above target means admission
+    /// outruns consumption — raise σ, speculate less; an empty backlog
+    /// means idle I/O headroom — lower σ, speculate more.
     pub fn advance(&self, id: SessionId) -> Option<u64> {
+        let (leftover, _) = relock(&self.sched).queued_prefetch(id.0);
         let (generation, frame) = {
             let mut reg = relock(&self.registry);
             let s = reg.get_mut(id)?;
             s.generation += 1;
+            if let Some((ctl, target)) = &mut s.sigma_ctl {
+                let render_window = *target / ctl.config().target_ratio.max(1e-9);
+                ctl.observe(leftover as f64, render_window);
+                let sigma = ctl.sigma();
+                if let Some(f) = &mut s.flight {
+                    f.set_sigma(sigma);
+                }
+            }
             (s.generation, s.flight.as_mut().and_then(|f| f.next_frame()))
         };
         relock(&self.sched).purge_prefetch(id.0, generation);
@@ -415,6 +610,7 @@ impl Server {
             got: HashMap::new(),
             shed,
             downgraded,
+            t0: Instant::now(),
         })
     }
 
@@ -443,6 +639,7 @@ impl Server {
         let pool_bytes = self.engine.pool().bytes_resident();
         let draining = self.is_draining();
         let hint = self.cfg.block_bytes_hint;
+        let ladder = self.ladder.load();
 
         let (mut shed, mut downgraded, mut admitted) = (0u32, 0u32, 0u64);
         let mut sched = relock(&self.sched);
@@ -453,17 +650,17 @@ impl Server {
                 Err(ShedReason::Draining)
             } else if generation < session_gen {
                 Err(ShedReason::StaleGeneration)
-            } else if lane_n >= self.cfg.per_client_queue {
+            } else if lane_n >= ladder.per_client_queue {
                 Err(ShedReason::ClientQuota)
-            } else if lane_bytes + hint > self.cfg.per_client_bytes {
+            } else if lane_bytes + hint > ladder.per_client_bytes {
                 Err(ShedReason::ByteQuota)
             } else if breaker_open {
                 Err(ShedReason::BreakerOpen)
-            } else if backlog >= self.cfg.shed_queue_depth {
+            } else if backlog >= ladder.shed_queue_depth {
                 Err(ShedReason::QueueDepth)
-            } else if pool_bytes >= self.cfg.shed_resident_bytes {
+            } else if pool_bytes >= ladder.shed_resident_bytes {
                 Err(ShedReason::PoolPressure)
-            } else if backlog >= self.cfg.downgrade_queue_depth {
+            } else if backlog >= ladder.downgrade_queue_depth {
                 Ok(pri * 0.25)
             } else {
                 Ok(pri)
@@ -488,6 +685,7 @@ impl Server {
                 Err(reason) => {
                     shed += 1;
                     self.stats.prefetch_shed.inc();
+                    self.stats.shed_counter(reason).inc();
                     instant(Ev::RequestShed, u64::from(id.0), u64::from(reason.code()));
                 }
             }
@@ -519,20 +717,18 @@ impl Server {
         if self.is_draining() {
             return;
         }
+        let engine_queue_target = self.ladder.engine_queue_target.load(Ordering::Relaxed);
         loop {
             let (_, engine_pf) = self.engine.queue_depths();
-            if engine_pf >= self.cfg.engine_queue_target {
+            if engine_pf >= engine_queue_target {
                 break;
             }
             // Pop a bounded run in DRR order under one scheduler lock,
             // then admit it to the engine in per-session batches (the
             // engine takes its own lock once per batch instead of once
             // per key — see `FetchEngine::prefetch_batch_tagged`).
-            let budget = self
-                .cfg
-                .engine_queue_target
-                .saturating_sub(engine_pf)
-                .min(self.cfg.pump_batch.max(1));
+            let budget =
+                engine_queue_target.saturating_sub(engine_pf).min(self.cfg.pump_batch.max(1));
             let mut run: Vec<(u32, BlockKey, f64)> = Vec::with_capacity(budget);
             {
                 let mut sched = relock(&self.sched);
@@ -618,10 +814,26 @@ impl Server {
         v.push(("engine_queue_demand".to_string(), qd as u64));
         v.push(("engine_queue_prefetch".to_string(), qp as u64));
         v.push(("sessions_active".to_string(), relock(&self.registry).len() as u64));
+        // Demand-latency SLO signal: p99 of the RTT window currently
+        // accumulating, plus its sample count so consumers can judge
+        // significance.
+        v.push(("serve_demand_p99_ns".to_string(), self.demand_rtt.percentile(0.99)));
+        v.push(("serve_demand_rtt_count".to_string(), self.demand_rtt.count()));
+        // The live ladder, so a scraper can watch the controller actuate.
+        let ladder = self.ladder.load();
+        v.push(("ladder_per_client_queue".to_string(), ladder.per_client_queue as u64));
+        v.push(("ladder_per_client_bytes".to_string(), ladder.per_client_bytes as u64));
+        v.push(("ladder_engine_queue_target".to_string(), ladder.engine_queue_target as u64));
+        v.push(("ladder_shed_queue_depth".to_string(), ladder.shed_queue_depth as u64));
+        v.push(("ladder_downgrade_queue_depth".to_string(), ladder.downgrade_queue_depth as u64));
+        v.push(("ladder_shed_resident_bytes".to_string(), ladder.shed_resident_bytes as u64));
         // Telemetry-plane health: is the gate on, and has any per-thread
         // ring ever overflowed (cumulative — a lost event is permanent).
         v.push(("telemetry_enabled".to_string(), u64::from(viz_telemetry::enabled())));
         v.push(("telemetry_ring_dropped_total".to_string(), viz_telemetry::dropped_total()));
+        // Named gauges published by controllers and other components
+        // through the always-on stats plane.
+        v.extend(viz_telemetry::stats::gauges());
         v
     }
 
@@ -694,6 +906,9 @@ pub struct Submission {
     got: HashMap<BlockKey, Result<Arc<Vec<f32>>, u16>>,
     shed: u32,
     downgraded: u32,
+    /// Admission time; `finish` records submit→outcome as the frame's
+    /// demand RTT.
+    t0: Instant,
 }
 
 impl Submission {
@@ -781,6 +996,10 @@ impl Submission {
     }
 
     fn finish(self, server: &Server, missing: io::ErrorKind) -> Vec<BlockReply> {
+        if !self.demand_keys.is_empty() {
+            let rtt = self.t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            server.demand_rtt.record(rtt);
+        }
         let missing = errkind_code(missing);
         let got = self.got;
         let (mut served, mut errors, mut bytes) = (0u64, 0u64, 0u64);

@@ -1,0 +1,185 @@
+//! The serve-side adaptive surface: per-reason shed counters on the wire,
+//! runtime-mutable ladder, demand-RTT window, and the σ loop driven by
+//! `Server::advance`.
+
+use std::sync::Arc;
+use std::time::Duration;
+use viz_core::{AdaptiveSigma, ClientFlight, ImportanceTable, VisibleTable};
+use viz_core::{RadiusRule, SamplingConfig};
+use viz_fetch::{BlockPool, FetchConfig, FetchEngine, InstrumentedSource};
+use viz_geom::angle::deg_to_rad;
+use viz_geom::{CameraPath, SphericalPath};
+use viz_serve::{InProcServer, LadderConfig, ServeClient, ServeConfig, Server};
+use viz_volume::{BlockId, BlockKey, BrickLayout, DatasetKind, DatasetSpec, Dims3, MemBlockStore};
+
+fn key(i: u32) -> BlockKey {
+    BlockKey::scalar(BlockId(i))
+}
+
+fn det_server(cfg: ServeConfig, n: u32) -> Arc<Server> {
+    let store = MemBlockStore::new();
+    for i in 0..n {
+        store.insert(key(i), vec![i as f32; 16]);
+    }
+    let src = Arc::new(InstrumentedSource::new(Arc::new(store), Duration::ZERO));
+    let engine = FetchEngine::spawn(
+        src,
+        Arc::new(BlockPool::new()),
+        FetchConfig { workers: 0, ..FetchConfig::default() },
+    );
+    Server::new(Arc::new(engine), cfg)
+}
+
+fn counter(stats: &[(String, u64)], name: &str) -> u64 {
+    stats.iter().find(|(n, _)| n == name).unwrap_or_else(|| panic!("missing {name}")).1
+}
+
+#[test]
+fn per_reason_shed_counters_reach_the_wire() {
+    let cfg = ServeConfig { per_client_queue: 2, ..ServeConfig::default() };
+    let server = det_server(cfg, 32);
+    let id = server.open_session("v").unwrap();
+    // 5 prefetch entries against an entry quota of 2: 3 shed for quota.
+    let prefetch: Vec<(BlockKey, f64)> = (10..15).map(|i| (key(i), 1.0)).collect();
+    let sub = server.submit(id, 0, vec![], prefetch).unwrap();
+    assert_eq!(sub.shed(), 3);
+
+    let stats = server.wire_counters();
+    assert_eq!(counter(&stats, "serve_prefetch_shed"), 3);
+    assert_eq!(counter(&stats, "serve_shed_entry_quota"), 3);
+    for other in [
+        "serve_shed_draining",
+        "serve_shed_stale_gen",
+        "serve_shed_byte_quota",
+        "serve_shed_breaker",
+        "serve_shed_queue_depth",
+        "serve_shed_pool_pressure",
+    ] {
+        assert_eq!(counter(&stats, other), 0, "{other} must stay untouched");
+    }
+}
+
+#[test]
+fn ladder_is_runtime_mutable_and_scrape_visible() {
+    let server = det_server(ServeConfig::default(), 32);
+    let id = server.open_session("v").unwrap();
+
+    // Defaults admit freely.
+    let sub = server.submit(id, 0, vec![], vec![(key(1), 1.0)]).unwrap();
+    assert_eq!(sub.shed(), 0);
+
+    // Choke the entry quota at runtime: everything sheds.
+    let mut ladder = server.ladder();
+    ladder.per_client_queue = 1; // one already queued above
+    server.set_ladder(ladder);
+    let sub = server.submit(id, 0, vec![], vec![(key(2), 1.0), (key(3), 1.0)]).unwrap();
+    assert_eq!(sub.shed(), 2, "tightened quota must shed immediately");
+
+    // Re-open the quota: admission resumes, no restart required.
+    ladder.per_client_queue = 256;
+    server.set_ladder(ladder);
+    let sub = server.submit(id, 0, vec![], vec![(key(4), 1.0)]).unwrap();
+    assert_eq!(sub.shed(), 0);
+
+    let stats = server.wire_counters();
+    assert_eq!(counter(&stats, "ladder_per_client_queue"), 256);
+    assert_eq!(counter(&stats, "serve_shed_entry_quota"), 2);
+}
+
+#[test]
+fn demand_rtt_window_feeds_the_p99_gauge() {
+    let server = det_server(ServeConfig::default(), 8);
+    let mut inproc = InProcServer::new(server.clone());
+    let mut c = ServeClient::new(inproc.connect());
+    c.send_open("v").unwrap();
+    inproc.tick();
+    c.recv_open().unwrap();
+    c.send_fetch(0, vec![key(1), key(2)], vec![]).unwrap();
+    inproc.tick();
+    let r = c.recv_fetch().unwrap();
+    assert_eq!(r.blocks.len(), 2);
+
+    let stats = server.wire_counters();
+    assert_eq!(counter(&stats, "serve_demand_rtt_count"), 1, "one frame = one RTT sample");
+    assert!(server.demand_p99_ns() > 0);
+    // Consuming the window resets it.
+    let w = server.take_demand_window();
+    assert_eq!(w.count(), 1);
+    assert_eq!(server.demand_p99_ns(), 0);
+}
+
+#[test]
+fn stats_frames_carry_published_gauges() {
+    viz_telemetry::stats::set_gauge("adapt_test_gauge", 42);
+    let server = det_server(ServeConfig::default(), 4);
+    let stats = server.wire_counters();
+    assert_eq!(counter(&stats, "adapt_test_gauge"), 42);
+    viz_telemetry::stats::clear_gauges();
+}
+
+/// A small flight with real prediction tables, so σ actually gates
+/// prefetch admission.
+fn table_flight(sigma: f64) -> ClientFlight {
+    let spec = DatasetSpec::new(DatasetKind::Ball3d, 16, 5);
+    let field = spec.materialize(0, 0.0);
+    let layout = BrickLayout::new(field.dims, Dims3::cube(8));
+    let importance = Arc::new(ImportanceTable::from_field(&layout, &field, 32));
+    let angle = deg_to_rad(20.0);
+    let sampling = SamplingConfig::paper_default(2.0, 3.0, angle).with_target_samples(64);
+    let tv = Arc::new(VisibleTable::build(sampling, &layout, RadiusRule::Fixed(0.6), None));
+    let domain = viz_geom::ExplorationDomain::new(viz_geom::Vec3::ZERO, 2.0, 3.0);
+    let poses = SphericalPath::new(domain, 2.5, 10.0, angle).generate(64);
+    ClientFlight::new(&layout, poses, Some((tv, importance)), sigma)
+}
+
+#[test]
+fn sigma_rises_when_backlog_is_never_consumed() {
+    let server = det_server(ServeConfig::default(), 0);
+    let id = server.open_session("v").unwrap();
+    assert!(server.attach_flight(id, table_flight(0.5)));
+    let cfg = AdaptiveSigma { gain: 0.3, min_sigma: 0.0, max_sigma: 5.0, target_ratio: 0.9 };
+    assert!(server.attach_adaptive_sigma(id, cfg, 2.0));
+    assert_eq!(server.session_sigma(id), Some(0.5));
+
+    // Never pump: every frame's admitted prefetch is still queued at the
+    // next advance — a persistent overshoot the controller must answer by
+    // raising σ (speculate less).
+    for _ in 0..20 {
+        server.advance(id).unwrap();
+    }
+    let sigma = server.session_sigma(id).unwrap();
+    assert!(sigma > 0.5, "σ should rise under persistent backlog, got {sigma}");
+}
+
+#[test]
+fn sigma_falls_when_the_pump_keeps_up() {
+    let server = det_server(ServeConfig::default(), 0);
+    let id = server.open_session("v").unwrap();
+    assert!(server.attach_flight(id, table_flight(3.0)));
+    let cfg = AdaptiveSigma { gain: 0.3, min_sigma: 0.0, max_sigma: 5.0, target_ratio: 0.9 };
+    assert!(server.attach_adaptive_sigma(id, cfg, 8.0));
+
+    // Pump + run the engine to idle after every advance: backlog is
+    // always consumed, so the controller sees idle I/O headroom and
+    // lowers σ (speculate more).
+    for _ in 0..20 {
+        server.advance(id).unwrap();
+        server.pump();
+        server.engine().run_until_idle();
+    }
+    let sigma = server.session_sigma(id).unwrap();
+    assert!(sigma < 3.0, "σ should fall when the backlog clears, got {sigma}");
+}
+
+#[test]
+fn attach_adaptive_sigma_requires_a_flight() {
+    let server = det_server(ServeConfig::default(), 0);
+    let id = server.open_session("v").unwrap();
+    let cfg = AdaptiveSigma::default_for_bins(32);
+    assert!(!server.attach_adaptive_sigma(id, cfg, 4.0), "no flight attached yet");
+    assert!(server.attach_flight(id, table_flight(1.0)));
+    assert!(server.attach_adaptive_sigma(id, cfg, 4.0));
+    let _ = server.advance(id);
+    let ladder = server.ladder();
+    assert_eq!(ladder, LadderConfig::from_serve(server.config()));
+}

@@ -1,0 +1,197 @@
+//! The always-on stats plane: named gauges and rotating histograms.
+//!
+//! The event rings ([`crate::drain`]) are a *consuming* channel — one
+//! drain steals the batch from every other consumer, which is exactly
+//! right for exporters and exactly wrong for a control loop that wants to
+//! peek at live load every few hundred milliseconds without disturbing
+//! the trace pipeline. This module is the non-consuming complement:
+//!
+//! - **Gauges** are named `u64` values behind one registry lock, written
+//!   by whoever owns the signal (a controller publishing its current
+//!   knob, a server publishing a derived percentile) and read by anything
+//!   — the serve layer folds them into its `Stats` wire frames, so a
+//!   remote scraper sees them with no extra protocol.
+//! - **[`RotatingHist`]** is a mutex-held [`LogHistogram`] with a
+//!   `take()` that swaps in a fresh window: the recorder keeps appending,
+//!   the controller consumes *windows* (recent p99, not lifetime p99),
+//!   and nobody touches the event rings.
+//!
+//! Cost model: gauges and histograms are always live (like [`crate::Counter`]),
+//! one short lock per operation, no per-event allocation. They sit on
+//! per-frame paths (one record per served fetch request), not per-key
+//! paths, so the lock is uncontended in practice.
+
+use crate::hist::LogHistogram;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, u64>> {
+    static REG: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new())).lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Set gauge `name` to `v`, creating it on first use.
+pub fn set_gauge(name: &str, v: u64) {
+    let mut reg = registry();
+    match reg.get_mut(name) {
+        Some(slot) => *slot = v,
+        None => {
+            reg.insert(name.to_string(), v);
+        }
+    }
+}
+
+/// Add `delta` (saturating) to gauge `name`, creating it at `delta`.
+pub fn add_gauge(name: &str, delta: u64) {
+    let mut reg = registry();
+    match reg.get_mut(name) {
+        Some(slot) => *slot = slot.saturating_add(delta),
+        None => {
+            reg.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Read gauge `name`; `None` when never set.
+pub fn gauge(name: &str) -> Option<u64> {
+    registry().get(name).copied()
+}
+
+/// Every gauge, sorted by name — the shape `Stats` wire frames append.
+pub fn gauges() -> Vec<(String, u64)> {
+    registry().iter().map(|(n, v)| (n.clone(), *v)).collect()
+}
+
+/// Remove every gauge (test isolation; production never clears).
+pub fn clear_gauges() {
+    registry().clear();
+}
+
+/// A windowed log2 histogram: record continuously, consume in windows.
+///
+/// `take()` hands the accumulated window to the caller and starts a new
+/// one — the controller's "demand p99 over the last control period" read
+/// — while `snapshot()` peeks without resetting (diagnostics, gauges).
+#[derive(Default)]
+pub struct RotatingHist {
+    inner: Mutex<LogHistogram>,
+}
+
+impl RotatingHist {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LogHistogram> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record one value into the current window.
+    pub fn record(&self, v: u64) {
+        self.lock().record(v);
+    }
+
+    /// Swap out the current window, leaving a fresh one behind.
+    pub fn take(&self) -> LogHistogram {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Clone the current window without resetting it.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.lock().clone()
+    }
+
+    /// Percentile of the current window (0 when empty) without reset.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let h = self.lock();
+        if h.count() == 0 {
+            0
+        } else {
+            h.percentile(p)
+        }
+    }
+
+    /// Values recorded in the current window.
+    pub fn count(&self) -> u64 {
+        self.lock().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The gauge registry is process-global; serialize these tests.
+    static GUARD: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn gauges_set_add_read_sorted() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        clear_gauges();
+        set_gauge("zeta", 5);
+        set_gauge("alpha", 1);
+        add_gauge("alpha", 2);
+        add_gauge("mid", 7);
+        assert_eq!(gauge("alpha"), Some(3));
+        assert_eq!(gauge("missing"), None);
+        let all = gauges();
+        assert_eq!(
+            all,
+            vec![("alpha".to_string(), 3), ("mid".to_string(), 7), ("zeta".to_string(), 5)]
+        );
+        set_gauge("alpha", 0);
+        assert_eq!(gauge("alpha"), Some(0));
+        clear_gauges();
+        assert!(gauges().is_empty());
+    }
+
+    #[test]
+    fn add_gauge_saturates() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        clear_gauges();
+        set_gauge("sat", u64::MAX - 1);
+        add_gauge("sat", 10);
+        assert_eq!(gauge("sat"), Some(u64::MAX));
+        clear_gauges();
+    }
+
+    #[test]
+    fn rotating_hist_windows_are_independent() {
+        let h = RotatingHist::new();
+        for v in [100u64, 200, 400] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!(h.percentile(0.99) >= 256, "p99 lands in the top bucket range");
+        let w1 = h.take();
+        assert_eq!(w1.count(), 3);
+        assert_eq!(h.count(), 0, "take starts a fresh window");
+        assert_eq!(h.percentile(0.99), 0, "empty window reports 0");
+        h.record(7);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(h.count(), 1, "snapshot does not reset");
+    }
+
+    #[test]
+    fn rotating_hist_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let h = Arc::new(RotatingHist::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for v in 1..=1000u64 {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.take().count(), 4000);
+    }
+}
